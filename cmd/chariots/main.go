@@ -1,0 +1,140 @@
+// Command chariots runs one Chariots datacenter: the full §6.2 pipeline
+// (batchers → filters → queues → FLStore maintainers → senders/receivers)
+// with TCP endpoints for application clients (ingest) and for the other
+// datacenters (replication).
+//
+// A two-datacenter deployment on one machine:
+//
+//	go run ./cmd/chariots -dc 0 -dcs 2 -listen 127.0.0.1:8000 \
+//	    -peer 1=127.0.0.1:9001 &
+//	go run ./cmd/chariots -dc 1 -dcs 2 -listen 127.0.0.1:9000 \
+//	    -peer 0=127.0.0.1:8001 &
+//
+// Ports: ingest on -listen, receivers on port+1, +2, ... (one per
+// receiver machine). -peer maps a remote datacenter id to its first
+// receiver address; peers may be started in any order (connections retry).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+type peerFlag map[core.DCID]string
+
+func (p peerFlag) String() string { return fmt.Sprint(map[core.DCID]string(p)) }
+
+func (p peerFlag) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("peer %q: want <dcid>=<host:port>", v)
+	}
+	n, err := strconv.Atoi(id)
+	if err != nil {
+		return fmt.Errorf("peer %q: bad dc id: %w", v, err)
+	}
+	p[core.DCID(n)] = addr
+	return nil
+}
+
+func main() {
+	var (
+		self      = flag.Int("dc", 0, "this datacenter's id (0-based)")
+		dcs       = flag.Int("dcs", 1, "total number of datacenters")
+		listen    = flag.String("listen", "127.0.0.1:8000", "ingest listen address; receivers use consecutive ports")
+		batchers  = flag.Int("batchers", 2, "batcher machines")
+		filters   = flag.Int("filters", 2, "filter machines")
+		queues    = flag.Int("queues", 2, "queue machines")
+		maints    = flag.Int("maintainers", 3, "log maintainer machines")
+		senders   = flag.Int("senders", 2, "sender machines")
+		receivers = flag.Int("receivers", 2, "receiver machines")
+		indexers  = flag.Int("indexers", 1, "indexer machines (tag reads)")
+		peers     = peerFlag{}
+	)
+	flag.Var(peers, "peer", "remote datacenter receiver endpoint, <dcid>=<host:port>; repeatable")
+	flag.Parse()
+
+	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, peers); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(self, dcs int, listen string, batchers, filters, queues, maints, senders, receivers, indexers int, peers peerFlag) error {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return fmt.Errorf("bad -listen: %w", err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("bad -listen port: %w", err)
+	}
+
+	dc, err := chariots.New(chariots.Config{
+		Self:        core.DCID(self),
+		NumDCs:      dcs,
+		Batchers:    batchers,
+		Filters:     filters,
+		Queues:      queues,
+		Maintainers: maints,
+		Senders:     senders,
+		Receivers:   receivers,
+		Indexers:    indexers,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Receiver endpoints.
+	var servers []*rpc.Server
+	for i, rx := range dc.Receivers() {
+		srv := rpc.NewServer()
+		chariots.ServeReceiver(srv, rx)
+		a := net.JoinHostPort(host, strconv.Itoa(basePort+1+i))
+		if _, err := srv.Listen(a); err != nil {
+			return fmt.Errorf("receiver %d: %w", i, err)
+		}
+		servers = append(servers, srv)
+		log.Printf("DC%d receiver %d listening on %s", self, i, a)
+	}
+
+	// Ingest endpoint for application clients.
+	ingestSrv := rpc.NewServer()
+	chariots.ServeIngest(ingestSrv, dc)
+	if _, err := ingestSrv.Listen(listen); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	servers = append(servers, ingestSrv)
+	log.Printf("DC%d ingest listening on %s", self, listen)
+
+	dc.Start()
+
+	// Peer links use reconnecting clients: replication is idempotent
+	// (remote filters deduplicate by TOId), so retry-once is safe, and a
+	// flapping WAN link heals without operator action.
+	for remote, addr := range peers {
+		conn := rpc.NewReconnecting(addr, true)
+		dc.ConnectTo(remote, []chariots.ReceiverAPI{chariots.NewReceiverClient(conn)})
+		log.Printf("DC%d will replicate to DC%d at %s", self, remote, addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	dc.Stop()
+	for _, s := range servers {
+		s.Close()
+	}
+	return nil
+}

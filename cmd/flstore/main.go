@@ -1,0 +1,173 @@
+// Command flstore runs a standalone single-datacenter FLStore node set on
+// one machine: N log maintainers, K indexers, and a controller, all served
+// over TCP. Clients initialize sessions against the controller address.
+//
+//	go run ./cmd/flstore -maintainers 3 -indexers 2 -batch 1000 \
+//	    -listen 127.0.0.1:7000 -data /tmp/flstore
+//
+// Ports: the controller listens on -listen; maintainer i on port+1+i;
+// indexer j after the maintainers. With -data, records persist in segment
+// files under the directory (one subdirectory per maintainer) and survive
+// restarts; without it the log is in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/flstore"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		nMaintainers = flag.Int("maintainers", 3, "number of log maintainers")
+		nIndexers    = flag.Int("indexers", 1, "number of indexers")
+		batch        = flag.Uint64("batch", 1000, "placement round size (LIds per maintainer per round)")
+		listen       = flag.String("listen", "127.0.0.1:7000", "controller listen address; components use consecutive ports")
+		dataDir      = flag.String("data", "", "directory for persistent segment stores (empty = in-memory)")
+		gossipEvery  = flag.Duration("gossip", 5*time.Millisecond, "head-of-log gossip interval")
+	)
+	flag.Parse()
+	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration) error {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		return fmt.Errorf("bad -listen: %w", err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("bad -listen port: %w", err)
+	}
+	addr := func(offset int) string {
+		return net.JoinHostPort(host, strconv.Itoa(basePort+offset))
+	}
+
+	placement := flstore.Placement{NumMaintainers: nMaintainers, BatchSize: batch}
+	if err := placement.Validate(); err != nil {
+		return err
+	}
+
+	// Indexers first (maintainers post tags to them).
+	var indexerAddrs []string
+	var indexerAPIs []flstore.IndexerAPI
+	var servers []*rpc.Server
+	for j := 0; j < nIndexers; j++ {
+		ix := flstore.NewIndexer(nil)
+		srv := rpc.NewServer()
+		flstore.ServeIndexer(srv, ix)
+		a := addr(1 + nMaintainers + j)
+		if _, err := srv.Listen(a); err != nil {
+			return fmt.Errorf("indexer %d: %w", j, err)
+		}
+		servers = append(servers, srv)
+		indexerAddrs = append(indexerAddrs, a)
+		conn, err := rpc.Dial(a)
+		if err != nil {
+			return err
+		}
+		indexerAPIs = append(indexerAPIs, flstore.NewIndexerClient(conn))
+		log.Printf("indexer %d listening on %s", j, a)
+	}
+
+	// Maintainers.
+	var maintainerAddrs []string
+	var maintainers []*flstore.Maintainer
+	for i := 0; i < nMaintainers; i++ {
+		var st storage.Store
+		if dataDir != "" {
+			dir := filepath.Join(dataDir, fmt.Sprintf("maintainer-%d", i))
+			st, err = storage.OpenSegmentStore(dir, storage.SegmentStoreOptions{Sync: storage.SyncEachBatch})
+			if err != nil {
+				return fmt.Errorf("maintainer %d store: %w", i, err)
+			}
+		}
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+			Index:       i,
+			Placement:   placement,
+			Store:       st,
+			Indexers:    indexerAPIs,
+			EnforceHead: true,
+		})
+		if err != nil {
+			return err
+		}
+		srv := rpc.NewServer()
+		flstore.ServeMaintainer(srv, m)
+		a := addr(1 + i)
+		if _, err := srv.Listen(a); err != nil {
+			return fmt.Errorf("maintainer %d: %w", i, err)
+		}
+		servers = append(servers, srv)
+		maintainers = append(maintainers, m)
+		maintainerAddrs = append(maintainerAddrs, a)
+		log.Printf("maintainer %d listening on %s (%d records recovered)", i, a, m.Store().Len())
+	}
+
+	// Gossip wiring.
+	var gossipers []*flstore.Gossiper
+	for i, m := range maintainers {
+		peers := make([]flstore.MaintainerAPI, nMaintainers)
+		for j := 0; j < nMaintainers; j++ {
+			if j == i {
+				continue
+			}
+			conn, err := rpc.Dial(maintainerAddrs[j])
+			if err != nil {
+				return err
+			}
+			peers[j] = flstore.NewMaintainerClient(conn)
+		}
+		g := flstore.NewGossiper(m, peers, gossipEvery)
+		g.Start()
+		gossipers = append(gossipers, g)
+	}
+
+	// Controller last: it advertises everything above.
+	ctrl, err := flstore.NewController(flstore.Config{
+		Placement:       placement,
+		MaintainerAddrs: maintainerAddrs,
+		IndexerAddrs:    indexerAddrs,
+	})
+	if err != nil {
+		return err
+	}
+	ctrlSrv := rpc.NewServer()
+	flstore.ServeController(ctrlSrv, ctrl)
+	if _, err := ctrlSrv.Listen(listen); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	servers = append(servers, ctrlSrv)
+	log.Printf("controller listening on %s (placement: %d maintainers, batch %d)",
+		listen, nMaintainers, batch)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	for _, g := range gossipers {
+		g.Stop()
+	}
+	for _, s := range servers {
+		s.Close()
+	}
+	for _, m := range maintainers {
+		if err := m.Store().Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		}
+	}
+	return nil
+}

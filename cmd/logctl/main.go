@@ -1,0 +1,188 @@
+// Command logctl is the operator's client for a running FLStore deployment
+// (cmd/flstore): append records, read by position or tag, inspect the head
+// of the log, and tail the log live.
+//
+//	logctl -controller 127.0.0.1:7000 append -tag user=alice "first post"
+//	logctl -controller 127.0.0.1:7000 read 5
+//	logctl -controller 127.0.0.1:7000 head
+//	logctl -controller 127.0.0.1:7000 lookup -tag user=alice -recent 10
+//	logctl -controller 127.0.0.1:7000 tail -from 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/rpc"
+)
+
+func main() {
+	controller := flag.String("controller", "127.0.0.1:7000", "controller address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conn, err := rpc.Dial(*controller)
+	if err != nil {
+		log.Fatalf("dialing controller: %v", err)
+	}
+	defer conn.Close()
+	client, err := flstore.NewClient(flstore.NewControllerClient(conn))
+	if err != nil {
+		log.Fatalf("session init: %v", err)
+	}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "append":
+		cmdAppend(client, rest)
+	case "read":
+		cmdRead(client, rest)
+	case "head":
+		cmdHead(client)
+	case "lookup":
+		cmdLookup(client, rest)
+	case "tail":
+		cmdTail(client, rest)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: logctl [-controller host:port] <command>
+
+commands:
+  append [-tag k=v]... <body>     append a record, print its LId
+  read <lid>                      print the record at a position
+  head                            print the head of the log
+  lookup -tag k[=v] [-recent n]   find records by tag
+  tail [-from lid]                follow the log (ctrl-c to stop)`)
+	os.Exit(2)
+}
+
+// tagFlags parses repeated -tag k=v arguments out of args, returning the
+// tags and the remaining arguments.
+func tagFlags(args []string) ([]core.Tag, []string) {
+	var tags []core.Tag
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-tag" && i+1 < len(args) {
+			k, v, _ := strings.Cut(args[i+1], "=")
+			tags = append(tags, core.Tag{Key: k, Value: v})
+			i++
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	return tags, rest
+}
+
+func cmdAppend(c *flstore.Client, args []string) {
+	tags, rest := tagFlags(args)
+	if len(rest) != 1 {
+		usage()
+	}
+	lid, err := c.Append([]byte(rest[0]), tags)
+	if err != nil {
+		log.Fatalf("append: %v", err)
+	}
+	fmt.Println(lid)
+}
+
+func cmdRead(c *flstore.Client, args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	lid, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		log.Fatalf("bad LId %q: %v", args[0], err)
+	}
+	rec, err := c.ReadLId(lid)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	printRecord(rec)
+}
+
+func cmdHead(c *flstore.Client) {
+	head, err := c.HeadExact()
+	if err != nil {
+		log.Fatalf("head: %v", err)
+	}
+	fmt.Println(head)
+}
+
+func cmdLookup(c *flstore.Client, args []string) {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	tag := fs.String("tag", "", "tag key or key=value to match")
+	recent := fs.Int("recent", 10, "return the most recent n matches")
+	fs.Parse(args)
+	if *tag == "" {
+		usage()
+	}
+	k, v, hasValue := strings.Cut(*tag, "=")
+	rule := core.Rule{TagKey: k, MostRecent: true, Limit: *recent}
+	if hasValue {
+		rule.TagCmp = core.CmpEQ
+		rule.TagValue = v
+	}
+	recs, err := c.Read(rule)
+	if err != nil {
+		log.Fatalf("lookup: %v", err)
+	}
+	for _, rec := range recs {
+		printRecord(rec)
+	}
+}
+
+func cmdTail(c *flstore.Client, args []string) {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	from := fs.Uint64("from", 0, "start position (default: current head + 1)")
+	fs.Parse(args)
+	start := *from
+	if start == 0 {
+		head, err := c.HeadExact()
+		if err != nil {
+			log.Fatalf("head: %v", err)
+		}
+		start = head + 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	err := c.Tail(ctx, start, func(rec *core.Record) bool {
+		printRecord(rec)
+		return true
+	})
+	if err != nil && ctx.Err() == nil {
+		log.Fatalf("tail: %v", err)
+	}
+}
+
+func printRecord(rec *core.Record) {
+	var tags strings.Builder
+	for i, t := range rec.Tags {
+		if i > 0 {
+			tags.WriteByte(' ')
+		}
+		fmt.Fprintf(&tags, "%s=%s", t.Key, t.Value)
+	}
+	fmt.Printf("lid=%d toid=%d host=%s tags=[%s] body=%q\n",
+		rec.LId, rec.TOId, rec.Host, tags.String(), rec.Body)
+}

@@ -1,0 +1,242 @@
+// Package chariots implements the multi-datacenter replicated shared log
+// of §6: a per-datacenter pipeline (receivers → batchers → filters →
+// queues → FLStore maintainers → senders) that maintains one causally
+// ordered log replica per datacenter.
+//
+// This file contains the *abstract solution* of §6.1: the whole datacenter
+// modelled as a single totally ordered thread of control manipulating a
+// log, an Awareness Table, and a priority queue of causally premature
+// records. The distributed pipeline (the rest of the package) must be
+// behaviourally equivalent to this reference; property tests enforce that.
+package chariots
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+// AbstractDC is the single-threaded reference datacenter of §6.1. It is
+// not safe for concurrent use; that is the point — it defines the
+// sequential semantics the distributed implementation scales out.
+type AbstractDC struct {
+	self   core.DCID
+	n      int
+	log    []*core.Record
+	atable *vclock.ATable
+	// pending holds received records whose causal dependencies are not
+	// yet satisfied, ordered by (host-total-order) readiness.
+	pending recordHeap
+	// nextTOId is the next total-order id for locally appended records.
+	nextTOId uint64
+}
+
+// NewAbstractDC returns an empty reference datacenter self of n.
+func NewAbstractDC(self core.DCID, n int) *AbstractDC {
+	return &AbstractDC{
+		self:     self,
+		n:        n,
+		atable:   vclock.NewATable(self, n),
+		nextTOId: 1,
+	}
+}
+
+// Self returns the datacenter id.
+func (dc *AbstractDC) Self() core.DCID { return dc.self }
+
+// Append performs the §6.1 Append event: construct the record with host
+// id, TOId, LId and causality information, update T[self][self], and add it
+// to the log. The record's dependency vector is the datacenter's current
+// knowledge, which encodes every happened-before edge (anything readable
+// here happened before this append).
+func (dc *AbstractDC) Append(body []byte, tags []core.Tag) *core.Record {
+	rec := &core.Record{
+		Host: dc.self,
+		TOId: dc.nextTOId,
+		Deps: dc.atable.SelfVector().Deps(),
+		Tags: tags,
+		Body: body,
+	}
+	dc.nextTOId++
+	dc.applyToLog(rec)
+	return rec
+}
+
+// applyToLog assigns the next LId and appends.
+func (dc *AbstractDC) applyToLog(rec *core.Record) {
+	rec.LId = uint64(len(dc.log)) + 1
+	dc.log = append(dc.log, rec)
+	dc.atable.RecordApplied(rec.Host, rec.TOId)
+}
+
+// Read performs the §6.1 Read event: the record at the given LId.
+func (dc *AbstractDC) Read(lid uint64) (*core.Record, error) {
+	if lid == 0 || lid > uint64(len(dc.log)) {
+		return nil, core.ErrNoSuchRecord
+	}
+	return dc.log[lid-1], nil
+}
+
+// Len returns the number of records in the log.
+func (dc *AbstractDC) Len() int { return len(dc.log) }
+
+// Log returns the log contents (shared slice; callers must not mutate).
+func (dc *AbstractDC) Log() []*core.Record { return dc.log }
+
+// ATable exposes the awareness table.
+func (dc *AbstractDC) ATable() *vclock.ATable { return dc.atable }
+
+// Snapshot is a §6.1 Propagate payload: records plus the sender's table.
+type Snapshot struct {
+	From    core.DCID
+	Records []*core.Record
+	ATable  []vclock.Vector
+}
+
+// Propagate performs the §6.1 Propagate event toward datacenter j: a
+// subset of the log — records not already known by j per T[j][host(r)] —
+// plus a snapshot of the awareness table. Records are sent as copies with
+// the LId cleared, since LIds are per-datacenter.
+func (dc *AbstractDC) Propagate(j core.DCID) Snapshot {
+	snap := Snapshot{From: dc.self, ATable: dc.atable.Snapshot()}
+	for _, rec := range dc.log {
+		if !dc.atable.KnownBy(j, rec.Host, rec.TOId) {
+			c := rec.Clone()
+			c.LId = 0
+			snap.Records = append(snap.Records, c)
+		}
+	}
+	return snap
+}
+
+// Receive performs the §6.1 Reception event: records never seen before are
+// incorporated into the log if their causal dependencies are satisfied,
+// otherwise they wait in the priority queue; the queue is re-examined after
+// every incorporation; the awareness table absorbs the sender's snapshot.
+func (dc *AbstractDC) Receive(snap Snapshot) error {
+	if snap.From == dc.self {
+		return errors.New("chariots: received own snapshot")
+	}
+	for _, rec := range snap.Records {
+		if rec.Host == dc.self {
+			// A copy of our own record bounced back; our log
+			// already has it by definition of TOId assignment.
+			continue
+		}
+		if dc.atable.Get(dc.self, rec.Host) >= rec.TOId {
+			continue // duplicate: exactly-once
+		}
+		heap.Push(&dc.pending, rec.Clone())
+	}
+	dc.drainPending()
+	dc.atable.MergeSnapshot(snap.ATable)
+	return nil
+}
+
+// applicable reports whether rec can enter the log now: it is the next
+// record of its host's total order and its dependency vector is covered.
+func (dc *AbstractDC) applicable(rec *core.Record) bool {
+	self := dc.atable.SelfVector()
+	if rec.TOId != self.Get(rec.Host)+1 {
+		return false
+	}
+	return self.CoversDeps(rec.Deps)
+}
+
+// drainPending repeatedly applies ready records from the priority queue.
+func (dc *AbstractDC) drainPending() {
+	for {
+		progress := false
+		// The heap orders by (TOId) which approximates readiness;
+		// after each apply, re-examine from the top.
+		var stash []*core.Record
+		for dc.pending.Len() > 0 {
+			rec := heap.Pop(&dc.pending).(*core.Record)
+			if dc.atable.Get(dc.self, rec.Host) >= rec.TOId {
+				continue // became duplicate while queued
+			}
+			if dc.applicable(rec) {
+				rec.LId = 0
+				dc.applyToLog(rec)
+				progress = true
+			} else {
+				stash = append(stash, rec)
+			}
+		}
+		for _, rec := range stash {
+			heap.Push(&dc.pending, rec)
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// PendingLen returns how many received records await their dependencies.
+func (dc *AbstractDC) PendingLen() int { return dc.pending.Len() }
+
+// GCSafePrefix returns the longest log prefix (as a record count) in which
+// every record is known by all datacenters, i.e. safe to garbage collect
+// under the §6.1 rule ∀j: T[j][host(r)] ≥ TOId(r).
+func (dc *AbstractDC) GCSafePrefix() int {
+	for i, rec := range dc.log {
+		if !dc.atable.GCSafe(rec.Host, rec.TOId) {
+			return i
+		}
+	}
+	return len(dc.log)
+}
+
+// CheckCausalInvariant verifies the log is a causally consistent sequence:
+// per-host TOIds appear in order, and every record's dependencies are
+// satisfied by the records before it. It returns the first violation.
+func CheckCausalInvariant(log []*core.Record) error {
+	maxDC := core.DCID(0)
+	for _, rec := range log {
+		if rec.Host > maxDC {
+			maxDC = rec.Host
+		}
+		for _, d := range rec.Deps {
+			if d.DC > maxDC {
+				maxDC = d.DC
+			}
+		}
+	}
+	seen := vclock.NewVector(int(maxDC) + 1)
+	for i, rec := range log {
+		if rec.TOId != seen.Get(rec.Host)+1 {
+			return fmt.Errorf("position %d: %v breaks %s's total order (expected TOId %d)",
+				i+1, rec.ID(), rec.Host, seen.Get(rec.Host)+1)
+		}
+		if !seen.CoversDeps(rec.Deps) {
+			return fmt.Errorf("position %d: %v has unsatisfied dependencies %v (seen %v)",
+				i+1, rec.ID(), rec.Deps, seen)
+		}
+		seen.Set(rec.Host, rec.TOId)
+	}
+	return nil
+}
+
+// recordHeap orders pending records by TOId (then host) so lower
+// total-order ids — the ones that unblock others — surface first.
+type recordHeap []*core.Record
+
+func (h recordHeap) Len() int { return len(h) }
+func (h recordHeap) Less(i, j int) bool {
+	if h[i].TOId != h[j].TOId {
+		return h[i].TOId < h[j].TOId
+	}
+	return h[i].Host < h[j].Host
+}
+func (h recordHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *recordHeap) Push(x interface{}) { *h = append(*h, x.(*core.Record)) }
+func (h *recordHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,298 @@
+package chariots
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestAbstractAppendAssignsTOIdsAndLIds(t *testing.T) {
+	dc := NewAbstractDC(0, 2)
+	r1 := dc.Append([]byte("a"), nil)
+	r2 := dc.Append([]byte("b"), nil)
+	if r1.TOId != 1 || r2.TOId != 2 {
+		t.Errorf("TOIds = %d,%d", r1.TOId, r2.TOId)
+	}
+	if r1.LId != 1 || r2.LId != 2 {
+		t.Errorf("LIds = %d,%d", r1.LId, r2.LId)
+	}
+	if got, _ := dc.Read(1); got != r1 {
+		t.Error("Read(1) mismatch")
+	}
+	if _, err := dc.Read(3); err == nil {
+		t.Error("Read past end accepted")
+	}
+	if _, err := dc.Read(0); err == nil {
+		t.Error("Read(0) accepted")
+	}
+}
+
+func TestAbstractSecondAppendDependsOnFirst(t *testing.T) {
+	dc := NewAbstractDC(1, 2)
+	dc.Append([]byte("a"), nil)
+	r2 := dc.Append([]byte("b"), nil)
+	if r2.DepOn(1) != 1 {
+		t.Errorf("second append deps = %v, want dep on <DC1,1>", r2.Deps)
+	}
+}
+
+func TestAbstractPropagateReceive(t *testing.T) {
+	a := NewAbstractDC(0, 2)
+	b := NewAbstractDC(1, 2)
+	a.Append([]byte("x=10"), nil)
+	a.Append([]byte("y=20"), nil)
+
+	snap := a.Propagate(1)
+	if len(snap.Records) != 2 {
+		t.Fatalf("propagated %d records, want 2", len(snap.Records))
+	}
+	if err := b.Receive(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("B has %d records, want 2", b.Len())
+	}
+	// Copies share (Host, TOId) but get B-local LIds.
+	r, _ := b.Read(1)
+	if r.Host != 0 || r.TOId != 1 || r.LId != 1 {
+		t.Errorf("copy = %+v", r)
+	}
+	// B's table now knows A's records; propagate back teaches A that B
+	// knows them (enabling GC).
+	a.Receive(b.Propagate(0))
+	if got := a.ATable().Get(1, 0); got != 2 {
+		t.Errorf("A's T[B][A] = %d, want 2", got)
+	}
+	if a.GCSafePrefix() != 2 {
+		t.Errorf("GC-safe prefix = %d, want 2", a.GCSafePrefix())
+	}
+}
+
+func TestAbstractReceiveDedup(t *testing.T) {
+	a := NewAbstractDC(0, 2)
+	b := NewAbstractDC(1, 2)
+	a.Append([]byte("only once"), nil)
+	snap := a.Propagate(1)
+	b.Receive(snap)
+	b.Receive(snap) // duplicate delivery: exactly-once must hold
+	if b.Len() != 1 {
+		t.Errorf("B has %d records after duplicate delivery, want 1", b.Len())
+	}
+}
+
+func TestAbstractReceiveOwnSnapshotRejected(t *testing.T) {
+	a := NewAbstractDC(0, 2)
+	if err := a.Receive(Snapshot{From: 0}); err == nil {
+		t.Error("own snapshot accepted")
+	}
+}
+
+func TestAbstractCausalDeferral(t *testing.T) {
+	// B appends b1; A receives b1 and appends a1 (which depends on b1).
+	// C receives a1 BEFORE b1: a1 must wait in the priority queue.
+	a := NewAbstractDC(0, 3)
+	b := NewAbstractDC(1, 3)
+	c := NewAbstractDC(2, 3)
+
+	b.Append([]byte("b1"), nil)
+	a.Receive(b.Propagate(0))
+	a.Append([]byte("a1"), nil) // depends on <B,1>
+
+	// Deliver only A's record to C (simulating reordering).
+	snapA := a.Propagate(2)
+	var onlyA Snapshot
+	onlyA.From = snapA.From
+	onlyA.ATable = snapA.ATable
+	for _, r := range snapA.Records {
+		if r.Host == 0 {
+			onlyA.Records = append(onlyA.Records, r)
+		}
+	}
+	c.Receive(onlyA)
+	if c.Len() != 0 {
+		t.Fatalf("C applied a1 before its dependency; log len %d", c.Len())
+	}
+	if c.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d, want 1", c.PendingLen())
+	}
+	// Now deliver b1; both must apply, in causal order.
+	c.Receive(b.Propagate(2))
+	if c.Len() != 2 {
+		t.Fatalf("C has %d records, want 2", c.Len())
+	}
+	if err := CheckCausalInvariant(c.Log()); err != nil {
+		t.Error(err)
+	}
+	first, _ := c.Read(1)
+	if first.Host != 1 {
+		t.Errorf("first applied record from %s, want DC1", first.Host)
+	}
+}
+
+func TestAbstractTotalOrderPerHostEnforced(t *testing.T) {
+	// Deliver host B's TOId 2 without TOId 1: it must wait.
+	c := NewAbstractDC(0, 2)
+	rec := &core.Record{Host: 1, TOId: 2, Body: []byte("gap")}
+	c.Receive(Snapshot{From: 1, Records: []*core.Record{rec}})
+	if c.Len() != 0 || c.PendingLen() != 1 {
+		t.Fatalf("len=%d pending=%d, want 0/1", c.Len(), c.PendingLen())
+	}
+	c.Receive(Snapshot{From: 1, Records: []*core.Record{{Host: 1, TOId: 1, Body: []byte("first")}}})
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+}
+
+// TestAbstractHyksosFigure2 reproduces the paper's Figure 2 scenario
+// step by step: two datacenters, concurrent puts to x at both, then
+// y=50 at A and z=60 at B, then full propagation.
+func TestAbstractHyksosFigure2(t *testing.T) {
+	A := NewAbstractDC(0, 2)
+	B := NewAbstractDC(1, 2)
+
+	// Time 1 setup: A appends x=30 after receiving B's x=10? The paper
+	// has four initial records: x=10 and z=40 created at B; y=20 and
+	// x=30 at A, with the x-writes concurrent (different order at A/B).
+	A.Append([]byte("y=20"), []core.Tag{{Key: "key", Value: "y"}})
+	A.Append([]byte("x=30"), []core.Tag{{Key: "key", Value: "x"}})
+	B.Append([]byte("x=10"), []core.Tag{{Key: "key", Value: "x"}})
+	B.Append([]byte("z=40"), []core.Tag{{Key: "key", Value: "z"}})
+	A.Receive(B.Propagate(0))
+	B.Receive(A.Propagate(1))
+
+	// Concurrent x-writes may be ordered differently at A and B.
+	lastX := func(dc *AbstractDC) string {
+		for i := dc.Len(); i >= 1; i-- {
+			r, _ := dc.Read(uint64(i))
+			if v, ok := r.TagValue("key"); ok && v == "x" {
+				return string(r.Body)
+			}
+		}
+		return ""
+	}
+	if got := lastX(A); got != "x=10" {
+		// A appended x=30 first, then received x=10 → latest is x=10.
+		t.Errorf("at A latest x = %q", got)
+	}
+	if got := lastX(B); got != "x=30" {
+		t.Errorf("at B latest x = %q", got)
+	}
+
+	// Time 2: new puts at each side.
+	A.Append([]byte("y=50"), []core.Tag{{Key: "key", Value: "y"}})
+	B.Append([]byte("z=60"), []core.Tag{{Key: "key", Value: "z"}})
+
+	// Time 3: propagation both ways.
+	A.Receive(B.Propagate(0))
+	B.Receive(A.Propagate(1))
+	if A.Len() != 6 || B.Len() != 6 {
+		t.Fatalf("lens = %d,%d, want 6,6", A.Len(), B.Len())
+	}
+	for _, dc := range []*AbstractDC{A, B} {
+		if err := CheckCausalInvariant(dc.Log()); err != nil {
+			t.Errorf("%s: %v", dc.Self(), err)
+		}
+	}
+}
+
+// TestAbstractConvergenceProperty: under random append/propagate schedules,
+// all datacenters converge to causally valid logs containing the same
+// record set, with identical per-host subsequences.
+func TestAbstractConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 3
+		dcs := make([]*AbstractDC, n)
+		for i := range dcs {
+			dcs[i] = NewAbstractDC(core.DCID(i), n)
+		}
+		for step := 0; step < 60; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				dcs[i].Append([]byte(fmt.Sprintf("r%d", step)), nil)
+			default:
+				j := rng.Intn(n)
+				if j != i {
+					dcs[j].Receive(dcs[i].Propagate(core.DCID(j)))
+				}
+			}
+		}
+		// Final full exchange until quiescence.
+		for round := 0; round < n+1; round++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						dcs[j].Receive(dcs[i].Propagate(core.DCID(j)))
+					}
+				}
+			}
+		}
+		want := dcs[0].Len()
+		for _, dc := range dcs {
+			if dc.Len() != want || dc.PendingLen() != 0 {
+				return false
+			}
+			if err := CheckCausalInvariant(dc.Log()); err != nil {
+				return false
+			}
+		}
+		// Same record set everywhere.
+		ids := func(dc *AbstractDC) map[core.GlobalID]bool {
+			m := map[core.GlobalID]bool{}
+			for _, r := range dc.Log() {
+				m[r.ID()] = true
+			}
+			return m
+		}
+		base := ids(dcs[0])
+		for _, dc := range dcs[1:] {
+			other := ids(dc)
+			if len(other) != len(base) {
+				return false
+			}
+			for id := range base {
+				if !other[id] {
+					return false
+				}
+			}
+		}
+		// After quiescent full exchange every record is GC-safe.
+		for _, dc := range dcs {
+			if dc.GCSafePrefix() != dc.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckCausalInvariantDetectsViolations(t *testing.T) {
+	// TOId gap.
+	bad1 := []*core.Record{{Host: 0, TOId: 2}}
+	if err := CheckCausalInvariant(bad1); err == nil {
+		t.Error("TOId gap not detected")
+	}
+	// Unsatisfied dependency.
+	bad2 := []*core.Record{
+		{Host: 0, TOId: 1, Deps: []core.Dep{{DC: 1, TOId: 1}}},
+	}
+	if err := CheckCausalInvariant(bad2); err == nil {
+		t.Error("unsatisfied dep not detected")
+	}
+	// Valid log.
+	good := []*core.Record{
+		{Host: 1, TOId: 1},
+		{Host: 0, TOId: 1, Deps: []core.Dep{{DC: 1, TOId: 1}}},
+		{Host: 0, TOId: 2},
+	}
+	if err := CheckCausalInvariant(good); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+}

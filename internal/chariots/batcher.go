@@ -1,0 +1,160 @@
+package chariots
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ratelimit"
+)
+
+// Batcher is one machine of the batching stage (§6.2): it buffers records
+// received from application clients and receivers, one buffer per filter
+// (records are mapped to filters by the shared FilterRouting), and sends a
+// buffer downstream once it exceeds the flush threshold or the flush
+// interval elapses. Batchers are completely independent of each other —
+// adding one requires no coordination.
+type Batcher struct {
+	StageMachine
+	in       chan []*core.Record
+	routing  *FilterRouting
+	thresh   int
+	interval time.Duration
+
+	// filters and the per-filter buffers may grow while the batcher
+	// runs (AddFilter); guarded by filterMu.
+	filterMu sync.Mutex
+	filters  []chan<- []*core.Record
+	bufs     [][]*core.Record
+	// nics, when non-nil, are the destination filters' shared NIC
+	// limiters (index-aligned with filters): transmitting a batch to a
+	// filter charges that filter's ingress.
+	nics []*ratelimit.Limiter
+	// stopC aborts downstream sends during shutdown so a full filter
+	// inbox cannot wedge the batcher.
+	stopC <-chan struct{}
+}
+
+// NewBatcher builds a batcher machine. in is its ingress; filters are the
+// downstream filter inboxes, index-aligned with the routing.
+func NewBatcher(name string, limiter *ratelimit.Limiter, in chan []*core.Record, routing *FilterRouting, filters []chan<- []*core.Record, threshold int, interval time.Duration) *Batcher {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &Batcher{
+		StageMachine: StageMachine{Name: name, Limiter: limiter},
+		in:           in,
+		routing:      routing,
+		filters:      filters,
+		thresh:       threshold,
+		interval:     interval,
+		bufs:         make([][]*core.Record, len(filters)),
+	}
+}
+
+// In returns the batcher's ingress channel.
+func (b *Batcher) In() chan []*core.Record { return b.in }
+
+// run consumes the ingress until stop closes, then flushes what remains.
+func (b *Batcher) run(stop <-chan struct{}) {
+	ticker := time.NewTicker(b.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			// Drain whatever is already queued, then flush.
+			for {
+				select {
+				case recs := <-b.in:
+					b.absorb(recs)
+				default:
+					b.flushAll()
+					return
+				}
+			}
+		case recs := <-b.in:
+			b.absorb(recs)
+		case <-ticker.C:
+			b.flushAll()
+		}
+	}
+}
+
+// absorb charges the batch against the machine's capacity, distributes the
+// records to per-filter buffers, and flushes any buffer past the threshold.
+func (b *Batcher) absorb(recs []*core.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	b.work(len(recs))
+	b.filterMu.Lock()
+	for _, r := range recs {
+		f := b.routing.Route(r.Host, r.TOId)
+		if f >= len(b.bufs) {
+			// Routing grew before this batcher learned of the new
+			// filter; park on the last known one (the reassignment
+			// mark is chosen far enough ahead that this is only a
+			// transient during hand-over).
+			f = len(b.bufs) - 1
+		}
+		b.bufs[f] = append(b.bufs[f], r)
+	}
+	var full []int
+	for f := range b.bufs {
+		if len(b.bufs[f]) >= b.thresh {
+			full = append(full, f)
+		}
+	}
+	b.filterMu.Unlock()
+	for _, f := range full {
+		b.flush(f)
+	}
+}
+
+// addFilter publishes a new filter inbox to a (possibly running) batcher.
+func (b *Batcher) addFilter(in chan<- []*core.Record) {
+	b.filterMu.Lock()
+	b.filters = append(b.filters, in)
+	b.bufs = append(b.bufs, nil)
+	b.filterMu.Unlock()
+}
+
+func (b *Batcher) flush(f int) {
+	b.filterMu.Lock()
+	batch := b.bufs[f]
+	b.bufs[f] = nil
+	dst := b.filters[f]
+	var nic *ratelimit.Limiter
+	if f < len(b.nics) {
+		nic = b.nics[f]
+	}
+	b.filterMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	// Transmit, then charge the destination filter's NIC: a transfer
+	// that blocks on a full inbox must not consume NIC tokens, or the
+	// filter's egress share starves while records sit undelivered.
+	if b.stopC == nil {
+		dst <- batch
+	} else {
+		select {
+		case dst <- batch:
+		case <-b.stopC:
+			return
+		}
+	}
+	nic.WaitN(len(batch))
+}
+
+func (b *Batcher) flushAll() {
+	b.filterMu.Lock()
+	n := len(b.bufs)
+	b.filterMu.Unlock()
+	for f := 0; f < n; f++ {
+		b.flush(f)
+	}
+}

@@ -1,0 +1,589 @@
+package chariots
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/ratelimit"
+	"repro/internal/storage"
+	"repro/internal/vclock"
+)
+
+// StageRates are the per-machine capacity limits (records/second) of each
+// pipeline stage; 0 means unlimited. These model the NIC/CPU bounds of the
+// paper's cluster machines (DESIGN.md §3.6); the private-cloud profile in
+// the evaluation sets them to the paper's measured per-machine numbers.
+type StageRates struct {
+	Batcher    float64
+	Filter     float64
+	Queue      float64
+	Maintainer float64
+	Store      float64
+	Sender     float64
+	Receiver   float64
+}
+
+// Config assembles one Chariots datacenter (§6.2).
+type Config struct {
+	Self   core.DCID
+	NumDCs int
+
+	Batchers    int
+	Filters     int
+	Queues      int
+	Maintainers int
+	Senders     int
+	Receivers   int
+	Indexers    int
+
+	// PlacementBatch is the FLStore round size (LIds per maintainer per
+	// round); defaults to 1000, the paper's Figure 4 example.
+	PlacementBatch uint64
+
+	// FlushThreshold/FlushInterval control batcher buffers; a buffer is
+	// sent downstream when it holds FlushThreshold records or the
+	// interval elapses.
+	FlushThreshold int
+	FlushInterval  time.Duration
+
+	// SendThreshold/SendInterval control sender batching; the interval
+	// also paces awareness-table heartbeats when idle.
+	SendThreshold int
+	SendInterval  time.Duration
+
+	// TokenIdleWait bounds how long an idle queue holds the token.
+	TokenIdleWait time.Duration
+	// CarryDeferred ships dependency-blocked records with the token
+	// instead of parking them at the queue that saw them (§6.2).
+	CarryDeferred bool
+
+	// Rates are the per-machine capacity limits; Burst the token-bucket
+	// burst (defaults to rate/100).
+	Rates StageRates
+	Burst int
+
+	// FilterNICRate, when > 0, replaces Rates.Filter with a shared-NIC
+	// model: each filter machine owns one limiter of this rate charged
+	// once on ingress (by the transmitting batcher) and once on egress
+	// (forwarding to a queue), so steady-state filter throughput is
+	// FilterNICRate/2 — the behaviour behind the paper's Figure 9.
+	FilterNICRate float64
+
+	// ChannelDepth is the inter-stage buffer depth in records (approx);
+	// defaults to 8192.
+	ChannelDepth int
+
+	// Stores, when non-nil, supplies the maintainer backing stores
+	// (index-aligned); MemStores are used otherwise. Disk-backed
+	// deployments pass storage.OpenSegmentStore handles.
+	Stores []storage.Store
+}
+
+func (c *Config) setDefaults() error {
+	if c.NumDCs < 1 {
+		return errors.New("chariots: NumDCs must be >= 1")
+	}
+	if int(c.Self) >= c.NumDCs {
+		return fmt.Errorf("chariots: Self %d out of range for %d DCs", c.Self, c.NumDCs)
+	}
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.Batchers, 1)
+	def(&c.Filters, 1)
+	def(&c.Queues, 1)
+	def(&c.Maintainers, 1)
+	if c.NumDCs > 1 {
+		def(&c.Senders, 1)
+		def(&c.Receivers, 1)
+	}
+	if c.PlacementBatch == 0 {
+		c.PlacementBatch = 1000
+	}
+	def(&c.FlushThreshold, 256)
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Millisecond
+	}
+	def(&c.SendThreshold, 256)
+	if c.SendInterval <= 0 {
+		c.SendInterval = time.Millisecond
+	}
+	def(&c.ChannelDepth, 8192)
+	if c.Stores != nil && len(c.Stores) != c.Maintainers {
+		return fmt.Errorf("chariots: %d stores for %d maintainers", len(c.Stores), c.Maintainers)
+	}
+	return nil
+}
+
+// Datacenter is one running Chariots instance: the full §6.2 pipeline plus
+// the FLStore it persists into. Create with New, wire to peers with
+// ConnectTo, then Start.
+type Datacenter struct {
+	cfg     Config
+	state   *dcState
+	group   *stageGroup
+	routing *FilterRouting
+
+	batchers    []*Batcher
+	filters     []*Filter
+	queues      []*Queue
+	maintainers []*flstore.Maintainer
+	stores      []*countingStore
+	indexers    []*flstore.Indexer
+	senders     []*Sender
+	receivers   []*Receiver
+	gossipers   []*flstore.Gossiper
+
+	maintainerMachines []*StageMachine
+	reader             *flstore.Client
+
+	initialToken *Token
+
+	rrBatcher atomic.Uint64
+	startMu   sync.Mutex
+	started   bool
+	stopped   bool
+}
+
+// New builds (but does not start) a datacenter.
+func New(cfg Config) (*Datacenter, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	dc := &Datacenter{cfg: cfg, group: newStageGroup()}
+	dc.state = newDCState(cfg.Self, cfg.NumDCs, 0)
+	dc.state.feedEnabled = cfg.Senders > 0 && cfg.NumDCs > 1
+
+	var err error
+	dc.routing, err = NewFilterRouting(cfg.NumDCs, cfg.Filters)
+	if err != nil {
+		return nil, err
+	}
+
+	burst := func(rate float64) int {
+		if cfg.Burst > 0 {
+			return cfg.Burst
+		}
+		// The burst must comfortably exceed one pipeline batch (flush
+		// threshold, queue drain cycle) so that consecutive stages'
+		// token-bucket charges overlap in time the way independent
+		// machines do rather than serializing within one goroutine.
+		b := int(rate / 40)
+		if b < 64 {
+			b = 64
+		}
+		return b
+	}
+	newLim := func(rate float64) *ratelimit.Limiter {
+		return ratelimit.New(rate, burst(rate))
+	}
+
+	// Indexers.
+	var indexerAPIs []flstore.IndexerAPI
+	for i := 0; i < cfg.Indexers; i++ {
+		ix := flstore.NewIndexer(nil)
+		dc.indexers = append(dc.indexers, ix)
+		indexerAPIs = append(indexerAPIs, ix)
+	}
+
+	// FLStore maintainers (capacity modelled by a wrapping machine so
+	// the pipeline gets blocking backpressure rather than rejections).
+	placement := flstore.Placement{NumMaintainers: cfg.Maintainers, BatchSize: cfg.PlacementBatch}
+	var appendAPIs []flstore.MaintainerAPI // rate-limited, used by queues
+	var readAPIs []flstore.MaintainerAPI   // direct, used by readers
+	for i := 0; i < cfg.Maintainers; i++ {
+		var backing storage.Store
+		if cfg.Stores != nil {
+			backing = cfg.Stores[i]
+		} else {
+			backing = storage.NewMemStore()
+		}
+		cs := &countingStore{Store: backing}
+		cs.sm.Limiter = newLim(cfg.Rates.Store)
+		cs.sm.Name = machineName("Store", i, cfg.Maintainers)
+		dc.stores = append(dc.stores, cs)
+
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+			Index:     i,
+			Placement: placement,
+			Store:     cs,
+			Indexers:  indexerAPIs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dc.maintainers = append(dc.maintainers, m)
+		readAPIs = append(readAPIs, m)
+
+		lm := &limitedMaintainer{MaintainerAPI: m}
+		lm.sm.Limiter = newLim(cfg.Rates.Maintainer)
+		lm.sm.Name = machineName("Maintainer", i, cfg.Maintainers)
+		dc.maintainerMachines = append(dc.maintainerMachines, &lm.sm)
+		appendAPIs = append(appendAPIs, lm)
+	}
+	dc.reader, err = flstore.NewDirectClient(placement, readAPIs, indexerAPIs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Restart path: when the backing stores already hold records (a
+	// datacenter recovering with its persistent log), rebuild the
+	// ordering state — the token's applied vector and next LId, and the
+	// awareness table's self row — from the log itself.
+	dc.initialToken = NewToken(cfg.NumDCs)
+	if recs, err := dc.LogRecords(); err == nil && len(recs) > 0 {
+		for _, rec := range recs {
+			dc.initialToken.Applied.Advance(rec.Host, rec.TOId)
+			dc.state.atable.RecordApplied(rec.Host, rec.TOId)
+			if rec.LId >= dc.initialToken.NextLId {
+				dc.initialToken.NextLId = rec.LId + 1
+			}
+		}
+	}
+
+	// HL gossip among maintainers.
+	for i, m := range dc.maintainers {
+		peers := make([]flstore.MaintainerAPI, cfg.Maintainers)
+		for j := range peers {
+			if j != i {
+				peers[j] = dc.maintainers[j]
+			}
+		}
+		dc.gossipers = append(dc.gossipers, flstore.NewGossiper(m, peers, time.Millisecond))
+	}
+
+	// Queues.
+	var queueIns []chan<- []*core.Record
+	for i := 0; i < cfg.Queues; i++ {
+		in := make(chan []*core.Record, depthFor(cfg.ChannelDepth, cfg.FlushThreshold))
+		q := NewQueue(machineName("Queue", i, cfg.Queues), newLim(cfg.Rates.Queue), i,
+			dc.state, in, placement, appendAPIs, cfg.CarryDeferred, cfg.TokenIdleWait)
+		q.stopC = dc.group.stop
+		dc.queues = append(dc.queues, q)
+		queueIns = append(queueIns, in)
+	}
+	for i, q := range dc.queues {
+		q.SetNext(dc.queues[(i+1)%len(dc.queues)].TokenIn())
+	}
+
+	// Filters.
+	var filterIns []chan<- []*core.Record
+	var filterNICs []*ratelimit.Limiter
+	for i := 0; i < cfg.Filters; i++ {
+		in := make(chan []*core.Record, depthFor(cfg.ChannelDepth, cfg.FlushThreshold))
+		filterRate := cfg.Rates.Filter
+		if cfg.FilterNICRate > 0 {
+			filterRate = 0 // NIC model replaces the per-record limiter
+		}
+		f := NewFilter(machineName("Filter", i, cfg.Filters), newLim(filterRate), i,
+			cfg.Self, in, dc.routing, queueIns, 0)
+		f.stopC = dc.group.stop
+		if cfg.FilterNICRate > 0 {
+			f.nic = newLim(cfg.FilterNICRate)
+		}
+		filterNICs = append(filterNICs, f.nic)
+		dc.filters = append(dc.filters, f)
+		filterIns = append(filterIns, in)
+	}
+
+	// Batchers.
+	var batcherIns []chan<- []*core.Record
+	for i := 0; i < cfg.Batchers; i++ {
+		in := make(chan []*core.Record, depthFor(cfg.ChannelDepth, cfg.FlushThreshold))
+		b := NewBatcher(machineName("Batcher", i, cfg.Batchers), newLim(cfg.Rates.Batcher), in,
+			dc.routing, filterIns, cfg.FlushThreshold, cfg.FlushInterval)
+		b.stopC = dc.group.stop
+		if cfg.FilterNICRate > 0 {
+			b.nics = filterNICs
+		}
+		dc.batchers = append(dc.batchers, b)
+		batcherIns = append(batcherIns, in)
+	}
+
+	// A restarting datacenter's filters must treat the recovered prefix
+	// as already delivered, or resynced records (which start after it)
+	// would wait forever for TOIds the log already holds.
+	for _, f := range dc.filters {
+		for host := 0; host < cfg.NumDCs; host++ {
+			if toid := dc.initialToken.Applied.Get(core.DCID(host)); toid > 0 {
+				f.seedLast(core.DCID(host), toid)
+			}
+		}
+	}
+
+	// Receivers and senders (multi-DC only).
+	for i := 0; i < cfg.Receivers; i++ {
+		r := NewReceiver(machineName("Receiver", i, cfg.Receivers), newLim(cfg.Rates.Receiver),
+			dc.state, batcherIns)
+		r.stopC = dc.group.stop
+		dc.receivers = append(dc.receivers, r)
+	}
+	for i := 0; i < cfg.Senders; i++ {
+		s := NewSender(machineName("Sender", i, cfg.Senders), newLim(cfg.Rates.Sender),
+			dc.state, cfg.SendThreshold, cfg.SendInterval)
+		dc.senders = append(dc.senders, s)
+	}
+	return dc, nil
+}
+
+func depthFor(depth, flush int) int {
+	d := depth / max(flush, 1)
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Self returns this datacenter's id.
+func (dc *Datacenter) Self() core.DCID { return dc.cfg.Self }
+
+// ConnectTo registers the receivers of a remote datacenter with every
+// sender. Call before Start (or during operation to add a datacenter).
+func (dc *Datacenter) ConnectTo(remote core.DCID, receivers []ReceiverAPI) {
+	for _, s := range dc.senders {
+		s.Connect(remote, receivers)
+	}
+}
+
+// Receivers returns this datacenter's reception endpoints for peers to
+// connect to (wrap in LatencyLink to model the WAN).
+func (dc *Datacenter) Receivers() []ReceiverAPI {
+	out := make([]ReceiverAPI, len(dc.receivers))
+	for i, r := range dc.receivers {
+		out[i] = r
+	}
+	return out
+}
+
+// Start launches every stage goroutine and injects the token.
+func (dc *Datacenter) Start() {
+	dc.startMu.Lock()
+	defer dc.startMu.Unlock()
+	if dc.started {
+		return
+	}
+	dc.started = true
+	for _, b := range dc.batchers {
+		b := b
+		dc.group.go1(func() { b.run(dc.group.stop) })
+	}
+	for _, f := range dc.filters {
+		f := f
+		dc.group.go1(func() { f.run(dc.group.stop) })
+	}
+	for _, q := range dc.queues {
+		q := q
+		dc.group.go1(func() { q.run(dc.group.stop) })
+	}
+	for _, s := range dc.senders {
+		s := s
+		dc.group.go1(func() { s.run(dc.group.stop) })
+	}
+	for _, g := range dc.gossipers {
+		g.Start()
+	}
+	dc.queues[0].TokenIn() <- dc.initialToken
+}
+
+// Stop halts the pipeline and joins all goroutines. Records still in
+// flight are dropped; call Quiesce first if the experiment needs them
+// applied.
+func (dc *Datacenter) Stop() {
+	dc.startMu.Lock()
+	defer dc.startMu.Unlock()
+	if !dc.started || dc.stopped {
+		return
+	}
+	dc.stopped = true
+	for _, g := range dc.gossipers {
+		g.Stop()
+	}
+	dc.group.halt()
+}
+
+// Inject pushes a batch of records into a round-robin-selected batcher —
+// the entry point used by workload generators and the RPC ingestion
+// endpoint. It blocks when the pipeline is saturated (backpressure).
+func (dc *Datacenter) Inject(recs []*core.Record) {
+	i := dc.rrBatcher.Add(1) - 1
+	b := dc.batchers[int(i%uint64(len(dc.batchers)))]
+	select {
+	case b.In() <- recs:
+	case <-dc.group.stop:
+	}
+}
+
+// AppendAsync submits one record to the pipeline without waiting for its
+// ids. deps, when nil, defaults to the datacenter's current knowledge.
+func (dc *Datacenter) AppendAsync(body []byte, tags []core.Tag) {
+	dc.Inject([]*core.Record{dc.newLocalRecord(body, tags, nil)})
+}
+
+// Append submits one record and waits until the pipeline applies it,
+// returning its assigned TOId and LId.
+func (dc *Datacenter) Append(body []byte, tags []core.Tag) (AppendAck, error) {
+	return dc.AppendDeps(body, tags, nil)
+}
+
+// AppendDeps is Append with an explicit causal dependency vector (client
+// sessions use it to encode their reads).
+func (dc *Datacenter) AppendDeps(body []byte, tags []core.Tag, deps []core.Dep) (AppendAck, error) {
+	rec := dc.newLocalRecord(body, tags, deps)
+	ch := make(chan AppendAck, 1)
+	dc.state.registerAck(rec, (chan<- AppendAck)(ch))
+	dc.Inject([]*core.Record{rec})
+	select {
+	case ack := <-ch:
+		return ack, nil
+	case <-dc.group.stop:
+		return AppendAck{}, errors.New("chariots: datacenter stopped")
+	}
+}
+
+func (dc *Datacenter) newLocalRecord(body []byte, tags []core.Tag, deps []core.Dep) *core.Record {
+	if deps == nil {
+		deps = dc.state.atable.SelfVector().Deps()
+	}
+	return &core.Record{Host: dc.cfg.Self, Deps: deps, Tags: tags, Body: body}
+}
+
+// Reader returns the FLStore client for reading this datacenter's log.
+func (dc *Datacenter) Reader() *flstore.Client { return dc.reader }
+
+// ATable exposes the datacenter's awareness table.
+func (dc *Datacenter) ATable() *vclock.ATable { return dc.state.atable }
+
+// Applied returns this datacenter's knowledge vector (max applied TOId per
+// host) — the causal frontier of its log.
+func (dc *Datacenter) Applied() vclock.Vector { return dc.state.atable.SelfVector() }
+
+// Head returns the readable head of the datacenter's log.
+func (dc *Datacenter) Head() (uint64, error) { return dc.reader.HeadExact() }
+
+// LogRecords returns every applied record ordered by LId (test and
+// equivalence-check introspection; scans all maintainers).
+func (dc *Datacenter) LogRecords() ([]*core.Record, error) {
+	var all []*core.Record
+	for _, m := range dc.maintainers {
+		recs, err := m.Scan(core.Rule{})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].LId < all[j].LId })
+	return all, nil
+}
+
+// Machines returns every stage machine's (name, processed count) rows in
+// pipeline order — the data behind the paper's Tables 2–5.
+func (dc *Datacenter) Machines() []*StageMachine {
+	var out []*StageMachine
+	for _, b := range dc.batchers {
+		out = append(out, &b.StageMachine)
+	}
+	for _, f := range dc.filters {
+		out = append(out, &f.StageMachine)
+	}
+	for _, q := range dc.queues {
+		out = append(out, &q.StageMachine)
+	}
+	out = append(out, dc.maintainerMachines...)
+	for _, s := range dc.stores {
+		out = append(out, &s.sm)
+	}
+	for _, s := range dc.senders {
+		out = append(out, &s.StageMachine)
+	}
+	for _, r := range dc.receivers {
+		out = append(out, &r.StageMachine)
+	}
+	return out
+}
+
+// Routing exposes the filter routing (elasticity operations).
+func (dc *Datacenter) Routing() *FilterRouting { return dc.routing }
+
+// Queues exposes the queue machines (elasticity and tests).
+func (dc *Datacenter) Queues() []*Queue { return dc.queues }
+
+// Maintainers exposes the FLStore maintainers.
+func (dc *Datacenter) Maintainers() []*flstore.Maintainer { return dc.maintainers }
+
+// Senders exposes the sender machines (resync and elasticity operations).
+func (dc *Datacenter) Senders() []*Sender { return dc.senders }
+
+// AppliedCount returns the total number of records applied to the log.
+func (dc *Datacenter) AppliedCount() uint64 {
+	var n uint64
+	for _, q := range dc.queues {
+		n += q.Applied.Value()
+	}
+	return n
+}
+
+// Quiesce waits until the number of applied records stops growing for
+// settle (or deadline expires), so tests can stop without dropping
+// in-flight records. It returns the final applied count.
+func (dc *Datacenter) Quiesce(settle, deadline time.Duration) uint64 {
+	start := time.Now()
+	last := dc.AppliedCount()
+	lastChange := time.Now()
+	for {
+		time.Sleep(settle / 4)
+		cur := dc.AppliedCount()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+		} else if time.Since(lastChange) >= settle {
+			return cur
+		}
+		if time.Since(start) > deadline {
+			return cur
+		}
+	}
+}
+
+// limitedMaintainer charges AppendAssigned batches against a stage machine
+// before delegating, giving the pipeline blocking backpressure at the
+// maintainer boundary.
+type limitedMaintainer struct {
+	flstore.MaintainerAPI
+	sm StageMachine
+}
+
+func (lm *limitedMaintainer) AppendAssigned(recs []*core.Record) error {
+	lm.sm.work(len(recs))
+	return lm.MaintainerAPI.AppendAssigned(recs)
+}
+
+// countingStore charges stored batches against the "Store" machine.
+type countingStore struct {
+	storage.Store
+	sm StageMachine
+}
+
+func (cs *countingStore) Append(r *core.Record) error {
+	cs.sm.work(1)
+	return cs.Store.Append(r)
+}
+
+func (cs *countingStore) AppendBatch(rs []*core.Record) error {
+	cs.sm.work(len(rs))
+	return cs.Store.AppendBatch(rs)
+}

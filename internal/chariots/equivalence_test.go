@@ -1,0 +1,196 @@
+package chariots
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestDistributedEquivalentToAbstract drives the same workload through the
+// abstract solution (§6.1) and the distributed pipeline (§6.2) and checks
+// the pipeline's guarantees subsume the abstract ones: identical record
+// sets, identical per-host total-order subsequences, and causally valid
+// logs. (The interleaving of concurrent records may differ — causal order
+// permits that — so logs are compared as constrained sequences, not
+// byte-for-byte.)
+func TestDistributedEquivalentToAbstract(t *testing.T) {
+	const nDCs = 2
+	const perDC = 120
+
+	// --- abstract run ---
+	abs := make([]*AbstractDC, nDCs)
+	for i := range abs {
+		abs[i] = NewAbstractDC(core.DCID(i), nDCs)
+	}
+	for i := 0; i < perDC; i++ {
+		for d := range abs {
+			abs[d].Append([]byte(fmt.Sprintf("%d-%d", d, i)), nil)
+		}
+		if i%10 == 9 { // periodic exchange
+			abs[1].Receive(abs[0].Propagate(1))
+			abs[0].Receive(abs[1].Propagate(0))
+		}
+	}
+	for r := 0; r < 3; r++ {
+		abs[1].Receive(abs[0].Propagate(1))
+		abs[0].Receive(abs[1].Propagate(0))
+	}
+
+	// --- distributed run ---
+	a := startDC(t, fastCfg(0, nDCs))
+	b := startDC(t, fastCfg(1, nDCs))
+	a.ConnectTo(1, b.Receivers())
+	b.ConnectTo(0, a.Receivers())
+	for i := 0; i < perDC; i++ {
+		a.AppendAsync([]byte(fmt.Sprintf("0-%d", i)), nil)
+		b.AppendAsync([]byte(fmt.Sprintf("1-%d", i)), nil)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for a.AppliedCount() < nDCs*perDC || b.AppliedCount() < nDCs*perDC {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline did not converge: %d/%d", a.AppliedCount(), b.AppliedCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	a.Quiesce(30*time.Millisecond, 5*time.Second)
+	b.Quiesce(30*time.Millisecond, 5*time.Second)
+
+	distLogs := map[string][]*core.Record{}
+	for name, dc := range map[string]*Datacenter{"A": a, "B": b} {
+		recs, err := dc.LogRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		distLogs[name] = recs
+	}
+
+	// 1. Same record bodies as the abstract run (the pipeline may
+	// number concurrent local appends in a different order — §5.4:
+	// "Concurrent appends... do not have precedence relative to each
+	// other" — so (host,TOId)→body bindings can differ; the *set* of
+	// records per host cannot).
+	absBodies := map[string]int{}
+	for _, rec := range abs[0].Log() {
+		absBodies[fmt.Sprintf("%s|%s", rec.Host, rec.Body)]++
+	}
+	for name, recs := range distLogs {
+		if len(recs) != abs[0].Len() {
+			t.Fatalf("%s: %d records, abstract has %d", name, len(recs), abs[0].Len())
+		}
+		got := map[string]int{}
+		for _, rec := range recs {
+			got[fmt.Sprintf("%s|%s", rec.Host, rec.Body)]++
+		}
+		for k, n := range absBodies {
+			if got[k] != n {
+				t.Fatalf("%s: body %q count %d, abstract %d", name, k, got[k], n)
+			}
+		}
+	}
+	// 2. Causal invariant holds everywhere (abstract too).
+	for d := range abs {
+		if err := CheckCausalInvariant(abs[d].Log()); err != nil {
+			t.Fatalf("abstract %d: %v", d, err)
+		}
+	}
+	for name, recs := range distLogs {
+		if err := CheckCausalInvariant(recs); err != nil {
+			t.Fatalf("distributed %s: %v", name, err)
+		}
+	}
+	// 3. Per-host subsequences (bodies in TOId order) identical between
+	// the two distributed replicas: copies share (host, TOId), so the
+	// host's total order must read the same at every datacenter — the
+	// first causality clause of §3.
+	subseq := func(log []*core.Record, host core.DCID) []string {
+		var out []string
+		for _, r := range log {
+			if r.Host == host {
+				out = append(out, string(r.Body))
+			}
+		}
+		return out
+	}
+	for h := core.DCID(0); h < nDCs; h++ {
+		want := subseq(distLogs["A"], h)
+		got := subseq(distLogs["B"], h)
+		if len(got) != len(want) {
+			t.Fatalf("host %s: A has %d records, B has %d", h, len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("host %s position %d: A %q != B %q", h, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPipelineRandomizedConvergence fuzzes schedules: random appends at 3
+// DCs over latency links with random delays, then checks convergence and
+// causal validity.
+func TestPipelineRandomizedConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized convergence is slow")
+	}
+	rng := rand.New(rand.NewSource(7))
+	const nDCs = 3
+	dcs := make([]*Datacenter, nDCs)
+	for i := range dcs {
+		dcs[i] = startDC(t, fastCfg(core.DCID(i), nDCs))
+	}
+	for i := range dcs {
+		for j := range dcs {
+			if i == j {
+				continue
+			}
+			var rxs []ReceiverAPI
+			for _, rx := range dcs[j].Receivers() {
+				l := NewLatencyLink(rx, time.Duration(1+rng.Intn(8))*time.Millisecond)
+				t.Cleanup(l.Close)
+				rxs = append(rxs, l)
+			}
+			dcs[i].ConnectTo(core.DCID(j), rxs)
+		}
+	}
+	const perDC = 200
+	for i := 0; i < perDC; i++ {
+		for d := range dcs {
+			dcs[d].AppendAsync([]byte(fmt.Sprintf("%d-%d", d, i)), nil)
+		}
+		if rng.Intn(4) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, dc := range dcs {
+			if dc.AppliedCount() < nDCs*perDC {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence: %d %d %d", dcs[0].AppliedCount(), dcs[1].AppliedCount(), dcs[2].AppliedCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, dc := range dcs {
+		dc.Quiesce(30*time.Millisecond, 5*time.Second)
+		recs, err := dc.LogRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != nDCs*perDC {
+			t.Errorf("DC%d: %d records, want %d", i, len(recs), nDCs*perDC)
+		}
+		if err := CheckCausalInvariant(recs); err != nil {
+			t.Errorf("DC%d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package chariots
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ratelimit"
+)
+
+// Filter is one machine of the uniqueness stage (§6.2): it champions a
+// slice of the record space (hosts, or TOId residue classes of a host —
+// resolved by the shared FilterRouting) and guarantees exactly-once,
+// in-total-order delivery of external records to the queues. For each
+// championed host it tracks the next expected TOId; duplicates are dropped
+// and early arrivals wait in a bounded reorder buffer. Filters never talk
+// to each other.
+type Filter struct {
+	StageMachine
+	index   int
+	self    core.DCID
+	in      chan []*core.Record
+	routing *FilterRouting
+
+	// queues may grow while the filter runs (AddQueue); guarded by
+	// queueMu.
+	queueMu sync.Mutex
+	queues  []chan<- []*core.Record
+
+	// last[h] is the highest TOId of host h this filter has forwarded;
+	// the next expected TOId is derived from the routing (the smallest
+	// TOId above last that routes here).
+	last map[core.DCID]uint64
+	// ahead buffers early arrivals per host, keyed by TOId.
+	ahead    map[core.DCID]map[uint64]*core.Record
+	maxAhead int
+	rrQueue  uint64
+	// stopC aborts downstream sends during shutdown.
+	stopC <-chan struct{}
+	// nic, when set, models the filter machine's shared network
+	// interface: the batchers charge it to transmit records in
+	// (Batcher.flush) and forward charges it to transmit records out.
+	// Steady-state filter throughput is then nic/2, and when upstream
+	// transmission ends the full NIC goes to egress — the abrupt
+	// throughput increase the paper observes at the end of Figure 9.
+	nic *ratelimit.Limiter
+
+	// Dropped counts exact duplicates discarded (the exactly-once
+	// guarantee at work); Overflow counts early arrivals discarded
+	// because the reorder buffer was full (they will be re-shipped by
+	// the sender's resync path).
+	Dropped  metrics.Counter
+	Overflow metrics.Counter
+}
+
+// NewFilter builds a filter machine.
+func NewFilter(name string, limiter *ratelimit.Limiter, index int, self core.DCID, in chan []*core.Record, routing *FilterRouting, queues []chan<- []*core.Record, maxAhead int) *Filter {
+	if maxAhead < 1 {
+		maxAhead = 1 << 16
+	}
+	return &Filter{
+		StageMachine: StageMachine{Name: name, Limiter: limiter},
+		index:        index,
+		self:         self,
+		in:           in,
+		queues:       queues,
+		routing:      routing,
+		last:         make(map[core.DCID]uint64),
+		ahead:        make(map[core.DCID]map[uint64]*core.Record),
+		maxAhead:     maxAhead,
+	}
+}
+
+// In returns the filter's ingress channel.
+func (f *Filter) In() chan []*core.Record { return f.in }
+
+func (f *Filter) run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			for {
+				select {
+				case recs := <-f.in:
+					f.process(recs)
+				default:
+					return
+				}
+			}
+		case recs := <-f.in:
+			f.process(recs)
+		}
+	}
+}
+
+// nextExpected returns the smallest TOId of host greater than f.last[host]
+// that routes to this filter.
+func (f *Filter) nextExpected(host core.DCID) uint64 {
+	t := f.last[host] + 1
+	for f.routing.Route(host, t) != f.index {
+		t++
+	}
+	return t
+}
+
+// process applies exactly-once, in-order championing to one batch and
+// forwards the survivors to a queue.
+func (f *Filter) process(recs []*core.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	f.work(len(recs))
+	var out []*core.Record
+	for _, r := range recs {
+		if r.TOId == 0 {
+			// A fresh local record: no total-order id yet, nothing
+			// to deduplicate — the queue will number it.
+			out = append(out, r)
+			continue
+		}
+		out = f.champion(r, out)
+	}
+	f.forward(out)
+}
+
+// champion runs the §6.2 uniqueness protocol for one external record.
+func (f *Filter) champion(r *core.Record, out []*core.Record) []*core.Record {
+	host := r.Host
+	expected := f.nextExpected(host)
+	switch {
+	case r.TOId < expected:
+		f.Dropped.Inc()
+	case r.TOId == expected:
+		out = append(out, r)
+		f.last[host] = r.TOId
+		// Release any buffered successors that are now in order.
+		for {
+			next := f.nextExpected(host)
+			buf := f.ahead[host]
+			rec, ok := buf[next]
+			if !ok {
+				break
+			}
+			delete(buf, next)
+			out = append(out, rec)
+			f.last[host] = next
+		}
+	default: // early arrival
+		buf := f.ahead[host]
+		if buf == nil {
+			buf = make(map[uint64]*core.Record)
+			f.ahead[host] = buf
+		}
+		if _, dup := buf[r.TOId]; dup {
+			f.Dropped.Inc()
+			break
+		}
+		if len(buf) >= f.maxAhead {
+			f.Overflow.Inc()
+			break
+		}
+		buf[r.TOId] = r
+	}
+	return out
+}
+
+// forward round-robins the batch to one of the queues ("sent to one of the
+// Queues" — any queue can receive any record).
+func (f *Filter) forward(out []*core.Record) {
+	if len(out) == 0 {
+		return
+	}
+	f.queueMu.Lock()
+	q := f.queues[int(f.rrQueue%uint64(len(f.queues)))]
+	f.rrQueue++
+	f.queueMu.Unlock()
+	if f.stopC == nil {
+		q <- out
+	} else {
+		select {
+		case q <- out:
+		case <-f.stopC:
+			return
+		}
+	}
+	f.nic.WaitN(len(out))
+}
+
+// addQueue publishes a new queue inbox to a (possibly running) filter.
+func (f *Filter) addQueue(in chan<- []*core.Record) {
+	f.queueMu.Lock()
+	f.queues = append(f.queues, in)
+	f.queueMu.Unlock()
+}
+
+// seedLast primes the filter's championship counter for a host: records
+// with TOId ≤ toid are treated as already delivered. Restarting
+// datacenters seed their filters from the log-recovered applied vector so
+// resynced records (which begin after the recovered prefix) are not
+// parked waiting for TOIds the log already holds. Must be called before
+// the filter starts.
+func (f *Filter) seedLast(host core.DCID, toid uint64) {
+	if toid > f.last[host] {
+		f.last[host] = toid
+	}
+}
+
+// AheadLen returns the number of buffered early arrivals (introspection).
+func (f *Filter) AheadLen() int {
+	n := 0
+	for _, buf := range f.ahead {
+		n += len(buf)
+	}
+	return n
+}

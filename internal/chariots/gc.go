@@ -1,0 +1,144 @@
+package chariots
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// GCState holds the datacenter's garbage-collection cursor.
+type GCState struct {
+	mu       sync.Mutex
+	frontier uint64 // highest LId whose prefix has been collected
+}
+
+// CollectGarbage applies the §6.1 rule: a record may be dropped only once
+// every datacenter is known (per the Awareness Table) to have its host's
+// records up to its TOId — on top of which deployments layer their own
+// temporal/spatial policies. It releases the longest GC-safe log prefix to
+// the maintainers' stores and returns how many records were removed and
+// the new prefix frontier (an LId).
+//
+// keepAfter, when nonzero, caps collection below that LId regardless of
+// safety (the "system designer rule": e.g. retain the most recent N
+// positions for readers).
+func (dc *Datacenter) CollectGarbage(gcs *GCState, keepAfter uint64) (int, uint64, error) {
+	gcs.mu.Lock()
+	defer gcs.mu.Unlock()
+
+	head, err := dc.reader.HeadExact()
+	if err != nil {
+		return 0, gcs.frontier, err
+	}
+	limit := head
+	if keepAfter != 0 && keepAfter-1 < limit {
+		limit = keepAfter - 1
+	}
+	if limit <= gcs.frontier {
+		return 0, gcs.frontier, nil
+	}
+
+	// Walk the candidate window in LId order and extend the safe prefix.
+	var window []*core.Record
+	for _, m := range dc.maintainers {
+		recs, err := m.Scan(core.Rule{MinLId: gcs.frontier + 1, MaxLId: limit})
+		if err != nil {
+			return 0, gcs.frontier, err
+		}
+		window = append(window, recs...)
+	}
+	byLId := make(map[uint64]*core.Record, len(window))
+	for _, r := range window {
+		byLId[r.LId] = r
+	}
+	newFrontier := gcs.frontier
+	for lid := gcs.frontier + 1; lid <= limit; lid++ {
+		rec, ok := byLId[lid]
+		if !ok || !dc.state.atable.GCSafe(rec.Host, rec.TOId) {
+			break
+		}
+		newFrontier = lid
+	}
+	if newFrontier == gcs.frontier {
+		return 0, gcs.frontier, nil
+	}
+
+	removed := 0
+	for _, m := range dc.maintainers {
+		n, err := m.Store().GC(newFrontier)
+		if err != nil {
+			return removed, gcs.frontier, err
+		}
+		removed += n
+	}
+	gcs.frontier = newFrontier
+	return removed, newFrontier, nil
+}
+
+// GCRunner periodically applies CollectGarbage — the background reclaim
+// loop a long-running deployment pairs with the §6.1 rule. KeepAfter, when
+// nonzero, always retains positions at or above it (the "system designer
+// rule" for readers that lag).
+type GCRunner struct {
+	dc        *Datacenter
+	state     GCState
+	interval  time.Duration
+	keepAfter uint64
+	stop      chan struct{}
+	done      chan struct{}
+
+	// Collected counts records reclaimed over the runner's lifetime.
+	Collected metrics.Counter
+}
+
+// NewGCRunner builds (but does not start) a runner.
+func NewGCRunner(dc *Datacenter, interval time.Duration, keepAfter uint64) *GCRunner {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &GCRunner{
+		dc:        dc,
+		interval:  interval,
+		keepAfter: keepAfter,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the reclaim loop.
+func (g *GCRunner) Start() {
+	go func() {
+		defer close(g.done)
+		ticker := time.NewTicker(g.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-ticker.C:
+				if n, _, err := g.dc.CollectGarbage(&g.state, g.keepAfter); err == nil {
+					g.Collected.Add(uint64(n))
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it.
+func (g *GCRunner) Stop() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	<-g.done
+}
+
+// Frontier returns the highest LId whose prefix has been reclaimed.
+func (g *GCRunner) Frontier() uint64 {
+	g.state.mu.Lock()
+	defer g.state.mu.Unlock()
+	return g.state.frontier
+}

@@ -1,0 +1,276 @@
+package chariots
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ratelimit"
+	"repro/internal/vclock"
+)
+
+// ReceiverAPI is the ingress surface one datacenter exposes to the senders
+// of other datacenters. It is implemented by *Receiver (in-process), by
+// receiverClient (over RPC), and by LatencyLink (a WAN-delay-injecting
+// wrapper used by the multi-datacenter simulation).
+type ReceiverAPI interface {
+	// Deliver hands over a propagation snapshot: new records of the
+	// sending datacenter plus its Awareness Table.
+	Deliver(snap Snapshot) error
+}
+
+// Receiver is one machine of the reception stage (§6.2): it accepts
+// snapshots from remote senders, merges the shipped Awareness Table, and
+// forwards the record copies (cloned, LIds cleared — LIds are per-
+// datacenter) to the local batchers.
+type Receiver struct {
+	StageMachine
+	state    *dcState
+	batchers []chan<- []*core.Record
+	mu       sync.Mutex
+	rr       uint64
+	// stopC aborts batcher pushes during shutdown.
+	stopC <-chan struct{}
+}
+
+// NewReceiver builds a receiver machine feeding the given batcher inboxes.
+func NewReceiver(name string, limiter *ratelimit.Limiter, state *dcState, batchers []chan<- []*core.Record) *Receiver {
+	return &Receiver{StageMachine: StageMachine{Name: name, Limiter: limiter}, state: state, batchers: batchers}
+}
+
+// Deliver implements ReceiverAPI.
+func (r *Receiver) Deliver(snap Snapshot) error {
+	if len(snap.Records) > 0 {
+		r.work(len(snap.Records))
+		out := make([]*core.Record, 0, len(snap.Records))
+		for _, rec := range snap.Records {
+			c := rec.Clone()
+			c.LId = 0 // LIds are per-datacenter; ours is assigned by a queue
+			out = append(out, c)
+		}
+		r.mu.Lock()
+		dst := r.batchers[int(r.rr%uint64(len(r.batchers)))]
+		r.rr++
+		r.mu.Unlock()
+		if r.stopC == nil {
+			dst <- out
+		} else {
+			select {
+			case dst <- out:
+			case <-r.stopC:
+			}
+		}
+	}
+	if snap.ATable != nil {
+		r.state.atable.MergeSnapshot(snap.ATable)
+	}
+	return nil
+}
+
+// Sender is one machine of the propagation stage (§6.2): it consumes the
+// shared feed of applied local records, batches them, and ships each batch
+// — with an Awareness Table snapshot — to every remote datacenter. Each
+// sender is bounded by its own capacity limiter, so higher replication
+// throughput is reached by adding senders.
+type Sender struct {
+	StageMachine
+	state     *dcState
+	threshold int
+	interval  time.Duration
+
+	mu    sync.Mutex
+	dests map[core.DCID][]ReceiverAPI
+	rr    map[core.DCID]uint64
+
+	// Shipped counts records propagated (once per remote datacenter).
+	Shipped metrics.Counter
+	// Errors counts failed deliveries (the records are NOT lost: the
+	// awareness table never advanced, so Resync re-ships them).
+	Errors metrics.Counter
+}
+
+// NewSender builds a sender machine.
+func NewSender(name string, limiter *ratelimit.Limiter, state *dcState, threshold int, interval time.Duration) *Sender {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &Sender{
+		StageMachine: StageMachine{Name: name, Limiter: limiter},
+		state:        state,
+		threshold:    threshold,
+		interval:     interval,
+		dests:        make(map[core.DCID][]ReceiverAPI),
+		rr:           make(map[core.DCID]uint64),
+	}
+}
+
+// Connect registers the receivers of a remote datacenter. Shipments to
+// that datacenter round-robin across its receivers.
+func (s *Sender) Connect(dc core.DCID, receivers []ReceiverAPI) {
+	s.mu.Lock()
+	s.dests[dc] = append([]ReceiverAPI(nil), receivers...)
+	s.mu.Unlock()
+}
+
+func (s *Sender) run(stop <-chan struct{}) {
+	buf := make([]*core.Record, 0, s.threshold)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	flush := func() {
+		if len(buf) == 0 {
+			// Heartbeat: ship the table alone so awareness (and
+			// therefore GC) converges even when idle.
+			s.ship(nil)
+			return
+		}
+		s.ship(buf)
+		buf = buf[:0]
+	}
+	for {
+		select {
+		case <-stop:
+			for {
+				select {
+				case rec := <-s.state.localFeed:
+					buf = append(buf, rec)
+				default:
+					if len(buf) > 0 {
+						s.ship(buf)
+					}
+					return
+				}
+			}
+		case rec := <-s.state.localFeed:
+			buf = append(buf, rec)
+			if len(buf) >= s.threshold {
+				s.ship(buf)
+				buf = buf[:0]
+			}
+		case <-ticker.C:
+			flush()
+		}
+	}
+}
+
+// ship sends one snapshot (records may be nil for a pure table heartbeat)
+// to every connected datacenter.
+func (s *Sender) ship(recs []*core.Record) {
+	if len(recs) > 0 {
+		s.work(len(recs))
+	}
+	var table []vclock.Vector = s.state.atable.Snapshot()
+
+	s.mu.Lock()
+	type dest struct {
+		dc core.DCID
+		rx ReceiverAPI
+	}
+	var targets []dest
+	for dc, rxs := range s.dests {
+		if len(rxs) == 0 {
+			continue
+		}
+		i := int(s.rr[dc] % uint64(len(rxs)))
+		s.rr[dc]++
+		targets = append(targets, dest{dc: dc, rx: rxs[i]})
+	}
+	s.mu.Unlock()
+
+	// Copies shipped across datacenters carry the record as-is; the
+	// receiver clears LIds on its side. Clone so remote mutation can
+	// never alias our log.
+	var copies []*core.Record
+	if len(recs) > 0 {
+		copies = make([]*core.Record, len(recs))
+		for i, r := range recs {
+			copies[i] = r.Clone()
+		}
+	}
+	snap := Snapshot{From: s.state.self, Records: copies, ATable: table}
+	for _, t := range targets {
+		if err := t.rx.Deliver(snap); err != nil {
+			s.Errors.Inc()
+			continue
+		}
+		s.Shipped.Add(uint64(len(copies)))
+	}
+}
+
+// LatencyLink wraps a ReceiverAPI with a one-way propagation delay,
+// standing in for the WAN between datacenters. Delivery order is
+// preserved (FIFO), matching a TCP connection between sites.
+type LatencyLink struct {
+	delay time.Duration
+	dst   ReceiverAPI
+	ch    chan Snapshot
+	once  sync.Once
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewLatencyLink returns a link that delays every Deliver by delay.
+func NewLatencyLink(dst ReceiverAPI, delay time.Duration) *LatencyLink {
+	l := &LatencyLink{
+		delay: delay,
+		dst:   dst,
+		ch:    make(chan Snapshot, 1<<12),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go l.pump()
+	return l
+}
+
+type timedSnap struct {
+	at   time.Time
+	snap Snapshot
+}
+
+func (l *LatencyLink) pump() {
+	defer close(l.done)
+	var queue []timedSnap
+	for {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if len(queue) > 0 {
+			wait := time.Until(queue[0].at)
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-l.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case snap := <-l.ch:
+			queue = append(queue, timedSnap{at: time.Now().Add(l.delay), snap: snap})
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-timerC:
+			l.dst.Deliver(queue[0].snap)
+			queue = queue[1:]
+		}
+	}
+}
+
+// Deliver implements ReceiverAPI: enqueue for delayed delivery.
+func (l *LatencyLink) Deliver(snap Snapshot) error {
+	select {
+	case l.ch <- snap:
+		return nil
+	case <-l.stop:
+		return nil
+	}
+}
+
+// Close stops the link, dropping undelivered snapshots (a partition).
+func (l *LatencyLink) Close() {
+	l.once.Do(func() { close(l.stop) })
+	<-l.done
+}

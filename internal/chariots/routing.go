@@ -1,0 +1,147 @@
+package chariots
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// FilterRouting decides which filter champions each record (§6.2): by
+// default records are partitioned by host datacenter (filter = host mod
+// numFilters); when there are more filters than datacenters, a host's
+// records are split by TOId residue classes.
+//
+// It also implements the *future reassignment* of §6.3: a reassignment is
+// announced for TOIds at or beyond a future mark, giving batchers time to
+// learn the hand-over before any affected record exists. Routing is
+// deterministic from (host, TOId), so every batcher resolves the same
+// filter without coordination.
+type FilterRouting struct {
+	mu    sync.RWMutex
+	rules map[core.DCID][]routingRule
+	// local is the filter index for not-yet-numbered local records
+	// (TOId 0); they are deduplicated nowhere, so any filter works, but
+	// a deterministic choice keeps the pipeline debuggable. Balance for
+	// hot local traffic comes from assigning by round-robin counter.
+	numFilters int
+	rrLocal    uint64
+}
+
+// routingRule: records of a host with TOId in [fromTOId, nextFrom) route by
+// (TOId mod modulus == residue[i] → filter[i]).
+type routingRule struct {
+	fromTOId uint64
+	modulus  uint64
+	filters  []int // indexed by residue (TOId mod modulus)
+}
+
+// NewFilterRouting builds the default championship map of §6.2 for n
+// datacenters over k filters: filter f champions every host h with
+// h mod k == f (k ≤ n), or host h's records are split across the
+// ⌈k/n⌉ filters {h, h+n, h+2n, ...} by TOId residue (k > n).
+func NewFilterRouting(numDCs, numFilters int) (*FilterRouting, error) {
+	if numDCs < 1 || numFilters < 1 {
+		return nil, errors.New("chariots: routing needs >=1 DC and filter")
+	}
+	r := &FilterRouting{rules: make(map[core.DCID][]routingRule), numFilters: numFilters}
+	for h := 0; h < numDCs; h++ {
+		var filters []int
+		for f := h % numFilters; f < numFilters; f += numDCs {
+			filters = append(filters, f)
+		}
+		if len(filters) == 0 {
+			filters = []int{h % numFilters}
+		}
+		r.rules[core.DCID(h)] = []routingRule{{
+			fromTOId: 1,
+			modulus:  uint64(len(filters)),
+			filters:  filters,
+		}}
+	}
+	return r, nil
+}
+
+// Route returns the filter index championing (host, toid). TOId 0 (a local
+// record not yet numbered) is spread round-robin.
+func (r *FilterRouting) Route(host core.DCID, toid uint64) int {
+	if toid == 0 {
+		r.mu.Lock()
+		r.rrLocal++
+		f := int(r.rrLocal % uint64(r.numFilters))
+		r.mu.Unlock()
+		return f
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rules := r.rules[host]
+	// Find the last rule whose fromTOId <= toid.
+	for i := len(rules) - 1; i >= 0; i-- {
+		if rules[i].fromTOId <= toid {
+			rule := rules[i]
+			return rule.filters[toid%rule.modulus]
+		}
+	}
+	// No rule (host unknown): fall back to host mod filters.
+	return int(uint64(host) % uint64(r.numFilters))
+}
+
+// Reassign announces a future reassignment (§6.3): from fromTOId onward,
+// host's records are split across the given filters by TOId residue.
+// fromTOId must be beyond every existing mark for that host.
+func (r *FilterRouting) Reassign(host core.DCID, fromTOId uint64, filters []int) error {
+	if len(filters) == 0 {
+		return errors.New("chariots: reassignment needs at least one filter")
+	}
+	for _, f := range filters {
+		if f < 0 || f >= r.numFilters {
+			return fmt.Errorf("chariots: filter %d out of range [0,%d)", f, r.numFilters)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rules := r.rules[host]
+	if len(rules) > 0 && fromTOId <= rules[len(rules)-1].fromTOId {
+		return fmt.Errorf("chariots: reassignment mark %d not in the future (last %d)",
+			fromTOId, rules[len(rules)-1].fromTOId)
+	}
+	r.rules[host] = append(rules, routingRule{
+		fromTOId: fromTOId,
+		modulus:  uint64(len(filters)),
+		filters:  filters,
+	})
+	return nil
+}
+
+// GrowFilters raises the filter count (new filters take traffic only once
+// a Reassign names them).
+func (r *FilterRouting) GrowFilters(newCount int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if newCount < r.numFilters {
+		return fmt.Errorf("chariots: cannot shrink filters %d -> %d", r.numFilters, newCount)
+	}
+	r.numFilters = newCount
+	return nil
+}
+
+// ChampionsOf returns which residues of host's TOIds a filter currently
+// champions at the given TOId horizon (introspection for tests).
+func (r *FilterRouting) ChampionsOf(filter int, host core.DCID, atTOId uint64) []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rules := r.rules[host]
+	for i := len(rules) - 1; i >= 0; i-- {
+		if rules[i].fromTOId <= atTOId {
+			var residues []uint64
+			for res, f := range rules[i].filters {
+				if f == filter {
+					residues = append(residues, uint64(res))
+				}
+			}
+			return residues
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package chariots
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRoutingDefaultByHost(t *testing.T) {
+	// 3 DCs over 3 filters: filter f champions host f.
+	r, err := NewFilterRouting(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := core.DCID(0); h < 3; h++ {
+		for toid := uint64(1); toid <= 10; toid++ {
+			if got := r.Route(h, toid); got != int(h) {
+				t.Fatalf("Route(%s,%d) = %d, want %d", h, toid, got, h)
+			}
+		}
+	}
+}
+
+func TestRoutingFewerFiltersThanDCs(t *testing.T) {
+	// 4 DCs over 2 filters: hosts 0,2 → filter 0; hosts 1,3 → filter 1.
+	r, _ := NewFilterRouting(4, 2)
+	cases := map[core.DCID]int{0: 0, 1: 1, 2: 0, 3: 1}
+	for h, want := range cases {
+		if got := r.Route(h, 5); got != want {
+			t.Errorf("Route(%s) = %d, want %d", h, got, want)
+		}
+	}
+}
+
+func TestRoutingMoreFiltersThanDCs(t *testing.T) {
+	// 2 DCs over 4 filters: host 0 splits across filters 0,2 by TOId
+	// parity; host 1 across 1,3.
+	r, _ := NewFilterRouting(2, 4)
+	seen0 := map[int]bool{}
+	for toid := uint64(1); toid <= 8; toid++ {
+		f := r.Route(0, toid)
+		if f != 0 && f != 2 {
+			t.Fatalf("host 0 TOId %d routed to filter %d", toid, f)
+		}
+		seen0[f] = true
+		// Determinism.
+		if r.Route(0, toid) != f {
+			t.Fatal("routing not deterministic")
+		}
+	}
+	if len(seen0) != 2 {
+		t.Errorf("host 0 records not split across 2 filters: %v", seen0)
+	}
+	for toid := uint64(1); toid <= 8; toid++ {
+		f := r.Route(1, toid)
+		if f != 1 && f != 3 {
+			t.Fatalf("host 1 TOId %d routed to filter %d", toid, f)
+		}
+	}
+}
+
+func TestRoutingLocalRecordsSpread(t *testing.T) {
+	r, _ := NewFilterRouting(1, 3)
+	seen := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		f := r.Route(0, 0)
+		if f < 0 || f >= 3 {
+			t.Fatalf("local route out of range: %d", f)
+		}
+		seen[f] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("local records not spread: %v", seen)
+	}
+}
+
+func TestRoutingFutureReassignment(t *testing.T) {
+	r, _ := NewFilterRouting(2, 2)
+	// Host 0 currently all on filter 0. Announce: from TOId 100, split
+	// between filters 0 (odd-residue) and 1.
+	if err := r.Reassign(0, 100, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Below the mark: unchanged.
+	if got := r.Route(0, 99); got != 0 {
+		t.Errorf("Route(0,99) = %d, want 0 (before mark)", got)
+	}
+	// At/after the mark: split by residue (toid mod 2 → index).
+	if got := r.Route(0, 100); got != 0 {
+		t.Errorf("Route(0,100) = %d, want 0", got)
+	}
+	if got := r.Route(0, 101); got != 1 {
+		t.Errorf("Route(0,101) = %d, want 1", got)
+	}
+	// Backdated reassignment must fail.
+	if err := r.Reassign(0, 50, []int{1}); err == nil {
+		t.Error("backdated reassignment accepted")
+	}
+	// Bad filter index must fail.
+	if err := r.Reassign(0, 200, []int{7}); err == nil {
+		t.Error("out-of-range filter accepted")
+	}
+	if err := r.Reassign(0, 200, nil); err == nil {
+		t.Error("empty filter list accepted")
+	}
+}
+
+func TestRoutingChampionsOf(t *testing.T) {
+	r, _ := NewFilterRouting(2, 4)
+	// Host 0 is split across filters 0 and 2.
+	res0 := r.ChampionsOf(0, 0, 1)
+	res2 := r.ChampionsOf(2, 0, 1)
+	if len(res0)+len(res2) != 2 {
+		t.Errorf("residues of host 0 = %v + %v, want 2 total", res0, res2)
+	}
+	if got := r.ChampionsOf(1, 0, 1); got != nil {
+		t.Errorf("filter 1 champions host 0 residues %v, want none", got)
+	}
+}
+
+func TestRoutingGrowValidation(t *testing.T) {
+	r, _ := NewFilterRouting(2, 2)
+	if err := r.GrowFilters(1); err == nil {
+		t.Error("shrink accepted")
+	}
+	if err := r.GrowFilters(3); err != nil {
+		t.Errorf("grow failed: %v", err)
+	}
+	if err := r.Reassign(0, 10, []int{2}); err != nil {
+		t.Errorf("reassign to grown filter failed: %v", err)
+	}
+	if got := r.Route(0, 11); got != 2 {
+		t.Errorf("Route after grow = %d, want 2", got)
+	}
+}
+
+func TestRoutingRejectsBadConfig(t *testing.T) {
+	if _, err := NewFilterRouting(0, 1); err == nil {
+		t.Error("0 DCs accepted")
+	}
+	if _, err := NewFilterRouting(1, 0); err == nil {
+		t.Error("0 filters accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package chariots
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/vclock"
+)
+
+// Message types of the Chariots wire protocol (cross-datacenter shipping
+// and client ingestion). FLStore's types occupy 1..11; these start higher
+// so one server can host both if a deployment co-locates them.
+const (
+	msgReplicate uint8 = iota + 32
+	msgIngest
+	msgApplied
+)
+
+func appendSnapshot(dst []byte, snap Snapshot) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(snap.From))
+	dst = core.AppendRecords(dst, snap.Records)
+	var hasTable byte
+	if snap.ATable != nil {
+		hasTable = 1
+	}
+	dst = append(dst, hasTable)
+	if snap.ATable != nil {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(snap.ATable)))
+		for _, row := range snap.ATable {
+			dst = row.AppendBinary(dst)
+		}
+	}
+	return dst
+}
+
+func decodeSnapshot(buf []byte) (Snapshot, error) {
+	var snap Snapshot
+	if len(buf) < 2 {
+		return snap, errors.New("chariots: short snapshot")
+	}
+	snap.From = core.DCID(binary.LittleEndian.Uint16(buf))
+	recs, used, err := core.DecodeRecords(buf[2:])
+	if err != nil {
+		return snap, err
+	}
+	snap.Records = recs
+	off := 2 + used
+	if len(buf) < off+1 {
+		return snap, errors.New("chariots: short snapshot table flag")
+	}
+	if buf[off] == 1 {
+		off++
+		if len(buf) < off+2 {
+			return snap, errors.New("chariots: short snapshot table")
+		}
+		n := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		snap.ATable = make([]vclock.Vector, n)
+		for i := 0; i < n; i++ {
+			v, used, err := vclock.DecodeVector(buf[off:])
+			if err != nil {
+				return snap, err
+			}
+			snap.ATable[i] = v
+			off += used
+		}
+	}
+	return snap, nil
+}
+
+// ServeReceiver registers the cross-datacenter replication handler on srv,
+// delivering decoded snapshots to rx. One RPC server typically fronts one
+// receiver machine.
+func ServeReceiver(srv *rpc.Server, rx ReceiverAPI) {
+	srv.Handle(msgReplicate, func(p []byte) ([]byte, error) {
+		snap, err := decodeSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, rx.Deliver(snap)
+	})
+}
+
+// receiverClient implements ReceiverAPI over an rpc.Client — the transport
+// a sender uses toward a remote datacenter's receiver machine.
+type receiverClient struct{ c rpc.Client }
+
+// NewReceiverClient wraps an RPC client as a ReceiverAPI.
+func NewReceiverClient(c rpc.Client) ReceiverAPI { return &receiverClient{c: c} }
+
+func (rc *receiverClient) Deliver(snap Snapshot) error {
+	_, err := rc.c.Call(msgReplicate, appendSnapshot(nil, snap))
+	return err
+}
+
+// ServeIngest registers the application-client ingestion handler on srv:
+// remote clients append batches of fresh records (no TOId/LId) which are
+// injected into the pipeline. The response carries no ids — over-the-wire
+// appends are fire-and-forget into the pipeline (§6.2's Application
+// clients "send it to any Batcher machine"); clients needing ids use the
+// in-process API or poll msgApplied.
+func ServeIngest(srv *rpc.Server, dc *Datacenter) {
+	srv.Handle(msgIngest, func(p []byte) ([]byte, error) {
+		recs, _, err := core.DecodeRecords(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if r.TOId != 0 || r.LId != 0 {
+				return nil, fmt.Errorf("chariots: ingest record carries ids (TOId=%d LId=%d)", r.TOId, r.LId)
+			}
+			r.Host = dc.Self()
+		}
+		dc.Inject(recs)
+		return nil, nil
+	})
+	srv.Handle(msgApplied, func(p []byte) ([]byte, error) {
+		return dc.Applied().AppendBinary(nil), nil
+	})
+}
+
+// IngestClient is the remote application-client handle: it appends records
+// to a datacenter over TCP.
+type IngestClient struct{ c rpc.Client }
+
+// NewIngestClient wraps an RPC client as an ingestion handle.
+func NewIngestClient(c rpc.Client) *IngestClient { return &IngestClient{c: c} }
+
+// Append ships fresh records into the remote pipeline.
+func (ic *IngestClient) Append(recs []*core.Record) error {
+	_, err := ic.c.Call(msgIngest, core.AppendRecords(nil, recs))
+	return err
+}
+
+// Applied returns the remote datacenter's applied-TOId vector (polling
+// surface for clients that need to confirm their appends landed).
+func (ic *IngestClient) Applied() (vclock.Vector, error) {
+	resp, err := ic.c.Call(msgApplied, nil)
+	if err != nil {
+		return nil, err
+	}
+	v, _, err := vclock.DecodeVector(resp)
+	return v, err
+}
+
+// Resync re-ships this datacenter's local records that, per the awareness
+// table, the remote datacenter has not acknowledged — the recovery path
+// after a receiver failure, dropped link, or filter-reorder overflow. It
+// scans the log maintainers (senders normally consume the live feed; the
+// scan is the slow path) and sends one snapshot through the given sender.
+func (dc *Datacenter) Resync(remote core.DCID, s *Sender) (int, error) {
+	known := dc.state.atable.Get(remote, dc.cfg.Self)
+	var stale []*core.Record
+	for _, m := range dc.maintainers {
+		recs, err := m.Scan(core.Rule{HasHost: true, Host: dc.cfg.Self, MinTOId: known + 1})
+		if err != nil {
+			return 0, err
+		}
+		stale = append(stale, recs...)
+	}
+	if len(stale) == 0 {
+		return 0, nil
+	}
+	// Ship in TOId order so the remote filter sees its expected
+	// sequence.
+	sortRecordsByTOId(stale)
+	copies := make([]*core.Record, len(stale))
+	for i, r := range stale {
+		copies[i] = r.Clone()
+	}
+	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot()}
+	s.mu.Lock()
+	rxs := s.dests[remote]
+	s.mu.Unlock()
+	if len(rxs) == 0 {
+		return 0, fmt.Errorf("chariots: no receivers connected for %s", remote)
+	}
+	if err := rxs[0].Deliver(snap); err != nil {
+		return 0, err
+	}
+	return len(copies), nil
+}
+
+// ResyncAll ships every local record to the remote datacenter regardless
+// of the awareness table — the bootstrap path for a *replacement*
+// datacenter that lost its entire state: the peers' tables still remember
+// what the dead instance knew, so the incremental Resync would skip
+// records the new instance never had. The remote's filters discard
+// whatever it does turn out to have (exactly-once), so over-shipping is
+// safe, just expensive.
+func (dc *Datacenter) ResyncAll(remote core.DCID, s *Sender) (int, error) {
+	var all []*core.Record
+	for _, m := range dc.maintainers {
+		recs, err := m.Scan(core.Rule{HasHost: true, Host: dc.cfg.Self})
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, recs...)
+	}
+	if len(all) == 0 {
+		return 0, nil
+	}
+	sortRecordsByTOId(all)
+	copies := make([]*core.Record, len(all))
+	for i, r := range all {
+		copies[i] = r.Clone()
+	}
+	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot()}
+	s.mu.Lock()
+	rxs := s.dests[remote]
+	s.mu.Unlock()
+	if len(rxs) == 0 {
+		return 0, fmt.Errorf("chariots: no receivers connected for %s", remote)
+	}
+	if err := rxs[0].Deliver(snap); err != nil {
+		return 0, err
+	}
+	return len(copies), nil
+}
+
+func sortRecordsByTOId(recs []*core.Record) {
+	// Insertion sort is fine: resync batches are small and mostly sorted
+	// (scan returns LId order, which for a single host tracks TOId).
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j-1].TOId > recs[j].TOId; j-- {
+			recs[j-1], recs[j] = recs[j], recs[j-1]
+		}
+	}
+}

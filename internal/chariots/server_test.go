@@ -1,0 +1,188 @@
+package chariots
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/vclock"
+)
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		From: 2,
+		Records: []*core.Record{
+			{Host: 2, TOId: 1, Body: []byte("r1")},
+			{Host: 2, TOId: 2, Deps: []core.Dep{{DC: 0, TOId: 4}}, Tags: []core.Tag{{Key: "k", Value: "v"}}},
+		},
+		ATable: []vclock.Vector{{1, 2}, {3, 4}},
+	}
+	got, err := decodeSnapshot(appendSnapshot(nil, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestSnapshotCodecNoTable(t *testing.T) {
+	snap := Snapshot{From: 1, Records: []*core.Record{{Host: 1, TOId: 1}}}
+	got, err := decodeSnapshot(appendSnapshot(nil, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ATable != nil || got.From != 1 || len(got.Records) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestSnapshotCodecTruncated(t *testing.T) {
+	buf := appendSnapshot(nil, Snapshot{From: 1, ATable: []vclock.Vector{{1}}})
+	for n := 0; n < len(buf); n++ {
+		if _, err := decodeSnapshot(buf[:n]); err == nil {
+			t.Fatalf("accepted truncation to %d bytes", n)
+		}
+	}
+}
+
+// TestReplicationOverTCP runs two datacenters connected only through real
+// TCP receiver endpoints.
+func TestReplicationOverTCP(t *testing.T) {
+	a := startDC(t, fastCfg(0, 2))
+	b := startDC(t, fastCfg(1, 2))
+
+	dialReceivers := func(dc *Datacenter) []ReceiverAPI {
+		var out []ReceiverAPI
+		for _, rx := range dc.Receivers() {
+			srv := rpc.NewServer()
+			ServeReceiver(srv, rx)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			conn, err := rpc.Dial(addr.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { conn.Close() })
+			out = append(out, NewReceiverClient(conn))
+		}
+		return out
+	}
+	a.ConnectTo(1, dialReceivers(b))
+	b.ConnectTo(0, dialReceivers(a))
+
+	const n = 150
+	for i := 0; i < n; i++ {
+		a.AppendAsync([]byte(fmt.Sprintf("a%d", i)), nil)
+		b.AppendAsync([]byte(fmt.Sprintf("b%d", i)), nil)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for a.AppliedCount() < 2*n || b.AppliedCount() < 2*n {
+		if time.Now().After(deadline) {
+			t.Fatalf("TCP replication stalled: a=%d b=%d", a.AppliedCount(), b.AppliedCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs, _ := a.LogRecords()
+	if err := CheckCausalInvariant(recs); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIngestOverTCP drives a datacenter through the remote application-
+// client endpoint.
+func TestIngestOverTCP(t *testing.T) {
+	dc := startDC(t, fastCfg(0, 1))
+	srv := rpc.NewServer()
+	ServeIngest(srv, dc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := rpc.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	client := NewIngestClient(conn)
+
+	var batch []*core.Record
+	for i := 0; i < 50; i++ {
+		batch = append(batch, &core.Record{Body: []byte(fmt.Sprintf("remote-%d", i))})
+	}
+	if err := client.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := client.Applied()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Get(0) >= 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested records never applied: %v", v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Records with pre-set ids must be rejected.
+	err = client.Append([]*core.Record{{TOId: 7, Body: []byte("bad")}})
+	if err == nil {
+		t.Error("ingest accepted a record with a TOId")
+	}
+}
+
+// TestResyncAfterDroppedLink simulates a receiver outage: records shipped
+// while the link is down are lost, then Resync recovers them.
+func TestResyncAfterDroppedLink(t *testing.T) {
+	a := startDC(t, fastCfg(0, 2))
+	b := startDC(t, fastCfg(1, 2))
+	// A→B link drops everything initially (a blackhole receiver).
+	black := &blackhole{}
+	a.ConnectTo(1, []ReceiverAPI{black})
+	b.ConnectTo(0, a.Receivers())
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := a.Append([]byte(fmt.Sprintf("a%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := b.Applied().Get(0); got != 0 {
+		t.Fatalf("B applied %d records through a blackhole", got)
+	}
+	// Heal: reconnect and resync through sender 0.
+	a.ConnectTo(1, b.Receivers())
+	sent, err := a.Resync(1, a.senders[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != n {
+		t.Errorf("Resync shipped %d records, want %d", sent, n)
+	}
+	if !b.WaitForTOId(0, n, 10*time.Second) {
+		t.Fatal("B never caught up after resync")
+	}
+	b.Quiesce(30*time.Millisecond, 5*time.Second)
+	recs, _ := b.LogRecords()
+	if err := CheckCausalInvariant(recs); err != nil {
+		t.Error(err)
+	}
+	if len(recs) != n {
+		t.Errorf("B has %d records, want %d", len(recs), n)
+	}
+}
+
+type blackhole struct{}
+
+func (*blackhole) Deliver(Snapshot) error { return nil }

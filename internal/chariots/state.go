@@ -1,0 +1,66 @@
+package chariots
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+// AppendAck reports the ids a locally appended record received once the
+// pipeline applied it to the shared log (§3: "The assigned TOId and LId
+// will be sent back to the Application client").
+type AppendAck struct {
+	TOId uint64
+	LId  uint64
+}
+
+// dcState is the per-datacenter shared state the pipeline stages
+// coordinate through: the Awareness Table, the feed of freshly applied
+// local records consumed by senders, and the pending append
+// acknowledgements owed to application clients.
+type dcState struct {
+	self   core.DCID
+	n      int
+	atable *vclock.ATable
+
+	// localFeed carries applied local records (LIds assigned) from the
+	// queues to the senders. feedEnabled is false in single-datacenter
+	// deployments (no senders), where pushing to the feed would fill it
+	// and stall the queues.
+	localFeed   chan *core.Record
+	feedEnabled bool
+
+	// acks maps a locally submitted *core.Record to the channel waiting
+	// for its AppendAck. Pointer identity is stable because intra-DC
+	// stages pass records in process; external copies are cloned at the
+	// receiver and never have acks.
+	acks sync.Map
+}
+
+func newDCState(self core.DCID, n int, feedDepth int) *dcState {
+	if feedDepth < 1 {
+		feedDepth = 1 << 14
+	}
+	return &dcState{
+		self:      self,
+		n:         n,
+		atable:    vclock.NewATable(self, n),
+		localFeed: make(chan *core.Record, feedDepth),
+	}
+}
+
+// registerAck arranges for ch to receive the record's ids once applied.
+func (s *dcState) registerAck(rec *core.Record, ch chan<- AppendAck) {
+	s.acks.Store(rec, ch)
+}
+
+// fireAck delivers the ack for rec, if one is registered.
+func (s *dcState) fireAck(rec *core.Record) {
+	v, ok := s.acks.LoadAndDelete(rec)
+	if !ok {
+		return
+	}
+	ch := v.(chan<- AppendAck)
+	ch <- AppendAck{TOId: rec.TOId, LId: rec.LId}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sequencer"
+	"repro/internal/workload"
+)
+
+// SequencerOptions configures the CORFU-baseline ablation: the same
+// storage substrate as FLStore but with pre-assigned positions handed out
+// by a central, capacity-limited sequencer.
+type SequencerOptions struct {
+	// SequencerCap bounds the sequencer machine (reservations/second).
+	SequencerCap float64
+	// UnitCap bounds each storage unit (writes/second).
+	UnitCap float64
+	// Units is the stripe width.
+	Units int
+	// Clients drive the client-driven protocol, each offering
+	// TargetPerClient appends/second.
+	Clients         int
+	TargetPerClient float64
+	Duration        time.Duration
+	// Scale divides simulated rates, as in Profile.Scale.
+	Scale float64
+}
+
+// SequencerResult is one measured point of the baseline.
+type SequencerResult struct {
+	Units         int
+	AchievedTotal float64
+	// SequencerRejects is the rate of reservations refused at
+	// saturation — the bottleneck made visible.
+	SequencerRejects float64
+}
+
+// RunSequencer measures the baseline's append throughput.
+func RunSequencer(opts SequencerOptions) (SequencerResult, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	scale := opts.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	seq := sequencer.NewSequencer(newSimLimiter(opts.SequencerCap / scale))
+	units := make([]*sequencer.StorageUnit, opts.Units)
+	for i := range units {
+		units[i] = sequencer.NewStorageUnit(nil, newSimLimiter(opts.UnitCap/scale))
+	}
+	log, err := sequencer.NewLog(seq, units)
+	if err != nil {
+		return SequencerResult{}, err
+	}
+
+	var accepted metrics.Counter
+	var wg sync.WaitGroup
+	watch := metrics.NewStopwatch()
+	for c := 0; c < opts.Clients; c++ {
+		g := &workload.OpenLoopGen{TargetPerSec: opts.TargetPerClient / scale, BatchSize: 64}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Run(func(recs []*core.Record) int {
+				ok := 0
+				for _, r := range recs {
+					if _, err := log.Append(r); err == nil {
+						ok++
+					}
+				}
+				accepted.Add(uint64(ok))
+				return ok
+			}, opts.Duration)
+		}()
+	}
+	wg.Wait()
+	watch.Stop()
+	elapsed := watch.Elapsed().Seconds()
+	return SequencerResult{
+		Units:            opts.Units,
+		AchievedTotal:    float64(accepted.Value()) / elapsed * scale,
+		SequencerRejects: float64(seq.Rejected.Value()) / elapsed * scale,
+	}, nil
+}
+
+// AblationPoint pairs the baseline and FLStore at the same scale.
+type AblationPoint struct {
+	Machines  int
+	Sequencer float64 // baseline achieved appends/s
+	FLStore   float64 // post-assignment achieved appends/s
+}
+
+// RunSequencerVsFLStore sweeps storage-machine counts, driving both
+// designs with the same per-machine profile and offered load — the
+// motivating claim of §1/§5.2: pre-assignment plateaus at the sequencer's
+// capacity, post-assignment scales with machines.
+func RunSequencerVsFLStore(profile Profile, machineCounts []int, targetPerClient float64, duration time.Duration) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, n := range machineCounts {
+		seqRes, err := RunSequencer(SequencerOptions{
+			// The sequencer runs on the same class of machine as a
+			// maintainer: its reservation capacity equals one
+			// machine's record-processing capacity.
+			SequencerCap:    profile.MaintainerCap,
+			UnitCap:         profile.MaintainerCap,
+			Units:           n,
+			Clients:         n,
+			TargetPerClient: targetPerClient,
+			Duration:        duration,
+			Scale:           profile.scale(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		flRes, err := RunFLStore(FLStoreOptions{
+			Profile:         profile,
+			Maintainers:     n,
+			TargetPerClient: targetPerClient,
+			Duration:        duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{
+			Machines:  n,
+			Sequencer: seqRes.AchievedTotal,
+			FLStore:   flRes.AchievedTotal,
+		})
+	}
+	return out, nil
+}

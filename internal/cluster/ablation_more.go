@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// RunFLStoreWithBatch is RunFLStore with an explicit placement round size
+// (the §5.2 batch-size ablation).
+func RunFLStoreWithBatch(opts FLStoreOptions, placementBatch uint64) (FLStoreResult, error) {
+	if opts.Maintainers < 1 {
+		return FLStoreResult{}, fmt.Errorf("cluster: need >= 1 maintainer")
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	scale := opts.Profile.scale()
+	p := flstore.Placement{NumMaintainers: opts.Maintainers, BatchSize: placementBatch}
+	maintainers := make([]*flstore.Maintainer, opts.Maintainers)
+	for i := range maintainers {
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+			Index:         i,
+			Placement:     p,
+			Limiter:       newSimLimiter(opts.Profile.down(opts.Profile.MaintainerCap)),
+			RejectPenalty: opts.Profile.RejectPenalty,
+		})
+		if err != nil {
+			return FLStoreResult{}, err
+		}
+		maintainers[i] = m
+	}
+	var wg sync.WaitGroup
+	watch := metrics.NewStopwatch()
+	var offered metrics.Counter
+	for i := range maintainers {
+		m := maintainers[i]
+		g := &workload.OpenLoopGen{TargetPerSec: opts.TargetPerClient / scale, BatchSize: 64}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Run(func(recs []*core.Record) int {
+				offered.Add(uint64(len(recs)))
+				if _, err := m.Append(recs); err != nil {
+					return 0
+				}
+				return len(recs)
+			}, opts.Duration)
+		}()
+	}
+	wg.Wait()
+	watch.Stop()
+	res := FLStoreResult{Maintainers: opts.Maintainers, TargetPerClient: opts.TargetPerClient}
+	elapsed := watch.Elapsed().Seconds()
+	for _, m := range maintainers {
+		rate := float64(m.Appended.Value()) / elapsed * scale
+		res.PerMaintainer = append(res.PerMaintainer, rate)
+		res.AchievedTotal += rate
+	}
+	res.OfferedTotal = float64(offered.Value()) / elapsed * scale
+	return res, nil
+}
+
+// RunGossipAblation measures how the gossip interval (§5.4) affects the
+// reader-visible head of the log while appends run at a fixed rate: the
+// mean lag (in records) between the true head and what a maintainer's
+// gossiped view exposes, plus the achieved throughput (which gossip must
+// not affect — the fixed-size-gossip claim).
+func RunGossipAblation(profile Profile, maintainers int, targetPerClient float64, interval, dur time.Duration) (meanLag uint64, throughput float64, err error) {
+	p := flstore.Placement{NumMaintainers: maintainers, BatchSize: 1000}
+	scale := profile.scale()
+	ms := make([]*flstore.Maintainer, maintainers)
+	for i := range ms {
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+			Index:     i,
+			Placement: p,
+			Limiter:   newSimLimiter(profile.down(profile.MaintainerCap)),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		ms[i] = m
+	}
+	apis := make([]flstore.MaintainerAPI, maintainers)
+	for i, m := range ms {
+		apis[i] = m
+	}
+	var gossipers []*flstore.Gossiper
+	for i, m := range ms {
+		peers := make([]flstore.MaintainerAPI, maintainers)
+		for j := range peers {
+			if j != i {
+				peers[j] = apis[j]
+			}
+		}
+		g := flstore.NewGossiper(m, peers, interval)
+		g.Start()
+		gossipers = append(gossipers, g)
+	}
+	defer func() {
+		for _, g := range gossipers {
+			g.Stop()
+		}
+	}()
+
+	stop := make(chan struct{})
+	var lagSamples, lagTotal uint64
+	go func() {
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				// True head from fresh next-unfilled values.
+				next := make([]uint64, maintainers)
+				for i, m := range ms {
+					next[i], _ = m.NextUnfilled()
+				}
+				trueHead := flstore.Head(next)
+				gossiped, _ := ms[0].Head()
+				if trueHead > gossiped {
+					lagTotal += trueHead - gossiped
+				}
+				lagSamples++
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	watch := metrics.NewStopwatch()
+	for i := range ms {
+		m := ms[i]
+		g := &workload.OpenLoopGen{TargetPerSec: targetPerClient / scale, BatchSize: 64}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Run(func(recs []*core.Record) int {
+				if _, err := m.Append(recs); err != nil {
+					return 0
+				}
+				return len(recs)
+			}, dur)
+		}()
+	}
+	wg.Wait()
+	watch.Stop()
+	close(stop)
+
+	var total uint64
+	for _, m := range ms {
+		total += m.Appended.Value()
+	}
+	if lagSamples > 0 {
+		// Lag in records scales with the rate; convert to paper units.
+		meanLag = uint64(float64(lagTotal) / float64(lagSamples) * scale)
+	}
+	return meanLag, float64(total) / watch.Elapsed().Seconds() * scale, nil
+}
+
+// RunTokenCarryAblation measures the apply latency of dependency-blocked
+// records under the two deferred-record policies of §6.2: carried with the
+// token (reconsidered at every queue) or parked at the first queue that
+// saw them (reconsidered once per token revolution).
+func RunTokenCarryAblation(carry bool, dur time.Duration) (time.Duration, error) {
+	dc, err := chariots.New(chariots.Config{
+		Self:           0,
+		NumDCs:         2, // external records with dependencies
+		Queues:         4,
+		Maintainers:    2,
+		PlacementBatch: 100,
+		FlushThreshold: 4,
+		FlushInterval:  200 * time.Microsecond,
+		TokenIdleWait:  300 * time.Microsecond,
+		CarryDeferred:  carry,
+	})
+	if err != nil {
+		return 0, err
+	}
+	dc.Start()
+	defer dc.Stop()
+
+	// Inject remote-host records with a gap: TOId t+1 arrives before
+	// TOId t, so it defers until t lands; measure the defer latency.
+	hist := metrics.NewHistogram(0)
+	rounds := int(dur / (5 * time.Millisecond))
+	if rounds < 20 {
+		rounds = 20
+	}
+	toid := uint64(1)
+	for i := 0; i < rounds; i++ {
+		blocked := &core.Record{Host: 1, TOId: toid + 1, Body: []byte("dependent")}
+		unblocker := &core.Record{Host: 1, TOId: toid, Body: []byte("first")}
+		start := time.Now()
+		dc.Inject([]*core.Record{blocked})
+		time.Sleep(time.Millisecond) // let it reach a queue and defer
+		dc.Inject([]*core.Record{unblocker})
+		if !dc.WaitForTOId(1, toid+1, 5*time.Second) {
+			return 0, fmt.Errorf("cluster: dependent record never applied")
+		}
+		hist.Observe(time.Since(start))
+		toid += 2
+	}
+	return hist.Mean(), nil
+}
+
+// RunFlushLatency measures end-to-end append latency under a given batcher
+// flush policy at negligible load: with a threshold of 1 a record is
+// forwarded immediately; with larger thresholds a lone record waits for
+// the flush interval — the §6.2 batching trade-off (throughput-side
+// batching buys amortization and costs latency).
+func RunFlushLatency(thresh int, interval time.Duration, appends int) (time.Duration, error) {
+	dc, err := chariots.New(chariots.Config{
+		Self:           0,
+		NumDCs:         1,
+		FlushThreshold: thresh,
+		FlushInterval:  interval,
+		TokenIdleWait:  50 * time.Microsecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	dc.Start()
+	defer dc.Stop()
+	hist := metrics.NewHistogram(0)
+	for i := 0; i < appends; i++ {
+		start := time.Now()
+		if _, err := dc.Append([]byte("latency-probe"), nil); err != nil {
+			return 0, err
+		}
+		hist.Observe(time.Since(start))
+	}
+	return hist.Mean(), nil
+}

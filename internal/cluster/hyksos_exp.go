@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/hyksos"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// HyksosOptions configures the application-level benchmark: concurrent
+// sessions running a put/get mix over a Zipf-distributed key space on one
+// Chariots datacenter.
+type HyksosOptions struct {
+	Sessions int
+	Keys     int
+	// PutFraction in [0,1]; the rest are gets.
+	PutFraction float64
+	Duration    time.Duration
+	// ZipfSkew > 1 skews toward hot keys (0 = uniform).
+	ZipfSkew float64
+}
+
+// HyksosResult summarizes the run.
+type HyksosResult struct {
+	Puts, Gets       uint64
+	OpsPerSec        float64
+	PutMean, PutP99  time.Duration
+	GetMean, GetP99  time.Duration
+	TxnMean, TxnP99  time.Duration
+	TxnsPerSnapshots uint64
+}
+
+// RunHyksos drives the key-value store case study (§4.1): each session
+// interleaves puts and gets, then runs get-transactions over a key group,
+// measuring operation latencies and total throughput.
+func RunHyksos(opts HyksosOptions) (*HyksosResult, error) {
+	if opts.Sessions < 1 {
+		opts.Sessions = 1
+	}
+	if opts.Keys < 1 {
+		opts.Keys = 100
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	dc, err := chariots.New(chariots.Config{
+		Self:           0,
+		NumDCs:         1,
+		Maintainers:    2,
+		Indexers:       2,
+		FlushThreshold: 1,
+		FlushInterval:  200 * time.Microsecond,
+		TokenIdleWait:  50 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dc.Start()
+	defer dc.Stop()
+	store := hyksos.NewStore(dc)
+
+	var chooser workload.KeyChooser
+	if opts.ZipfSkew > 0 {
+		chooser = workload.NewZipfKeys(opts.Keys, opts.ZipfSkew, 1)
+	} else {
+		chooser = workload.NewUniformKeys(opts.Keys, 1)
+	}
+
+	res := &HyksosResult{}
+	putHist := metrics.NewHistogram(0)
+	getHist := metrics.NewHistogram(0)
+	txnHist := metrics.NewHistogram(0)
+	var mu sync.Mutex // guards histograms and counters
+
+	// Seed every key so gets never miss.
+	seed := store.NewSession()
+	for k := 0; k < opts.Keys; k++ {
+		if err := seed.Put(fmt.Sprintf("k%d", k), "0"); err != nil {
+			return nil, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	watch := metrics.NewStopwatch()
+	for s := 0; s < opts.Sessions; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sess := store.NewSession()
+			for i := 0; watch.Elapsed() < opts.Duration; i++ {
+				key := chooser.Key()
+				if float64(i%100)/100 < opts.PutFraction {
+					start := time.Now()
+					if err := sess.Put(key, fmt.Sprint(i)); err != nil {
+						return
+					}
+					mu.Lock()
+					putHist.Observe(time.Since(start))
+					res.Puts++
+					mu.Unlock()
+				} else {
+					start := time.Now()
+					if _, err := sess.Get(key); err != nil {
+						return
+					}
+					mu.Lock()
+					getHist.Observe(time.Since(start))
+					res.Gets++
+					mu.Unlock()
+				}
+				// Periodic get-transaction over a small key group.
+				if i%50 == 49 {
+					start := time.Now()
+					if _, err := sess.GetTxn(chooser.Key(), chooser.Key(), chooser.Key()); err != nil {
+						return
+					}
+					mu.Lock()
+					txnHist.Observe(time.Since(start))
+					res.TxnsPerSnapshots++
+					mu.Unlock()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	watch.Stop()
+
+	res.OpsPerSec = float64(res.Puts+res.Gets) / watch.Elapsed().Seconds()
+	res.PutMean, res.PutP99 = putHist.Mean(), putHist.Quantile(0.99)
+	res.GetMean, res.GetP99 = getHist.Mean(), getHist.Quantile(0.99)
+	res.TxnMean, res.TxnP99 = txnHist.Mean(), txnHist.Quantile(0.99)
+	return res, nil
+}

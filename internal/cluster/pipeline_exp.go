@@ -1,0 +1,327 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// PipelineOptions configures one Chariots pipeline run (Tables 2–5,
+// Figure 9): the number of machines per stage and either a duration
+// (steady-state throughput tables) or a fixed record count (the Figure 9
+// drain study).
+type PipelineOptions struct {
+	Profile  Profile
+	Clients  int
+	Batchers int
+	Filters  int
+	Queues   int
+	// Maintainers defaults to Queues (the paper's tables pair them).
+	Maintainers int
+
+	// Duration runs the generators for a fixed time (tables), while
+	// Records pushes a fixed record count and waits for the pipeline to
+	// drain (Figure 9). Exactly one must be set.
+	Duration time.Duration
+	Records  uint64
+
+	// Warmup excludes the buffer-fill transient from duration-based
+	// measurements (defaults to max(Duration/3, 200ms)). Counters are
+	// snapshotted after the warmup; rates use only the steady window.
+	Warmup time.Duration
+
+	// SampleWindow, when > 0, records a per-machine throughput
+	// timeseries at this granularity (Figure 9).
+	SampleWindow time.Duration
+
+	// FlushThreshold overrides the batcher flush threshold (default
+	// 512) — the §6.2 batching ablation.
+	FlushThreshold int
+
+	// ChannelDepth overrides the inter-stage buffer depth in records
+	// (default 1<<15). The Figure 9 drain study uses a deep buffer so
+	// the filter-stage backlog (and the end-of-run egress spike) is
+	// visible, as in the paper's 40-second drain tail.
+	ChannelDepth int
+}
+
+// MachineRow is one row of a Table 2–5-style report.
+type MachineRow struct {
+	Name    string
+	PerSec  float64
+	Records uint64
+}
+
+// PipelineResult is one pipeline run's measurements.
+type PipelineResult struct {
+	Rows       []MachineRow
+	Applied    uint64
+	Elapsed    time.Duration
+	Samples    map[string][]metrics.Sample
+	Bottleneck string
+}
+
+// RunPipeline executes one pipeline experiment.
+func RunPipeline(opts PipelineOptions) (*PipelineResult, error) {
+	if opts.Clients < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 client")
+	}
+	if (opts.Duration == 0) == (opts.Records == 0) {
+		return nil, fmt.Errorf("cluster: set exactly one of Duration or Records")
+	}
+	if opts.Maintainers == 0 {
+		opts.Maintainers = opts.Queues
+	}
+	// Buffer and batch sizes scale with the rates so buffering *time*
+	// (records ÷ rate) matches the unscaled system: backpressure and
+	// drain-tail shapes depend on it.
+	scale0 := opts.Profile.scale()
+	dc, err := chariots.New(chariots.Config{
+		Self:           0,
+		NumDCs:         1,
+		Batchers:       opts.Batchers,
+		Filters:        opts.Filters,
+		Queues:         opts.Queues,
+		Maintainers:    opts.Maintainers,
+		PlacementBatch: 1000,
+		FlushThreshold: scaledSize(flushThreshold(opts.FlushThreshold), scale0, 8),
+		FlushInterval:  time.Millisecond,
+		TokenIdleWait:  100 * time.Microsecond,
+		Rates:          opts.Profile.stageRates(),
+		FilterNICRate:  opts.Profile.down(opts.Profile.FilterNICRate),
+		ChannelDepth:   scaledSize(channelDepth(opts.ChannelDepth), scale0, 512),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dc.Start()
+	defer dc.Stop()
+
+	// Client machines: closed-loop generators bounded by the client
+	// machine's own capacity and by pipeline backpressure.
+	scale := opts.Profile.scale()
+	gens := make([]*workload.ClosedLoopGen, opts.Clients)
+	for i := range gens {
+		gens[i] = &workload.ClosedLoopGen{
+			RatePerSec: opts.Profile.down(opts.Profile.ClientRate),
+			BatchSize:  scaledSize(256, scale, 8),
+		}
+	}
+
+	// Samplers (Figure 9): one per machine plus one per client.
+	var samplers map[string]*metrics.ThroughputSampler
+	if opts.SampleWindow > 0 {
+		samplers = make(map[string]*metrics.ThroughputSampler)
+		for i, g := range gens {
+			name := clientName(i, opts.Clients)
+			samplers[name] = metrics.NewThroughputSampler(&g.Sent, opts.SampleWindow)
+		}
+		for _, m := range dc.Machines() {
+			samplers[m.Name] = metrics.NewThroughputSampler(&m.Processed, opts.SampleWindow)
+		}
+		for _, s := range samplers {
+			s.Start()
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{}, opts.Clients)
+	var perClientQuota uint64
+	if opts.Records > 0 {
+		perClientQuota = opts.Records / uint64(opts.Clients)
+	}
+	watch := metrics.NewStopwatch()
+	for _, g := range gens {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if perClientQuota > 0 {
+				// Fixed record count: generate the quota then stop.
+				g.Run(func(recs []*core.Record) {
+					dc.Inject(recs)
+				}, stopWhen(func() bool { return g.Sent.Value() >= perClientQuota }, stop))
+			} else {
+				g.Run(func(recs []*core.Record) { dc.Inject(recs) }, stop)
+			}
+		}()
+	}
+
+	var base map[string]uint64
+	if opts.Duration > 0 {
+		warmup := opts.Warmup
+		if warmup == 0 {
+			warmup = opts.Duration / 3
+			if warmup < 200*time.Millisecond {
+				warmup = 200 * time.Millisecond
+			}
+		}
+		time.Sleep(warmup)
+		base = snapshotCounters(gens, dc, opts.Clients)
+		watch = metrics.NewStopwatch()
+		time.Sleep(opts.Duration)
+		close(stop)
+		for range gens {
+			<-done
+		}
+	} else {
+		for range gens {
+			<-done
+		}
+		close(stop)
+		// Wait for the pipeline to drain every injected record.
+		var sentTotal uint64
+		for _, g := range gens {
+			sentTotal += g.Sent.Value()
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for dc.AppliedCount() < sentTotal {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("cluster: pipeline drained %d of %d records",
+					dc.AppliedCount(), sentTotal)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	watch.Stop()
+	for _, s := range samplers {
+		s.Stop()
+	}
+
+	res := &PipelineResult{
+		Applied: dc.AppliedCount(),
+		Elapsed: watch.Elapsed(),
+	}
+	elapsed := watch.Elapsed().Seconds()
+	delta := func(name string, now uint64) uint64 {
+		if base == nil {
+			return now
+		}
+		return now - base[name]
+	}
+	for i, g := range gens {
+		name := clientName(i, opts.Clients)
+		n := delta(name, g.Sent.Value())
+		res.Rows = append(res.Rows, MachineRow{Name: name, PerSec: float64(n) / elapsed * scale, Records: n})
+	}
+	for _, m := range dc.Machines() {
+		n := delta(m.Name, m.Processed.Value())
+		res.Rows = append(res.Rows, MachineRow{Name: m.Name, PerSec: float64(n) / elapsed * scale, Records: n})
+	}
+	// The bottleneck is the non-client stage with the lowest cumulative
+	// throughput (stage capacity is the sum of its machines).
+	minRate := -1.0
+	for stage, rate := range res.StageTotals() {
+		if stage == "Client" || rate == 0 {
+			continue
+		}
+		if minRate < 0 || rate < minRate {
+			minRate = rate
+			res.Bottleneck = stage
+		}
+	}
+	if samplers != nil {
+		res.Samples = make(map[string][]metrics.Sample, len(samplers))
+		for name, s := range samplers {
+			samples := s.Samples()
+			for i := range samples {
+				samples[i].Rate *= scale
+			}
+			res.Samples[name] = samples
+		}
+	}
+	return res, nil
+}
+
+func flushThreshold(v int) int {
+	if v > 0 {
+		return v
+	}
+	return 512
+}
+
+func channelDepth(v int) int {
+	if v > 0 {
+		return v
+	}
+	return 1 << 15
+}
+
+// scaledSize divides a record-count-denominated size by the simulation
+// scale, bounded below by min.
+func scaledSize(v int, scale float64, min int) int {
+	out := int(float64(v) / scale)
+	if out < min {
+		out = min
+	}
+	return out
+}
+
+// snapshotCounters captures every machine's counter for warmup exclusion.
+func snapshotCounters(gens []*workload.ClosedLoopGen, dc *chariots.Datacenter, nClients int) map[string]uint64 {
+	base := make(map[string]uint64)
+	for i, g := range gens {
+		base[clientName(i, nClients)] = g.Sent.Value()
+	}
+	for _, m := range dc.Machines() {
+		base[m.Name] = m.Processed.Value()
+	}
+	return base
+}
+
+func clientName(i, total int) string {
+	if total == 1 {
+		return "Client"
+	}
+	return fmt.Sprintf("Client %d", i+1)
+}
+
+// stopWhen derives a stop channel that closes when cond becomes true or
+// parent closes, polled at 500µs.
+func stopWhen(cond func() bool, parent <-chan struct{}) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for {
+			select {
+			case <-parent:
+				return
+			case <-time.After(500 * time.Microsecond):
+				if cond() {
+					return
+				}
+			}
+		}
+	}()
+	return ch
+}
+
+// Table renders the result the way the paper prints Tables 2–5.
+func (r *PipelineResult) Table() string {
+	tb := &metrics.Table{Header: []string{"Machine", "Throughput (Kappends/s)"}}
+	for _, row := range r.Rows {
+		tb.AddRow(row.Name, fmt.Sprintf("%.1f", row.PerSec/1000))
+	}
+	return tb.String()
+}
+
+// StageTotals sums per-stage throughput across machines of the same kind.
+func (r *PipelineResult) StageTotals() map[string]float64 {
+	totals := make(map[string]float64)
+	for _, row := range r.Rows {
+		totals[stageOf(row.Name)] += row.PerSec
+	}
+	return totals
+}
+
+func stageOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ' ' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary record encoding. Records cross machine boundaries at every
+// pipeline stage, so the codec is a hand-rolled little-endian format rather
+// than reflection-based encoding: append-path cost is dominated by this
+// marshal/unmarshal pair.
+//
+// Layout (all integers little-endian):
+//
+//	u64 LId | u64 TOId | u16 Host |
+//	u16 nDeps  { u16 DC, u64 TOId }*
+//	u16 nTags  { u16 lenKey, key, u32 lenVal, val }*
+//	u32 lenBody, body
+
+const recordHeaderSize = 8 + 8 + 2 + 2 // through nDeps
+
+var errShortBuffer = errors.New("core: short buffer decoding record")
+
+// EncodedSize returns the exact number of bytes MarshalRecord will produce.
+func EncodedSize(r *Record) int {
+	n := recordHeaderSize + len(r.Deps)*10 + 2
+	for _, t := range r.Tags {
+		n += 2 + len(t.Key) + 4 + len(t.Value)
+	}
+	n += 4 + len(r.Body)
+	return n
+}
+
+// AppendRecord appends the binary encoding of r to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, r *Record) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.LId)
+	dst = binary.LittleEndian.AppendUint64(dst, r.TOId)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(r.Host))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Deps)))
+	for _, d := range r.Deps {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(d.DC))
+		dst = binary.LittleEndian.AppendUint64(dst, d.TOId)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Tags)))
+	for _, t := range r.Tags {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(t.Key)))
+		dst = append(dst, t.Key...)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Value)))
+		dst = append(dst, t.Value...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Body)))
+	dst = append(dst, r.Body...)
+	return dst
+}
+
+// MarshalRecord returns the binary encoding of r in a freshly allocated
+// buffer sized exactly.
+func MarshalRecord(r *Record) []byte {
+	return AppendRecord(make([]byte, 0, EncodedSize(r)), r)
+}
+
+// DecodeRecord decodes one record from the front of buf, returning the
+// record and the number of bytes consumed. The returned record's Tags,
+// Deps and Body are copies; it does not alias buf.
+func DecodeRecord(buf []byte) (*Record, int, error) {
+	if len(buf) < recordHeaderSize {
+		return nil, 0, errShortBuffer
+	}
+	r := &Record{}
+	r.LId = binary.LittleEndian.Uint64(buf[0:])
+	r.TOId = binary.LittleEndian.Uint64(buf[8:])
+	r.Host = DCID(binary.LittleEndian.Uint16(buf[16:]))
+	nDeps := int(binary.LittleEndian.Uint16(buf[18:]))
+	off := recordHeaderSize
+	if nDeps > 0 {
+		if len(buf) < off+nDeps*10 {
+			return nil, 0, errShortBuffer
+		}
+		r.Deps = make([]Dep, nDeps)
+		for i := 0; i < nDeps; i++ {
+			r.Deps[i].DC = DCID(binary.LittleEndian.Uint16(buf[off:]))
+			r.Deps[i].TOId = binary.LittleEndian.Uint64(buf[off+2:])
+			off += 10
+		}
+	}
+	if len(buf) < off+2 {
+		return nil, 0, errShortBuffer
+	}
+	nTags := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if nTags > 0 {
+		r.Tags = make([]Tag, nTags)
+		for i := 0; i < nTags; i++ {
+			if len(buf) < off+2 {
+				return nil, 0, errShortBuffer
+			}
+			lk := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			if len(buf) < off+lk+4 {
+				return nil, 0, errShortBuffer
+			}
+			r.Tags[i].Key = string(buf[off : off+lk])
+			off += lk
+			lv := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if len(buf) < off+lv {
+				return nil, 0, errShortBuffer
+			}
+			r.Tags[i].Value = string(buf[off : off+lv])
+			off += lv
+		}
+	}
+	if len(buf) < off+4 {
+		return nil, 0, errShortBuffer
+	}
+	lb := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if len(buf) < off+lb {
+		return nil, 0, errShortBuffer
+	}
+	if lb > 0 {
+		r.Body = append([]byte(nil), buf[off:off+lb]...)
+	}
+	off += lb
+	return r, off, nil
+}
+
+// AppendRecords encodes a batch of records preceded by a u32 count.
+func AppendRecords(dst []byte, recs []*Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		dst = AppendRecord(dst, r)
+	}
+	return dst
+}
+
+// DecodeRecords decodes a batch encoded by AppendRecords, returning the
+// records and bytes consumed.
+func DecodeRecords(buf []byte) ([]*Record, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, errShortBuffer
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	recs := make([]*Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, used, err := DecodeRecord(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: decoding record %d/%d: %w", i, n, err)
+		}
+		recs = append(recs, r)
+		off += used
+	}
+	return recs, off, nil
+}

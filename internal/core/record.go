@@ -1,0 +1,161 @@
+// Package core defines the record model of the Chariots shared log: log
+// positions (LIds), per-datacenter total order ids (TOIds), causal
+// dependency vectors, tags, and the read-rule language used by clients.
+//
+// The model follows §3 of the paper. A record is immutable once appended.
+// Each record has one copy per datacenter; every copy shares the same
+// (Host, TOId) identity but carries a datacenter-local LId reflecting its
+// position in that datacenter's log.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DCID identifies a datacenter. Datacenters are numbered densely from 0 so
+// dependency vectors can be plain slices.
+type DCID uint16
+
+// String returns a short human-readable datacenter name ("DC0", "DC1", ...).
+func (d DCID) String() string { return fmt.Sprintf("DC%d", d) }
+
+// Tag is an application-supplied key (and optional value) attached to a
+// record at append time. Unlike the record body, tags are visible to the
+// system and indexed by the distributed indexers (§5.3).
+type Tag struct {
+	Key   string
+	Value string
+}
+
+// Dep is one entry of a record's causal dependency set: the appending
+// client had observed all records of datacenter DC with total-order id up
+// to and including TOId.
+type Dep struct {
+	DC   DCID
+	TOId uint64
+}
+
+// Record is a single immutable entry in the shared log.
+//
+// LId is the position of this copy in its datacenter's log (1-based; 0
+// means "not yet assigned"). TOId is the total-order id with respect to the
+// host datacenter: copies of the same record at every datacenter share the
+// same (Host, TOId) pair. Deps captures the causal context under which the
+// record was appended (§3, "happened-before" plus transitivity): the record
+// may only be applied at a remote datacenter once, for every Dep, that
+// datacenter has applied the named prefix.
+type Record struct {
+	LId  uint64
+	TOId uint64
+	Host DCID
+	Deps []Dep
+	Tags []Tag
+	Body []byte
+}
+
+// ID returns the global identity of the record, which is shared by all of
+// its copies.
+func (r *Record) ID() GlobalID { return GlobalID{Host: r.Host, TOId: r.TOId} }
+
+// HasTag reports whether the record carries a tag with the given key.
+func (r *Record) HasTag(key string) bool {
+	for _, t := range r.Tags {
+		if t.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TagValue returns the value of the first tag with the given key, and
+// whether such a tag exists.
+func (r *Record) TagValue(key string) (string, bool) {
+	for _, t := range r.Tags {
+		if t.Key == key {
+			return t.Value, true
+		}
+	}
+	return "", false
+}
+
+// DepOn returns the TOId this record depends on for datacenter dc, or 0 if
+// the record carries no dependency on dc.
+func (r *Record) DepOn(dc DCID) uint64 {
+	for _, d := range r.Deps {
+		if d.DC == dc {
+			return d.TOId
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the record. Components that hand records
+// across stage boundaries use Clone when they must mutate metadata (for
+// example, assigning the local LId to an external copy) without aliasing
+// the sender's buffers.
+func (r *Record) Clone() *Record {
+	c := &Record{LId: r.LId, TOId: r.TOId, Host: r.Host}
+	if len(r.Deps) > 0 {
+		c.Deps = append([]Dep(nil), r.Deps...)
+	}
+	if len(r.Tags) > 0 {
+		c.Tags = append([]Tag(nil), r.Tags...)
+	}
+	if len(r.Body) > 0 {
+		c.Body = append([]byte(nil), r.Body...)
+	}
+	return c
+}
+
+// GlobalID identifies a record independently of any datacenter's log
+// position: the host datacenter plus the record's total-order id there.
+type GlobalID struct {
+	Host DCID
+	TOId uint64
+}
+
+// String formats the id the way the paper draws records: "<A,1>".
+func (g GlobalID) String() string { return fmt.Sprintf("<%s,%d>", g.Host, g.TOId) }
+
+// Less orders GlobalIDs by (Host, TOId); used only for deterministic
+// iteration, not for causal ordering.
+func (g GlobalID) Less(o GlobalID) bool {
+	if g.Host != o.Host {
+		return g.Host < o.Host
+	}
+	return g.TOId < o.TOId
+}
+
+// ErrNoSuchRecord is returned by reads that name a log position that does
+// not exist (or has been garbage collected).
+var ErrNoSuchRecord = errors.New("core: no such record")
+
+// ErrPastHead is returned by reads of positions beyond the current head of
+// the log (HL): the position may be filled at some maintainer but cannot
+// yet be exposed because an earlier gap remains (§5.4).
+var ErrPastHead = errors.New("core: read past head of log")
+
+// Validate performs structural sanity checks on a record about to enter the
+// pipeline. It does not check causal consistency, only well-formedness.
+func (r *Record) Validate() error {
+	if r == nil {
+		return errors.New("core: nil record")
+	}
+	if r.TOId == 0 {
+		return errors.New("core: record TOId must be >= 1")
+	}
+	seen := make(map[DCID]bool, len(r.Deps))
+	for _, d := range r.Deps {
+		if seen[d.DC] {
+			return fmt.Errorf("core: duplicate dependency on %s", d.DC)
+		}
+		seen[d.DC] = true
+	}
+	for _, t := range r.Tags {
+		if t.Key == "" {
+			return errors.New("core: empty tag key")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestGlobalIDString(t *testing.T) {
+	g := GlobalID{Host: 1, TOId: 7}
+	if got, want := g.String(), "<DC1,7>"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGlobalIDLess(t *testing.T) {
+	tests := []struct {
+		a, b GlobalID
+		want bool
+	}{
+		{GlobalID{0, 1}, GlobalID{0, 2}, true},
+		{GlobalID{0, 2}, GlobalID{0, 1}, false},
+		{GlobalID{0, 9}, GlobalID{1, 1}, true},
+		{GlobalID{1, 1}, GlobalID{0, 9}, false},
+		{GlobalID{1, 1}, GlobalID{1, 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestRecordTagAccessors(t *testing.T) {
+	r := &Record{Tags: []Tag{{Key: "k", Value: "v"}, {Key: "k2", Value: ""}}}
+	if !r.HasTag("k") || !r.HasTag("k2") {
+		t.Error("HasTag failed for present tags")
+	}
+	if r.HasTag("absent") {
+		t.Error("HasTag reported absent tag")
+	}
+	if v, ok := r.TagValue("k"); !ok || v != "v" {
+		t.Errorf("TagValue(k) = %q, %v", v, ok)
+	}
+	if _, ok := r.TagValue("absent"); ok {
+		t.Error("TagValue reported absent tag")
+	}
+}
+
+func TestRecordDepOn(t *testing.T) {
+	r := &Record{Deps: []Dep{{DC: 0, TOId: 5}, {DC: 2, TOId: 9}}}
+	if got := r.DepOn(0); got != 5 {
+		t.Errorf("DepOn(0) = %d, want 5", got)
+	}
+	if got := r.DepOn(2); got != 9 {
+		t.Errorf("DepOn(2) = %d, want 9", got)
+	}
+	if got := r.DepOn(1); got != 0 {
+		t.Errorf("DepOn(1) = %d, want 0", got)
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := &Record{
+		LId: 3, TOId: 4, Host: 1,
+		Deps: []Dep{{DC: 0, TOId: 1}},
+		Tags: []Tag{{Key: "a", Value: "b"}},
+		Body: []byte("hello"),
+	}
+	c := r.Clone()
+	if c.LId != r.LId || c.TOId != r.TOId || c.Host != r.Host {
+		t.Fatal("clone header mismatch")
+	}
+	c.Deps[0].TOId = 99
+	c.Tags[0].Value = "x"
+	c.Body[0] = 'X'
+	if r.Deps[0].TOId != 1 || r.Tags[0].Value != "b" || r.Body[0] != 'h' {
+		t.Error("Clone aliases original buffers")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	valid := &Record{TOId: 1, Tags: []Tag{{Key: "k"}}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid record rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		r    *Record
+	}{
+		{"nil", nil},
+		{"zero TOId", &Record{TOId: 0}},
+		{"duplicate dep", &Record{TOId: 1, Deps: []Dep{{DC: 1, TOId: 1}, {DC: 1, TOId: 2}}}},
+		{"empty tag key", &Record{TOId: 1, Tags: []Tag{{Key: ""}}}},
+	}
+	for _, tt := range tests {
+		if err := tt.r.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tt.name)
+		}
+	}
+}

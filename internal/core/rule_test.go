@@ -1,0 +1,102 @@
+package core
+
+import "testing"
+
+func TestRuleMatchLIdBounds(t *testing.T) {
+	r := &Record{LId: 10, TOId: 1}
+	tests := []struct {
+		name string
+		rule Rule
+		want bool
+	}{
+		{"unconstrained", Rule{}, true},
+		{"min below", Rule{MinLId: 5}, true},
+		{"min equal", Rule{MinLId: 10}, true},
+		{"min above", Rule{MinLId: 11}, false},
+		{"max inclusive equal", Rule{MaxLId: 10}, true},
+		{"max inclusive below", Rule{MaxLId: 9}, false},
+		{"max exclusive equal", Rule{MaxLIdExclusive: 10}, false},
+		{"max exclusive above", Rule{MaxLIdExclusive: 11}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.rule.Match(r); got != tt.want {
+			t.Errorf("%s: Match = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRuleMatchHostAndTOId(t *testing.T) {
+	r := &Record{LId: 1, TOId: 20, Host: 2}
+	tests := []struct {
+		name string
+		rule Rule
+		want bool
+	}{
+		{"host match", Rule{HasHost: true, Host: 2}, true},
+		{"host mismatch", Rule{HasHost: true, Host: 1}, false},
+		{"host zero value without HasHost", Rule{Host: 1}, true},
+		{"toid range in", Rule{MinTOId: 20, MaxTOId: 20}, true},
+		{"toid below min", Rule{MinTOId: 21}, false},
+		{"toid above max", Rule{MaxTOId: 19}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.rule.Match(r); got != tt.want {
+			t.Errorf("%s: Match = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRuleMatchTags(t *testing.T) {
+	r := &Record{TOId: 1, Tags: []Tag{{Key: "key", Value: "balance"}, {Key: "n", Value: "42"}}}
+	tests := []struct {
+		name string
+		rule Rule
+		want bool
+	}{
+		{"tag present", Rule{TagKey: "key"}, true},
+		{"tag absent", Rule{TagKey: "nope"}, false},
+		{"eq string", Rule{TagKey: "key", TagCmp: CmpEQ, TagValue: "balance"}, true},
+		{"ne string", Rule{TagKey: "key", TagCmp: CmpNE, TagValue: "balance"}, false},
+		{"numeric gt true", Rule{TagKey: "n", TagCmp: CmpGT, TagValue: "7"}, true},
+		{"numeric gt false", Rule{TagKey: "n", TagCmp: CmpGT, TagValue: "42"}, false},
+		{"numeric ge", Rule{TagKey: "n", TagCmp: CmpGE, TagValue: "42"}, true},
+		{"numeric lt", Rule{TagKey: "n", TagCmp: CmpLT, TagValue: "100"}, true},
+		{"numeric le", Rule{TagKey: "n", TagCmp: CmpLE, TagValue: "41"}, false},
+		// "9" > "42" lexicographically but 9 < 42 numerically; both
+		// sides parse, so comparison must be numeric.
+		{"numeric not lexicographic", Rule{TagKey: "n", TagCmp: CmpLT, TagValue: "9"}, false},
+		{"lexicographic fallback", Rule{TagKey: "key", TagCmp: CmpLT, TagValue: "zzz"}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.rule.Match(r); got != tt.want {
+			t.Errorf("%s: Match = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRuleEffectiveMaxLId(t *testing.T) {
+	tests := []struct {
+		rule Rule
+		want uint64
+	}{
+		{Rule{}, 0},
+		{Rule{MaxLId: 10}, 10},
+		{Rule{MaxLIdExclusive: 10}, 9},
+		{Rule{MaxLId: 5, MaxLIdExclusive: 10}, 5},
+		{Rule{MaxLId: 20, MaxLIdExclusive: 10}, 9},
+	}
+	for _, tt := range tests {
+		if got := tt.rule.EffectiveMaxLId(); got != tt.want {
+			t.Errorf("EffectiveMaxLId(%+v) = %d, want %d", tt.rule, got, tt.want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{CmpAny: "any", CmpEQ: "==", CmpNE: "!=", CmpLT: "<", CmpLE: "<=", CmpGT: ">", CmpGE: ">=", CmpOp(99): "?"}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("CmpOp(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package flstore
+
+import (
+	"repro/internal/core"
+)
+
+// MaintainerAPI is the operation surface of one log maintainer. Components
+// program against this interface; it is implemented both by *Maintainer
+// (in-process) and by maintainerClient (over RPC), so deployments can mix
+// direct, loopback-TCP, and cross-machine wiring without code changes.
+type MaintainerAPI interface {
+	// Append stores the records with post-assigned LIds (§5.2) and
+	// returns the assigned LIds in order. Records must not carry LIds.
+	Append(recs []*core.Record) ([]uint64, error)
+
+	// AppendAssigned stores records that already carry LIds owned by
+	// this maintainer — the path used by Chariots' queues, which assign
+	// LIds centrally-by-token before forwarding (§6.2).
+	AppendAssigned(recs []*core.Record) error
+
+	// AppendAfter appends records with the constraint that their LIds
+	// exceed minLId — the cross-maintainer explicit-order mechanism of
+	// §5.4. The records are buffered until the constraint is satisfiable.
+	AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, error)
+
+	// Read returns the record at lid. It fails with core.ErrNoSuchRecord
+	// for unknown positions and core.ErrPastHead for positions beyond
+	// the head of the log unless the maintainer is configured otherwise.
+	Read(lid uint64) (*core.Record, error)
+
+	// Scan returns this maintainer's records matching the rule, in
+	// ascending LId order (descending if rule.MostRecent), capped at
+	// rule.Limit.
+	Scan(rule core.Rule) ([]*core.Record, error)
+
+	// Head returns this maintainer's current estimate of the head of
+	// the log (HL): every position ≤ Head is readable somewhere.
+	Head() (uint64, error)
+
+	// NextUnfilled returns the next LId this maintainer will fill.
+	NextUnfilled() (uint64, error)
+
+	// Gossip delivers another maintainer's next-unfilled value (§5.4)
+	// and returns this maintainer's own, so gossip doubles as exchange.
+	Gossip(from int, next uint64) (uint64, error)
+}
+
+// Posting is one index entry streamed from a maintainer to an indexer:
+// the record at LId carries tag Key with value Value.
+type Posting struct {
+	Key   string
+	Value string
+	LId   uint64
+}
+
+// LookupQuery asks an indexer for the LIds of records carrying a tag.
+type LookupQuery struct {
+	Key   string
+	Cmp   core.CmpOp // CmpAny = no value constraint
+	Value string
+
+	// MaxLIdExclusive restricts results to LIds < bound (0 = unbounded);
+	// get-transactions pass the pinned head here (Algorithm 1).
+	MaxLIdExclusive uint64
+	// Limit caps results; MostRecent returns the highest LIds first.
+	Limit      int
+	MostRecent bool
+}
+
+// IndexerAPI is the operation surface of one distributed indexer (§5.3).
+type IndexerAPI interface {
+	Post(entries []Posting) error
+	Lookup(q LookupQuery) ([]uint64, error)
+}
+
+// ControllerAPI is the stateless control/meta-data oracle (§5.1): clients
+// call it once at session start (and after communication problems) to learn
+// the cluster layout.
+type ControllerAPI interface {
+	GetConfig() (*Config, error)
+}
+
+// Config describes one FLStore deployment as served by the controller.
+type Config struct {
+	Placement Placement
+	// MaintainerAddrs are "host:port" endpoints, index-aligned with
+	// Placement ownership. Empty strings denote in-process wiring.
+	MaintainerAddrs []string
+	IndexerAddrs    []string
+	// Epochs is the journal of placement changes for live elasticity
+	// (§6.3); readers use it to locate records written under old
+	// placements.
+	Epochs []Epoch
+}
+
+// Epoch is one entry of the elasticity journal: from FirstLId onward, the
+// log is laid out under the given placement. Earlier positions use the
+// preceding epoch's placement.
+type Epoch struct {
+	FirstLId  uint64
+	Placement Placement
+}

@@ -1,0 +1,129 @@
+package flstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+// BenchmarkMaintainerAppend measures the raw (unlimited) post-assignment
+// append path: LId assignment + in-memory persistence.
+func BenchmarkMaintainerAppend(b *testing.B) {
+	m, err := NewMaintainer(MaintainerConfig{
+		Index:     0,
+		Placement: Placement{NumMaintainers: 1, BatchSize: 1000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := workload.NewBody(512, 1)
+	b.ReportAllocs()
+	b.SetBytes(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Append([]*core.Record{{Body: body}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainerAppendBatch amortizes the call across batch sizes.
+func BenchmarkMaintainerAppendBatch(b *testing.B) {
+	for _, batch := range []int{16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m, _ := NewMaintainer(MaintainerConfig{
+				Index:     0,
+				Placement: Placement{NumMaintainers: 1, BatchSize: 1000},
+			})
+			body := workload.NewBody(512, 1)
+			b.ReportAllocs()
+			b.SetBytes(int64(512 * batch))
+			for i := 0; i < b.N; i++ {
+				recs := make([]*core.Record, batch)
+				for j := range recs {
+					recs[j] = &core.Record{Body: body}
+				}
+				if _, err := m.Append(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlacementOwner measures the pure ownership math every router
+// runs per record.
+func BenchmarkPlacementOwner(b *testing.B) {
+	p := Placement{NumMaintainers: 10, BatchSize: 1000}
+	var sink atomic.Uint64
+	for i := 0; i < b.N; i++ {
+		sink.Store(uint64(p.Owner(uint64(i + 1))))
+	}
+}
+
+// BenchmarkIndexerPostLookup measures the tag index hot paths.
+func BenchmarkIndexerPostLookup(b *testing.B) {
+	ix := NewIndexer(nil)
+	for i := uint64(1); i <= 100_000; i++ {
+		ix.Post([]Posting{{Key: fmt.Sprintf("k%d", i%100), Value: "v", LId: i}})
+	}
+	b.Run("Post", func(b *testing.B) {
+		b.ReportAllocs()
+		lid := uint64(200_000)
+		for i := 0; i < b.N; i++ {
+			lid++
+			ix.Post([]Posting{{Key: "k1", Value: "v", LId: lid}})
+		}
+	})
+	b.Run("LookupMostRecent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Lookup(LookupQuery{Key: "k1", MostRecent: true, Limit: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAppendOverTCP measures the full RPC append path (client →
+// loopback TCP → maintainer), the deployment configuration of cmd/flstore.
+func BenchmarkAppendOverTCP(b *testing.B) {
+	p := Placement{NumMaintainers: 1, BatchSize: 1000}
+	m, _ := NewMaintainer(MaintainerConfig{Index: 0, Placement: p})
+	srv := newBenchServer(b, m)
+	client, err := NewDirectClient(p, []MaintainerAPI{srv}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := workload.NewBody(512, 1)
+	b.ReportAllocs()
+	b.SetBytes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Append(body, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchServer exposes m over loopback TCP and returns a dialed
+// MaintainerAPI, with cleanup registered on b.
+func newBenchServer(b *testing.B, m *Maintainer) MaintainerAPI {
+	b.Helper()
+	srv := rpc.NewServer()
+	ServeMaintainer(srv, m)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	conn, err := rpc.Dial(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { conn.Close() })
+	return NewMaintainerClient(conn)
+}

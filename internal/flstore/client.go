@@ -1,0 +1,319 @@
+package flstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Client is the linked library application clients use to talk to FLStore
+// (§3, §5.1): it learns the cluster layout from the controller once at
+// session start, then appends to and reads from the log maintainers
+// directly, consulting indexers only for tag-based reads.
+type Client struct {
+	placement   Placement
+	epochs      []Epoch
+	maintainers []MaintainerAPI
+	indexers    []IndexerAPI
+	rr          atomic.Uint64 // round-robin append target
+
+	// ReadRetry configures how long reads wait for the head of the log
+	// to pass the requested position before giving up.
+	ReadRetries  int
+	RetryBackoff time.Duration
+}
+
+// NewClient starts a session: it polls the controller for the cluster
+// configuration and dials every maintainer and indexer over TCP.
+func NewClient(ctrl ControllerAPI) (*Client, error) {
+	cfg, err := ctrl.GetConfig()
+	if err != nil {
+		return nil, fmt.Errorf("flstore: session init: %w", err)
+	}
+	c := &Client{
+		placement:    cfg.Placement,
+		epochs:       cfg.Epochs,
+		ReadRetries:  50,
+		RetryBackoff: 2 * time.Millisecond,
+	}
+	for _, addr := range cfg.MaintainerAddrs {
+		rc, err := rpc.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("flstore: dialing maintainer %s: %w", addr, err)
+		}
+		c.maintainers = append(c.maintainers, NewMaintainerClient(rc))
+	}
+	for _, addr := range cfg.IndexerAddrs {
+		rc, err := rpc.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("flstore: dialing indexer %s: %w", addr, err)
+		}
+		c.indexers = append(c.indexers, NewIndexerClient(rc))
+	}
+	return c, nil
+}
+
+// NewDirectClient wires a client to in-process (or pre-dialed) component
+// APIs — the path used by simulations and tests.
+func NewDirectClient(p Placement, maintainers []MaintainerAPI, indexers []IndexerAPI) (*Client, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(maintainers) != p.NumMaintainers {
+		return nil, fmt.Errorf("flstore: %d maintainers for placement of %d", len(maintainers), p.NumMaintainers)
+	}
+	return &Client{
+		placement:    p,
+		epochs:       []Epoch{{FirstLId: 1, Placement: p}},
+		maintainers:  maintainers,
+		indexers:     indexers,
+		ReadRetries:  50,
+		RetryBackoff: 2 * time.Millisecond,
+	}, nil
+}
+
+// Placement returns the placement the client is operating under.
+func (c *Client) Placement() Placement { return c.placement }
+
+// pickMaintainer selects the append target round-robin.
+func (c *Client) pickMaintainer() MaintainerAPI {
+	i := c.rr.Add(1) - 1
+	return c.maintainers[int(i%uint64(len(c.maintainers)))]
+}
+
+// Append inserts a record with the given body and tags into the shared log
+// (§3's Append(record, tags)) and returns the assigned LId. The record is
+// sent to a round-robin-selected maintainer, which post-assigns the
+// position.
+func (c *Client) Append(body []byte, tags []core.Tag) (uint64, error) {
+	rec := &core.Record{Tags: tags, Body: body}
+	lids, err := c.pickMaintainer().Append([]*core.Record{rec})
+	if err != nil {
+		return 0, err
+	}
+	return lids[0], nil
+}
+
+// AppendBatch inserts many records in one round trip to one maintainer;
+// their assigned LIds preserve the batch order (§5.4's same-maintainer
+// explicit ordering).
+func (c *Client) AppendBatch(recs []*core.Record) ([]uint64, error) {
+	return c.pickMaintainer().Append(recs)
+}
+
+// AppendAfter inserts records constrained to positions after minLId at the
+// given maintainer index (§5.4's cross-maintainer explicit ordering).
+func (c *Client) AppendAfter(maintainer int, minLId uint64, recs []*core.Record) ([]uint64, error) {
+	if maintainer < 0 || maintainer >= len(c.maintainers) {
+		return nil, fmt.Errorf("flstore: maintainer %d out of range", maintainer)
+	}
+	return c.maintainers[maintainer].AppendAfter(minLId, recs)
+}
+
+// Head returns the head of the log as known by one maintainer — every
+// position at or below it is gap-free and readable.
+func (c *Client) Head() (uint64, error) {
+	return c.pickMaintainer().Head()
+}
+
+// HeadExact polls every maintainer's next-unfilled position and computes
+// the precise head, bypassing gossip staleness. Get-transactions use this
+// to pin their snapshot (Algorithm 1 line 2).
+func (c *Client) HeadExact() (uint64, error) {
+	next := make([]uint64, len(c.maintainers))
+	for i, m := range c.maintainers {
+		n, err := m.NextUnfilled()
+		if err != nil {
+			return 0, err
+		}
+		next[i] = n
+	}
+	return Head(next), nil
+}
+
+// ownerOf routes an LId to its maintainer under the epoch journal.
+func (c *Client) ownerOf(lid uint64) (MaintainerAPI, error) {
+	p, err := PlacementAt(c.epochs, lid)
+	if err != nil {
+		return nil, err
+	}
+	idx := p.Owner(lid)
+	if idx >= len(c.maintainers) {
+		return nil, fmt.Errorf("flstore: owner %d of LId %d not in session", idx, lid)
+	}
+	return c.maintainers[idx], nil
+}
+
+// ReadLId returns the record at lid, retrying while the position is beyond
+// the gossiped head (§5.4: a read at i must wait until no gap exists below
+// i).
+func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
+	m, err := c.ownerOf(lid)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.ReadRetries; attempt++ {
+		rec, err := m.Read(lid)
+		if err == nil {
+			return rec, nil
+		}
+		lastErr = err
+		if !errors.Is(err, core.ErrPastHead) {
+			return nil, err
+		}
+		time.Sleep(c.RetryBackoff)
+	}
+	return nil, lastErr
+}
+
+// Read returns the records matching the rule (§3's Read(rules)). Rules
+// with a tag key are resolved through the indexers; others fan out as
+// scans to every maintainer and merge.
+func (c *Client) Read(rule core.Rule) ([]*core.Record, error) {
+	if rule.TagKey != "" && len(c.indexers) > 0 {
+		return c.readByTag(rule)
+	}
+	return c.readByScan(rule)
+}
+
+func (c *Client) readByTag(rule core.Rule) ([]*core.Record, error) {
+	// Reads must not cross the head of the log (§5.4): a tagged record
+	// above HL may exist at a maintainer while an earlier position is
+	// still a gap, so cap the lookup at the head.
+	head, err := c.HeadExact()
+	if err != nil {
+		return nil, err
+	}
+	if head == 0 {
+		return nil, nil
+	}
+	q := LookupQuery{
+		Key:             rule.TagKey,
+		Cmp:             rule.TagCmp,
+		Value:           rule.TagValue,
+		MaxLIdExclusive: rule.MaxLIdExclusive,
+		Limit:           rule.Limit,
+		MostRecent:      rule.MostRecent,
+	}
+	if rule.MaxLId != 0 && (q.MaxLIdExclusive == 0 || rule.MaxLId+1 < q.MaxLIdExclusive) {
+		q.MaxLIdExclusive = rule.MaxLId + 1
+	}
+	if q.MaxLIdExclusive == 0 || q.MaxLIdExclusive > head+1 {
+		q.MaxLIdExclusive = head + 1
+	}
+	ix := c.indexers[IndexerFor(rule.TagKey, len(c.indexers))]
+	lids, err := ix.Lookup(q)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*core.Record, 0, len(lids))
+	for _, lid := range lids {
+		if lid < rule.MinLId {
+			continue
+		}
+		rec, err := c.ReadLId(lid)
+		if err != nil {
+			return nil, err
+		}
+		// The indexer prunes by tag and LId; re-check the full rule
+		// (host/TOId constraints) before returning.
+		if rule.Match(rec) {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+func (c *Client) readByScan(rule core.Rule) ([]*core.Record, error) {
+	// Reads must not cross the head of the log: cap the scan at HL.
+	head, err := c.HeadExact()
+	if err != nil {
+		return nil, err
+	}
+	capped := rule
+	if capped.MaxLId == 0 || capped.MaxLId > head {
+		capped.MaxLId = head
+	}
+	if head == 0 {
+		return nil, nil
+	}
+	var all []*core.Record
+	for _, m := range c.maintainers {
+		recs, err := m.Scan(capped)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if rule.MostRecent {
+			return all[i].LId > all[j].LId
+		}
+		return all[i].LId < all[j].LId
+	})
+	if rule.Limit > 0 && len(all) > rule.Limit {
+		all = all[:rule.Limit]
+	}
+	return all, nil
+}
+
+// Maintainers exposes the session's maintainer handles (used by layered
+// systems such as stream readers that partition work across maintainers).
+func (c *Client) Maintainers() []MaintainerAPI { return c.maintainers }
+
+// Tail streams the log in LId order starting at fromLId (≥1): fn is
+// called for every record at or below the advancing head of the log, in
+// position order with no gaps, until ctx is cancelled or fn returns
+// false. The poll interval is RetryBackoff (bounded below at 1ms).
+func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record) bool) error {
+	if fromLId == 0 {
+		fromLId = 1
+	}
+	poll := c.RetryBackoff
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	cursor := fromLId
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		head, err := c.HeadExact()
+		if err != nil {
+			return err
+		}
+		if head >= cursor {
+			var window []*core.Record
+			for _, m := range c.maintainers {
+				recs, err := m.Scan(core.Rule{MinLId: cursor, MaxLId: head})
+				if err != nil {
+					return err
+				}
+				window = append(window, recs...)
+			}
+			sort.Slice(window, func(i, j int) bool { return window[i].LId < window[j].LId })
+			for _, rec := range window {
+				if !fn(rec) {
+					return nil
+				}
+			}
+			cursor = head + 1
+		}
+		timer := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package flstore
+
+import (
+	"sync"
+	"time"
+)
+
+// Gossiper drives the §5.4 head-of-log gossip for one maintainer: on a
+// fixed interval it pushes the maintainer's next-unfilled LId to every peer
+// and absorbs each peer's value from the reply. The message size is fixed
+// (one LId each way), independent of append throughput — the property the
+// paper relies on for gossip not becoming a bottleneck.
+type Gossiper struct {
+	self     *Maintainer
+	peers    []MaintainerAPI // index-aligned; entry for self may be nil
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewGossiper returns a gossiper for m. peers must be index-aligned with
+// the placement; the entry at m's own index is ignored.
+func NewGossiper(m *Maintainer, peers []MaintainerAPI, interval time.Duration) *Gossiper {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	return &Gossiper{
+		self:     m,
+		peers:    peers,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the gossip loop. Safe to call once.
+func (g *Gossiper) Start() {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = true
+	g.mu.Unlock()
+	go g.loop()
+}
+
+func (g *Gossiper) loop() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.Round()
+		}
+	}
+}
+
+// Round performs one synchronous gossip exchange with every peer. Exposed
+// so tests and deterministic simulations can gossip without timers.
+func (g *Gossiper) Round() {
+	next, err := g.self.NextUnfilled()
+	if err != nil {
+		return
+	}
+	for j, peer := range g.peers {
+		if j == g.self.Index() || peer == nil {
+			continue
+		}
+		theirs, err := peer.Gossip(g.self.Index(), next)
+		if err != nil {
+			continue // unreachable peer; retry next round
+		}
+		g.self.Gossip(j, theirs)
+	}
+}
+
+// Stop halts the loop and waits for it to exit.
+func (g *Gossiper) Stop() {
+	g.mu.Lock()
+	if !g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	<-g.done
+}

@@ -1,0 +1,137 @@
+package flstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ratelimit"
+)
+
+func TestIndexerPostAndLookup(t *testing.T) {
+	ix := NewIndexer(nil)
+	ix.Post([]Posting{
+		{Key: "x", Value: "10", LId: 1},
+		{Key: "x", Value: "30", LId: 4},
+		{Key: "y", Value: "20", LId: 2},
+	})
+	lids, err := ix.Lookup(LookupQuery{Key: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lids) != 2 || lids[0] != 1 || lids[1] != 4 {
+		t.Errorf("Lookup(x) = %v", lids)
+	}
+	if ix.Keys() != 2 {
+		t.Errorf("Keys = %d", ix.Keys())
+	}
+}
+
+func TestIndexerMostRecentAndLimit(t *testing.T) {
+	ix := NewIndexer(nil)
+	for i := uint64(1); i <= 100; i++ {
+		ix.Post([]Posting{{Key: "k", Value: fmt.Sprint(i), LId: i}})
+	}
+	lids, _ := ix.Lookup(LookupQuery{Key: "k", MostRecent: true, Limit: 3})
+	if len(lids) != 3 || lids[0] != 100 || lids[2] != 98 {
+		t.Errorf("most recent 3 = %v", lids)
+	}
+	lids, _ = ix.Lookup(LookupQuery{Key: "k", Limit: 2})
+	if len(lids) != 2 || lids[0] != 1 {
+		t.Errorf("oldest 2 = %v", lids)
+	}
+}
+
+func TestIndexerMaxLIdExclusive(t *testing.T) {
+	ix := NewIndexer(nil)
+	for i := uint64(1); i <= 10; i++ {
+		ix.Post([]Posting{{Key: "k", Value: "v", LId: i}})
+	}
+	// The get-transaction pattern: most recent below a pinned head.
+	lids, _ := ix.Lookup(LookupQuery{Key: "k", MaxLIdExclusive: 7, MostRecent: true, Limit: 1})
+	if len(lids) != 1 || lids[0] != 6 {
+		t.Errorf("snapshot lookup = %v, want [6]", lids)
+	}
+}
+
+func TestIndexerValuePredicates(t *testing.T) {
+	ix := NewIndexer(nil)
+	ix.Post([]Posting{
+		{Key: "n", Value: "5", LId: 1},
+		{Key: "n", Value: "50", LId: 2},
+		{Key: "n", Value: "500", LId: 3},
+	})
+	lids, _ := ix.Lookup(LookupQuery{Key: "n", Cmp: core.CmpGT, Value: "10"})
+	if len(lids) != 2 || lids[0] != 2 || lids[1] != 3 {
+		t.Errorf("n>10 = %v", lids)
+	}
+	lids, _ = ix.Lookup(LookupQuery{Key: "n", Cmp: core.CmpEQ, Value: "5"})
+	if len(lids) != 1 || lids[0] != 1 {
+		t.Errorf("n==5 = %v", lids)
+	}
+}
+
+func TestIndexerOutOfOrderPostings(t *testing.T) {
+	ix := NewIndexer(nil)
+	// Different maintainers progress at different speeds, so postings
+	// can arrive out of LId order; lookups must still come back sorted.
+	ix.Post([]Posting{{Key: "k", Value: "c", LId: 30}})
+	ix.Post([]Posting{{Key: "k", Value: "a", LId: 10}})
+	ix.Post([]Posting{{Key: "k", Value: "b", LId: 20}})
+	ix.Post([]Posting{{Key: "k", Value: "a", LId: 10}}) // duplicate: idempotent
+	lids, _ := ix.Lookup(LookupQuery{Key: "k"})
+	want := []uint64{10, 20, 30}
+	if len(lids) != 3 {
+		t.Fatalf("Lookup = %v, want %v", lids, want)
+	}
+	for i := range want {
+		if lids[i] != want[i] {
+			t.Fatalf("Lookup = %v, want %v", lids, want)
+		}
+	}
+}
+
+func TestIndexerUnknownKey(t *testing.T) {
+	ix := NewIndexer(nil)
+	lids, err := ix.Lookup(LookupQuery{Key: "missing"})
+	if err != nil || len(lids) != 0 {
+		t.Errorf("Lookup(missing) = %v, %v", lids, err)
+	}
+}
+
+func TestIndexerEmptyPost(t *testing.T) {
+	ix := NewIndexer(nil)
+	if err := ix.Post(nil); err != nil {
+		t.Errorf("empty post: %v", err)
+	}
+}
+
+func TestIndexerOverload(t *testing.T) {
+	ix := NewIndexer(ratelimit.New(1, 1))
+	ix.Post([]Posting{{Key: "k", Value: "v", LId: 1}})
+	err := ix.Post([]Posting{{Key: "k", Value: "v", LId: 2}})
+	if err != ErrOverloaded {
+		t.Errorf("overload err = %v", err)
+	}
+}
+
+func TestIndexerForStable(t *testing.T) {
+	a := IndexerFor("balance", 4)
+	for i := 0; i < 10; i++ {
+		if IndexerFor("balance", 4) != a {
+			t.Fatal("IndexerFor not deterministic")
+		}
+	}
+	if a < 0 || a >= 4 {
+		t.Errorf("IndexerFor out of range: %d", a)
+	}
+	// Different keys should spread (not a strict requirement, but the
+	// chosen hash should not collapse everything to one partition).
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[IndexerFor(fmt.Sprintf("key-%d", i), 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("hash partitioning collapsed to a single indexer")
+	}
+}

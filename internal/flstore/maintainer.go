@@ -1,0 +1,417 @@
+package flstore
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ratelimit"
+	"repro/internal/storage"
+)
+
+// ErrOverloaded is returned when a maintainer's capacity limiter rejects an
+// append; open-loop workload generators count these as dropped offered load
+// (the region past the saturation point in Figure 7).
+var ErrOverloaded = errors.New("flstore: maintainer overloaded")
+
+// ErrWrongMaintainer is returned when an operation names an LId owned by a
+// different maintainer; the client library routes by Placement, so seeing
+// this indicates a stale configuration.
+var ErrWrongMaintainer = errors.New("flstore: LId not owned by this maintainer")
+
+// ErrOrderBacklog is returned when the explicit-order buffer (§5.4) would
+// exceed its configured bound.
+var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
+
+// MaintainerConfig configures one log maintainer.
+type MaintainerConfig struct {
+	// Index is this maintainer's position in the placement (0-based).
+	Index     int
+	Placement Placement
+
+	// Store persists the records; NewMemStore is used when nil.
+	Store storage.Store
+
+	// Limiter models the machine's append capacity; nil = unlimited.
+	Limiter *ratelimit.Limiter
+	// RejectPenalty is the token cost of turning away one record when
+	// saturated (models wasted ingress work; see ratelimit.Penalize).
+	RejectPenalty float64
+
+	// Indexers receive tag postings for stored records. May be nil.
+	Indexers []IndexerAPI
+
+	// EnforceHead makes Read fail with core.ErrPastHead for positions
+	// above the gossiped head of the log — the §5.4 requirement that a
+	// record at position i is only readable once no gap exists below i.
+	EnforceHead bool
+
+	// MaxOrderBuffer bounds the records parked by AppendAfter; 0 uses a
+	// default of 4096.
+	MaxOrderBuffer int
+}
+
+// Maintainer is one FLStore log maintainer (§5.2): it owns the deterministic
+// round-robin LId ranges of its index, assigns positions to records after
+// they arrive, persists them, answers reads, and gossips its progress so
+// every maintainer can compute the head of the log.
+type Maintainer struct {
+	cfg   MaintainerConfig
+	store storage.Store
+
+	mu sync.Mutex
+	// filled is the number of owned slots filled so far; the maintainer
+	// fills its slots densely in order, so the next LId it will assign
+	// or accept is LIdOfSlot(Index, filled).
+	filled uint64
+	// nextVec[j] is the latest gossiped next-unfilled LId of maintainer
+	// j (nextVec[Index] is maintained locally).
+	nextVec []uint64
+	// pending holds AppendAssigned records that arrived ahead of the
+	// dense frontier, keyed by slot.
+	pending map[uint64][]*core.Record
+	// orderBuf parks AppendAfter batches whose minimum-LId bound is not
+	// yet satisfiable.
+	orderBuf orderHeap
+
+	// Appended counts records durably stored (exported for experiment
+	// instrumentation).
+	Appended metrics.Counter
+	// Rejected counts records turned away by the capacity limiter.
+	Rejected metrics.Counter
+}
+
+// NewMaintainer returns a ready maintainer.
+func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
+	if err := cfg.Placement.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Placement.NumMaintainers {
+		return nil, fmt.Errorf("flstore: maintainer index %d out of range [0,%d)", cfg.Index, cfg.Placement.NumMaintainers)
+	}
+	if cfg.Store == nil {
+		cfg.Store = storage.NewMemStore()
+	}
+	if cfg.MaxOrderBuffer == 0 {
+		cfg.MaxOrderBuffer = 4096
+	}
+	m := &Maintainer{
+		cfg:     cfg,
+		store:   cfg.Store,
+		nextVec: make([]uint64, cfg.Placement.NumMaintainers),
+		pending: make(map[uint64][]*core.Record),
+	}
+	// Initialize every entry to the corresponding maintainer's first
+	// owned LId so Head() is 0 until real gossip arrives.
+	for j := range m.nextVec {
+		m.nextVec[j] = cfg.Placement.LIdOfSlot(j, 0)
+	}
+	// Recover the dense frontier from a pre-populated store (restart).
+	if max := cfg.Store.MaxLId(); max > 0 {
+		m.filled = cfg.Placement.SlotOf(max) + 1
+		m.nextVec[cfg.Index] = cfg.Placement.LIdOfSlot(cfg.Index, m.filled)
+	}
+	return m, nil
+}
+
+// Index returns the maintainer's placement index.
+func (m *Maintainer) Index() int { return m.cfg.Index }
+
+// admit applies the capacity limiter to n records.
+func (m *Maintainer) admit(n int) error {
+	if m.cfg.Limiter.Allow(n) {
+		return nil
+	}
+	m.cfg.Limiter.Penalize(m.cfg.RejectPenalty * float64(n))
+	m.Rejected.Add(uint64(n))
+	return ErrOverloaded
+}
+
+// Append implements MaintainerAPI: post-assignment of log positions.
+func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if err := m.admit(len(recs)); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	lids := make([]uint64, len(recs))
+	for i, r := range recs {
+		if r.LId != 0 {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("flstore: Append record %d already has LId %d", i, r.LId)
+		}
+		lid := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+		r.LId = lid
+		if r.TOId == 0 {
+			// Standalone FLStore deployments have a single total
+			// order, so the LId doubles as the TOId. Chariots
+			// deployments assign TOIds upstream and use
+			// AppendAssigned instead.
+			r.TOId = lid
+		}
+		lids[i] = lid
+		m.filled++
+	}
+	m.nextVec[m.cfg.Index] = m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	released := m.releasableOrderBatchesLocked()
+	m.mu.Unlock()
+
+	if err := m.store.AppendBatch(recs); err != nil {
+		return nil, err
+	}
+	m.Appended.Add(uint64(len(recs)))
+	if err := m.postTags(recs); err != nil {
+		return nil, err
+	}
+	for _, b := range released {
+		if _, err := m.Append(b.recs); err != nil {
+			return nil, fmt.Errorf("flstore: releasing ordered batch: %w", err)
+		}
+	}
+	return lids, nil
+}
+
+// AppendAfter implements MaintainerAPI: explicit cross-maintainer ordering
+// (§5.4). If the next LId this maintainer would assign already exceeds
+// minLId the records are appended immediately; otherwise they are buffered
+// and released once the maintainer's frontier passes the bound.
+func (m *Maintainer) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	m.mu.Lock()
+	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	if next > minLId {
+		m.mu.Unlock()
+		return m.Append(recs)
+	}
+	if m.orderBuf.size+len(recs) > m.cfg.MaxOrderBuffer {
+		m.mu.Unlock()
+		return nil, ErrOrderBacklog
+	}
+	heap.Push(&m.orderBuf, orderBatch{minLId: minLId, recs: recs})
+	m.orderBuf.size += len(recs)
+	m.mu.Unlock()
+	return nil, nil // buffered; LIds assigned on release
+}
+
+// releasableOrderBatchesLocked pops buffered batches whose bound is now
+// below the frontier. Caller holds mu.
+func (m *Maintainer) releasableOrderBatchesLocked() []orderBatch {
+	var out []orderBatch
+	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	for m.orderBuf.Len() > 0 && m.orderBuf.batches[0].minLId < next {
+		b := heap.Pop(&m.orderBuf).(orderBatch)
+		m.orderBuf.size -= len(b.recs)
+		out = append(out, b)
+	}
+	return out
+}
+
+// AppendAssigned implements MaintainerAPI: ingestion of records whose LIds
+// were assigned upstream by Chariots' queues (§6.2). Records ahead of the
+// dense frontier are buffered so the frontier only advances contiguously,
+// keeping the head-of-log computation exact.
+func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := m.admit(len(recs)); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	for _, r := range recs {
+		if r.LId == 0 {
+			m.mu.Unlock()
+			return errors.New("flstore: AppendAssigned record without LId")
+		}
+		if m.cfg.Placement.Owner(r.LId) != m.cfg.Index {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrWrongMaintainer, r.LId)
+		}
+		slot := m.cfg.Placement.SlotOf(r.LId)
+		if slot < m.filled {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: %d", storage.ErrDuplicate, r.LId)
+		}
+		m.pending[slot] = append(m.pending[slot], r)
+	}
+	// Drain the contiguous prefix.
+	var ready []*core.Record
+	for {
+		rs, ok := m.pending[m.filled]
+		if !ok {
+			break
+		}
+		if len(rs) > 1 {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: slot %d assigned twice", storage.ErrDuplicate, m.filled)
+		}
+		ready = append(ready, rs[0])
+		delete(m.pending, m.filled)
+		m.filled++
+	}
+	m.nextVec[m.cfg.Index] = m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	m.mu.Unlock()
+
+	if len(ready) == 0 {
+		return nil
+	}
+	if err := m.store.AppendBatch(ready); err != nil {
+		return err
+	}
+	m.Appended.Add(uint64(len(ready)))
+	return m.postTags(ready)
+}
+
+// postTags streams this batch's tag postings to the owning indexers.
+func (m *Maintainer) postTags(recs []*core.Record) error {
+	if len(m.cfg.Indexers) == 0 {
+		return nil
+	}
+	batches := make(map[int][]Posting)
+	for _, r := range recs {
+		for _, t := range r.Tags {
+			idx := IndexerFor(t.Key, len(m.cfg.Indexers))
+			batches[idx] = append(batches[idx], Posting{Key: t.Key, Value: t.Value, LId: r.LId})
+		}
+	}
+	for idx, b := range batches {
+		if err := m.cfg.Indexers[idx].Post(b); err != nil {
+			return fmt.Errorf("flstore: posting to indexer %d: %w", idx, err)
+		}
+	}
+	return nil
+}
+
+// IndexerFor returns the indexer partition owning a tag key.
+func IndexerFor(key string, numIndexers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numIndexers))
+}
+
+// Read implements MaintainerAPI.
+func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
+	if lid == 0 {
+		return nil, core.ErrNoSuchRecord
+	}
+	if m.cfg.Placement.Owner(lid) != m.cfg.Index {
+		return nil, fmt.Errorf("%w: %d", ErrWrongMaintainer, lid)
+	}
+	if m.cfg.EnforceHead {
+		if head := m.currentHead(); lid > head {
+			return nil, fmt.Errorf("%w: LId %d > head %d", core.ErrPastHead, lid, head)
+		}
+	}
+	return m.store.Get(lid)
+}
+
+// Scan implements MaintainerAPI. It serves only this maintainer's stored
+// records; the client library merges scans across maintainers and applies
+// head-of-log bounds.
+func (m *Maintainer) Scan(rule core.Rule) ([]*core.Record, error) {
+	var out []*core.Record
+	err := m.store.Scan(rule.MinLId, rule.EffectiveMaxLId(), func(r *core.Record) bool {
+		if rule.Match(r) {
+			out = append(out, r)
+			// For ascending scans the limit can stop the scan
+			// early; descending ("most recent") needs the full
+			// window before trimming.
+			if !rule.MostRecent && rule.Limit > 0 && len(out) == rule.Limit {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rule.MostRecent {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		if rule.Limit > 0 && len(out) > rule.Limit {
+			out = out[:rule.Limit]
+		}
+	}
+	return out, nil
+}
+
+func (m *Maintainer) currentHead() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Head(m.nextVec)
+}
+
+// Head implements MaintainerAPI.
+func (m *Maintainer) Head() (uint64, error) { return m.currentHead(), nil }
+
+// NextUnfilled implements MaintainerAPI.
+func (m *Maintainer) NextUnfilled() (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextVec[m.cfg.Index], nil
+}
+
+// Gossip implements MaintainerAPI: absorb a peer's next-unfilled value and
+// return our own (§5.4's fixed-size gossip).
+func (m *Maintainer) Gossip(from int, next uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from < 0 || from >= len(m.nextVec) {
+		return 0, fmt.Errorf("flstore: gossip from unknown maintainer %d", from)
+	}
+	if next > m.nextVec[from] {
+		m.nextVec[from] = next
+	}
+	return m.nextVec[m.cfg.Index], nil
+}
+
+// PendingAssigned returns how many out-of-order assigned records are
+// buffered (test/ops introspection).
+func (m *Maintainer) PendingAssigned() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// OrderBuffered returns how many explicit-order records are parked.
+func (m *Maintainer) OrderBuffered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.orderBuf.size
+}
+
+// Store exposes the underlying store (used by senders and tests).
+func (m *Maintainer) Store() storage.Store { return m.store }
+
+// orderBatch is an AppendAfter batch waiting for its LId lower bound.
+type orderBatch struct {
+	minLId uint64
+	recs   []*core.Record
+}
+
+// orderHeap is a min-heap of orderBatches by minLId.
+type orderHeap struct {
+	batches []orderBatch
+	size    int
+}
+
+func (h orderHeap) Len() int            { return len(h.batches) }
+func (h orderHeap) Less(i, j int) bool  { return h.batches[i].minLId < h.batches[j].minLId }
+func (h orderHeap) Swap(i, j int)       { h.batches[i], h.batches[j] = h.batches[j], h.batches[i] }
+func (h *orderHeap) Push(x interface{}) { h.batches = append(h.batches, x.(orderBatch)) }
+func (h *orderHeap) Pop() interface{} {
+	old := h.batches
+	n := len(old)
+	x := old[n-1]
+	h.batches = old[:n-1]
+	return x
+}

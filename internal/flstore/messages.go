@@ -1,0 +1,551 @@
+package flstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Message types of the FLStore wire protocol.
+const (
+	msgAppend uint8 = iota + 1
+	msgAppendAssigned
+	msgAppendAfter
+	msgRead
+	msgScan
+	msgHead
+	msgNextUnfilled
+	msgGossip
+	msgPost
+	msgLookup
+	msgGetConfig
+)
+
+// --- encoding helpers ---
+
+func appendRule(dst []byte, ru core.Rule) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, ru.MinLId)
+	dst = binary.LittleEndian.AppendUint64(dst, ru.MaxLId)
+	dst = binary.LittleEndian.AppendUint64(dst, ru.MaxLIdExclusive)
+	var hasHost byte
+	if ru.HasHost {
+		hasHost = 1
+	}
+	dst = append(dst, hasHost)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(ru.Host))
+	dst = binary.LittleEndian.AppendUint64(dst, ru.MinTOId)
+	dst = binary.LittleEndian.AppendUint64(dst, ru.MaxTOId)
+	dst = wire.AppendString(dst, ru.TagKey)
+	dst = append(dst, byte(ru.TagCmp))
+	dst = wire.AppendString(dst, ru.TagValue)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ru.Limit))
+	var mr byte
+	if ru.MostRecent {
+		mr = 1
+	}
+	dst = append(dst, mr)
+	return dst
+}
+
+func decodeRule(buf []byte) (core.Rule, int, error) {
+	var ru core.Rule
+	if len(buf) < 8*3+1+2+8*2 {
+		return ru, 0, errors.New("flstore: short rule")
+	}
+	ru.MinLId = binary.LittleEndian.Uint64(buf)
+	ru.MaxLId = binary.LittleEndian.Uint64(buf[8:])
+	ru.MaxLIdExclusive = binary.LittleEndian.Uint64(buf[16:])
+	ru.HasHost = buf[24] == 1
+	ru.Host = core.DCID(binary.LittleEndian.Uint16(buf[25:]))
+	ru.MinTOId = binary.LittleEndian.Uint64(buf[27:])
+	ru.MaxTOId = binary.LittleEndian.Uint64(buf[35:])
+	off := 43
+	key, n, err := wire.DecodeString(buf[off:])
+	if err != nil {
+		return ru, 0, err
+	}
+	ru.TagKey = key
+	off += n
+	if len(buf) < off+1 {
+		return ru, 0, errors.New("flstore: short rule cmp")
+	}
+	ru.TagCmp = core.CmpOp(buf[off])
+	off++
+	val, n, err := wire.DecodeString(buf[off:])
+	if err != nil {
+		return ru, 0, err
+	}
+	ru.TagValue = val
+	off += n
+	if len(buf) < off+5 {
+		return ru, 0, errors.New("flstore: short rule tail")
+	}
+	ru.Limit = int(binary.LittleEndian.Uint32(buf[off:]))
+	ru.MostRecent = buf[off+4] == 1
+	off += 5
+	return ru, off, nil
+}
+
+func appendLIds(dst []byte, lids []uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(lids)))
+	for _, l := range lids {
+		dst = binary.LittleEndian.AppendUint64(dst, l)
+	}
+	return dst
+}
+
+func decodeLIds(buf []byte) ([]uint64, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, errors.New("flstore: short lid list")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+8*n {
+		return nil, 0, errors.New("flstore: short lid list body")
+	}
+	lids := make([]uint64, n)
+	for i := range lids {
+		lids[i] = binary.LittleEndian.Uint64(buf[4+8*i:])
+	}
+	return lids, 4 + 8*n, nil
+}
+
+func appendPostings(dst []byte, ps []Posting) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ps)))
+	for _, p := range ps {
+		dst = wire.AppendString(dst, p.Key)
+		dst = wire.AppendString(dst, p.Value)
+		dst = binary.LittleEndian.AppendUint64(dst, p.LId)
+	}
+	return dst
+}
+
+func decodePostings(buf []byte) ([]Posting, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("flstore: short postings")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	ps := make([]Posting, 0, n)
+	for i := 0; i < n; i++ {
+		key, used, err := wire.DecodeString(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		val, used, err := wire.DecodeString(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		if len(buf) < off+8 {
+			return nil, errors.New("flstore: short posting lid")
+		}
+		ps = append(ps, Posting{Key: key, Value: val, LId: binary.LittleEndian.Uint64(buf[off:])})
+		off += 8
+	}
+	return ps, nil
+}
+
+func appendConfig(dst []byte, cfg *Config) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cfg.Placement.NumMaintainers))
+	dst = binary.LittleEndian.AppendUint64(dst, cfg.Placement.BatchSize)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cfg.MaintainerAddrs)))
+	for _, a := range cfg.MaintainerAddrs {
+		dst = wire.AppendString(dst, a)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cfg.IndexerAddrs)))
+	for _, a := range cfg.IndexerAddrs {
+		dst = wire.AppendString(dst, a)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(cfg.Epochs)))
+	for _, e := range cfg.Epochs {
+		dst = binary.LittleEndian.AppendUint64(dst, e.FirstLId)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Placement.NumMaintainers))
+		dst = binary.LittleEndian.AppendUint64(dst, e.Placement.BatchSize)
+	}
+	return dst
+}
+
+func decodeConfig(buf []byte) (*Config, error) {
+	if len(buf) < 12 {
+		return nil, errors.New("flstore: short config")
+	}
+	cfg := &Config{}
+	cfg.Placement.NumMaintainers = int(binary.LittleEndian.Uint32(buf))
+	cfg.Placement.BatchSize = binary.LittleEndian.Uint64(buf[4:])
+	off := 12
+	readAddrs := func() ([]string, error) {
+		if len(buf) < off+4 {
+			return nil, errors.New("flstore: short config addrs")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		addrs := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			s, used, err := wire.DecodeString(buf[off:])
+			if err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, s)
+			off += used
+		}
+		return addrs, nil
+	}
+	var err error
+	if cfg.MaintainerAddrs, err = readAddrs(); err != nil {
+		return nil, err
+	}
+	if cfg.IndexerAddrs, err = readAddrs(); err != nil {
+		return nil, err
+	}
+	if len(buf) < off+4 {
+		return nil, errors.New("flstore: short config epochs")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		if len(buf) < off+20 {
+			return nil, errors.New("flstore: short config epoch")
+		}
+		cfg.Epochs = append(cfg.Epochs, Epoch{
+			FirstLId: binary.LittleEndian.Uint64(buf[off:]),
+			Placement: Placement{
+				NumMaintainers: int(binary.LittleEndian.Uint32(buf[off+8:])),
+				BatchSize:      binary.LittleEndian.Uint64(buf[off+12:]),
+			},
+		})
+		off += 20
+	}
+	return cfg, nil
+}
+
+// --- server adapters ---
+
+// ServeMaintainer registers RPC handlers exposing m on srv.
+func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
+	srv.Handle(msgAppend, func(p []byte) ([]byte, error) {
+		recs, _, err := core.DecodeRecords(p)
+		if err != nil {
+			return nil, err
+		}
+		lids, err := m.Append(recs)
+		if err != nil {
+			return nil, err
+		}
+		return appendLIds(nil, lids), nil
+	})
+	srv.Handle(msgAppendAssigned, func(p []byte) ([]byte, error) {
+		recs, _, err := core.DecodeRecords(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, m.AppendAssigned(recs)
+	})
+	srv.Handle(msgAppendAfter, func(p []byte) ([]byte, error) {
+		if len(p) < 8 {
+			return nil, errors.New("flstore: short AppendAfter request")
+		}
+		minLId := binary.LittleEndian.Uint64(p)
+		recs, _, err := core.DecodeRecords(p[8:])
+		if err != nil {
+			return nil, err
+		}
+		lids, err := m.AppendAfter(minLId, recs)
+		if err != nil {
+			return nil, err
+		}
+		return appendLIds(nil, lids), nil
+	})
+	srv.Handle(msgRead, func(p []byte) ([]byte, error) {
+		if len(p) < 8 {
+			return nil, errors.New("flstore: short Read request")
+		}
+		rec, err := m.Read(binary.LittleEndian.Uint64(p))
+		if err != nil {
+			return nil, err
+		}
+		return core.MarshalRecord(rec), nil
+	})
+	srv.Handle(msgScan, func(p []byte) ([]byte, error) {
+		ru, _, err := decodeRule(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := m.Scan(ru)
+		if err != nil {
+			return nil, err
+		}
+		return core.AppendRecords(nil, recs), nil
+	})
+	srv.Handle(msgHead, func(p []byte) ([]byte, error) {
+		h, err := m.Head()
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, h), nil
+	})
+	srv.Handle(msgNextUnfilled, func(p []byte) ([]byte, error) {
+		n, err := m.NextUnfilled()
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, n), nil
+	})
+	srv.Handle(msgGossip, func(p []byte) ([]byte, error) {
+		if len(p) < 12 {
+			return nil, errors.New("flstore: short Gossip request")
+		}
+		from := int(binary.LittleEndian.Uint32(p))
+		next := binary.LittleEndian.Uint64(p[4:])
+		mine, err := m.Gossip(from, next)
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, mine), nil
+	})
+}
+
+// ServeIndexer registers RPC handlers exposing ix on srv.
+func ServeIndexer(srv *rpc.Server, ix IndexerAPI) {
+	srv.Handle(msgPost, func(p []byte) ([]byte, error) {
+		ps, err := decodePostings(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, ix.Post(ps)
+	})
+	srv.Handle(msgLookup, func(p []byte) ([]byte, error) {
+		q, err := decodeLookup(p)
+		if err != nil {
+			return nil, err
+		}
+		lids, err := ix.Lookup(q)
+		if err != nil {
+			return nil, err
+		}
+		return appendLIds(nil, lids), nil
+	})
+}
+
+// ServeController registers RPC handlers exposing c on srv.
+func ServeController(srv *rpc.Server, c ControllerAPI) {
+	srv.Handle(msgGetConfig, func(p []byte) ([]byte, error) {
+		cfg, err := c.GetConfig()
+		if err != nil {
+			return nil, err
+		}
+		return appendConfig(nil, cfg), nil
+	})
+}
+
+func appendLookup(dst []byte, q LookupQuery) []byte {
+	dst = wire.AppendString(dst, q.Key)
+	dst = append(dst, byte(q.Cmp))
+	dst = wire.AppendString(dst, q.Value)
+	dst = binary.LittleEndian.AppendUint64(dst, q.MaxLIdExclusive)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(q.Limit))
+	var mr byte
+	if q.MostRecent {
+		mr = 1
+	}
+	return append(dst, mr)
+}
+
+func decodeLookup(buf []byte) (LookupQuery, error) {
+	var q LookupQuery
+	key, off, err := wire.DecodeString(buf)
+	if err != nil {
+		return q, err
+	}
+	q.Key = key
+	if len(buf) < off+1 {
+		return q, errors.New("flstore: short lookup cmp")
+	}
+	q.Cmp = core.CmpOp(buf[off])
+	off++
+	val, used, err := wire.DecodeString(buf[off:])
+	if err != nil {
+		return q, err
+	}
+	q.Value = val
+	off += used
+	if len(buf) < off+13 {
+		return q, errors.New("flstore: short lookup tail")
+	}
+	q.MaxLIdExclusive = binary.LittleEndian.Uint64(buf[off:])
+	q.Limit = int(binary.LittleEndian.Uint32(buf[off+8:]))
+	q.MostRecent = buf[off+12] == 1
+	return q, nil
+}
+
+// --- client adapters ---
+
+// mapRemoteError restores the identity of well-known sentinel errors that
+// crossed the wire as strings, so call sites can use errors.Is uniformly
+// whether the API is local or remote.
+func mapRemoteError(err error) error {
+	if err == nil || !rpc.IsRemote(err) {
+		return err
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, core.ErrNoSuchRecord.Error()):
+		return fmt.Errorf("%w (remote)", core.ErrNoSuchRecord)
+	case strings.Contains(msg, core.ErrPastHead.Error()):
+		return fmt.Errorf("%w: %s", core.ErrPastHead, msg)
+	case strings.Contains(msg, ErrOverloaded.Error()):
+		return fmt.Errorf("%w (remote)", ErrOverloaded)
+	case strings.Contains(msg, storage.ErrDuplicate.Error()):
+		return fmt.Errorf("%w: %s", storage.ErrDuplicate, msg)
+	case strings.Contains(msg, ErrWrongMaintainer.Error()):
+		return fmt.Errorf("%w: %s", ErrWrongMaintainer, msg)
+	case strings.Contains(msg, ErrOrderBacklog.Error()):
+		return fmt.Errorf("%w (remote)", ErrOrderBacklog)
+	}
+	return err
+}
+
+// maintainerClient implements MaintainerAPI over an rpc.Client.
+type maintainerClient struct{ c rpc.Client }
+
+// NewMaintainerClient wraps an RPC client as a MaintainerAPI.
+func NewMaintainerClient(c rpc.Client) MaintainerAPI { return &maintainerClient{c: c} }
+
+func (mc *maintainerClient) Append(recs []*core.Record) ([]uint64, error) {
+	resp, err := mc.c.Call(msgAppend, core.AppendRecords(nil, recs))
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	lids, _, err := decodeLIds(resp)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the in-process behaviour: assign LIds onto the caller's
+	// records.
+	for i, r := range recs {
+		if i < len(lids) {
+			r.LId = lids[i]
+		}
+	}
+	return lids, nil
+}
+
+func (mc *maintainerClient) AppendAssigned(recs []*core.Record) error {
+	_, err := mc.c.Call(msgAppendAssigned, core.AppendRecords(nil, recs))
+	return mapRemoteError(err)
+}
+
+func (mc *maintainerClient) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, error) {
+	req := binary.LittleEndian.AppendUint64(nil, minLId)
+	req = core.AppendRecords(req, recs)
+	resp, err := mc.c.Call(msgAppendAfter, req)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	lids, _, err := decodeLIds(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(lids) == 0 {
+		return nil, nil
+	}
+	for i, r := range recs {
+		if i < len(lids) {
+			r.LId = lids[i]
+		}
+	}
+	return lids, nil
+}
+
+func (mc *maintainerClient) Read(lid uint64) (*core.Record, error) {
+	resp, err := mc.c.Call(msgRead, binary.LittleEndian.AppendUint64(nil, lid))
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	rec, _, err := core.DecodeRecord(resp)
+	return rec, err
+}
+
+func (mc *maintainerClient) Scan(rule core.Rule) ([]*core.Record, error) {
+	resp, err := mc.c.Call(msgScan, appendRule(nil, rule))
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	recs, _, err := core.DecodeRecords(resp)
+	return recs, err
+}
+
+func (mc *maintainerClient) Head() (uint64, error) {
+	resp, err := mc.c.Call(msgHead, nil)
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	if len(resp) < 8 {
+		return 0, errors.New("flstore: short Head response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+func (mc *maintainerClient) NextUnfilled() (uint64, error) {
+	resp, err := mc.c.Call(msgNextUnfilled, nil)
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	if len(resp) < 8 {
+		return 0, errors.New("flstore: short NextUnfilled response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+func (mc *maintainerClient) Gossip(from int, next uint64) (uint64, error) {
+	req := binary.LittleEndian.AppendUint32(nil, uint32(from))
+	req = binary.LittleEndian.AppendUint64(req, next)
+	resp, err := mc.c.Call(msgGossip, req)
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	if len(resp) < 8 {
+		return 0, errors.New("flstore: short Gossip response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+// indexerClient implements IndexerAPI over an rpc.Client.
+type indexerClient struct{ c rpc.Client }
+
+// NewIndexerClient wraps an RPC client as an IndexerAPI.
+func NewIndexerClient(c rpc.Client) IndexerAPI { return &indexerClient{c: c} }
+
+func (ic *indexerClient) Post(entries []Posting) error {
+	_, err := ic.c.Call(msgPost, appendPostings(nil, entries))
+	return mapRemoteError(err)
+}
+
+func (ic *indexerClient) Lookup(q LookupQuery) ([]uint64, error) {
+	resp, err := ic.c.Call(msgLookup, appendLookup(nil, q))
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	lids, _, err := decodeLIds(resp)
+	return lids, err
+}
+
+// controllerClient implements ControllerAPI over an rpc.Client.
+type controllerClient struct{ c rpc.Client }
+
+// NewControllerClient wraps an RPC client as a ControllerAPI.
+func NewControllerClient(c rpc.Client) ControllerAPI { return &controllerClient{c: c} }
+
+func (cc *controllerClient) GetConfig() (*Config, error) {
+	resp, err := cc.c.Call(msgGetConfig, nil)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	return decodeConfig(resp)
+}

@@ -1,0 +1,87 @@
+// Package flstore implements the Fractal Log Store (§5): a distributed,
+// deterministic shared log that scales beyond a single machine by
+// abandoning sequencer-style pre-assignment of log positions. Disjoint
+// round-robin ranges of the log are owned by independent log maintainers;
+// a record is assigned its position *after* it arrives at a maintainer
+// (post-assignment), so the append path has no cross-machine coordination.
+package flstore
+
+import "fmt"
+
+// Placement is the deterministic LId layout of §5.2: positions are dealt to
+// maintainers round-robin in rounds of BatchSize consecutive positions.
+// With 3 maintainers and BatchSize 1000, maintainer 0 owns 1–1000,
+// 3001–4000, 6001–7000, …; maintainer 1 owns 1001–2000, 4001–5000, …
+// (Figure 4). LIds are 1-based; 0 means "unassigned".
+//
+// Placement is a pure value: every component (queues, clients, readers)
+// can compute ownership locally, which is what removes the sequencer.
+type Placement struct {
+	NumMaintainers int
+	BatchSize      uint64
+}
+
+// Validate reports whether the placement parameters are usable.
+func (p Placement) Validate() error {
+	if p.NumMaintainers < 1 {
+		return fmt.Errorf("flstore: NumMaintainers must be >= 1, got %d", p.NumMaintainers)
+	}
+	if p.BatchSize < 1 {
+		return fmt.Errorf("flstore: BatchSize must be >= 1, got %d", p.BatchSize)
+	}
+	return nil
+}
+
+// Owner returns the maintainer index owning position lid.
+func (p Placement) Owner(lid uint64) int {
+	if lid == 0 {
+		panic("flstore: Owner of unassigned LId")
+	}
+	chunk := (lid - 1) / p.BatchSize
+	return int(chunk % uint64(p.NumMaintainers))
+}
+
+// SlotOf returns the index (0-based) of lid within the owning maintainer's
+// sequence of owned positions: the k-th position maintainer Owner(lid)
+// fills is SlotOf(lid) = k.
+func (p Placement) SlotOf(lid uint64) uint64 {
+	chunk := (lid - 1) / p.BatchSize
+	round := chunk / uint64(p.NumMaintainers)
+	return round*p.BatchSize + (lid-1)%p.BatchSize
+}
+
+// LIdOfSlot is the inverse of SlotOf: the LId of the slot-th position (0-
+// based) owned by maintainer m.
+func (p Placement) LIdOfSlot(m int, slot uint64) uint64 {
+	round := slot / p.BatchSize
+	within := slot % p.BatchSize
+	chunk := round*uint64(p.NumMaintainers) + uint64(m)
+	return chunk*p.BatchSize + within + 1
+}
+
+// RoundStart returns the first LId of maintainer m's range in the given
+// round (0-based).
+func (p Placement) RoundStart(m int, round uint64) uint64 {
+	return (round*uint64(p.NumMaintainers)+uint64(m))*p.BatchSize + 1
+}
+
+// Head computes the head of the log (HL, §5.4) from a vector of
+// next-unfilled LIds, one per maintainer: the largest LId such that no
+// position at or below it is a gap. Because each maintainer fills its own
+// positions densely in order, every position below every maintainer's
+// next-unfilled position is filled, so HL = min(next) − 1.
+func Head(nextUnfilled []uint64) uint64 {
+	if len(nextUnfilled) == 0 {
+		return 0
+	}
+	min := nextUnfilled[0]
+	for _, v := range nextUnfilled[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return min - 1
+}

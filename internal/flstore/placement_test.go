@@ -1,0 +1,134 @@
+package flstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlacementValidate(t *testing.T) {
+	if err := (Placement{NumMaintainers: 3, BatchSize: 1000}).Validate(); err != nil {
+		t.Errorf("valid placement rejected: %v", err)
+	}
+	if err := (Placement{NumMaintainers: 0, BatchSize: 1}).Validate(); err == nil {
+		t.Error("zero maintainers accepted")
+	}
+	if err := (Placement{NumMaintainers: 1, BatchSize: 0}).Validate(); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
+// TestPlacementFigure4 checks the exact layout the paper draws: three
+// maintainers, batch size 1000; maintainer A owns 1-1000, 3001-4000,
+// 6001-7000; B owns 1001-2000, 4001-5000, 7001-8000; C the rest.
+func TestPlacementFigure4(t *testing.T) {
+	p := Placement{NumMaintainers: 3, BatchSize: 1000}
+	cases := []struct {
+		lid   uint64
+		owner int
+	}{
+		{1, 0}, {1000, 0}, {3001, 0}, {4000, 0}, {6001, 0}, {7000, 0},
+		{1001, 1}, {2000, 1}, {4001, 1}, {5000, 1}, {7001, 1}, {8000, 1},
+		{2001, 2}, {3000, 2}, {5001, 2}, {6000, 2}, {8001, 2}, {9000, 2},
+	}
+	for _, tt := range cases {
+		if got := p.Owner(tt.lid); got != tt.owner {
+			t.Errorf("Owner(%d) = %d, want %d", tt.lid, got, tt.owner)
+		}
+	}
+}
+
+func TestPlacementRoundStart(t *testing.T) {
+	p := Placement{NumMaintainers: 3, BatchSize: 1000}
+	if got := p.RoundStart(0, 0); got != 1 {
+		t.Errorf("RoundStart(0,0) = %d", got)
+	}
+	if got := p.RoundStart(1, 0); got != 1001 {
+		t.Errorf("RoundStart(1,0) = %d", got)
+	}
+	if got := p.RoundStart(0, 1); got != 3001 {
+		t.Errorf("RoundStart(0,1) = %d", got)
+	}
+	if got := p.RoundStart(2, 2); got != 8001 {
+		t.Errorf("RoundStart(2,2) = %d", got)
+	}
+}
+
+func TestPlacementSlotInverse(t *testing.T) {
+	p := Placement{NumMaintainers: 4, BatchSize: 7}
+	for m := 0; m < 4; m++ {
+		for slot := uint64(0); slot < 100; slot++ {
+			lid := p.LIdOfSlot(m, slot)
+			if got := p.Owner(lid); got != m {
+				t.Fatalf("Owner(LIdOfSlot(%d,%d)=%d) = %d", m, slot, lid, got)
+			}
+			if got := p.SlotOf(lid); got != slot {
+				t.Fatalf("SlotOf(LIdOfSlot(%d,%d)=%d) = %d", m, slot, lid, got)
+			}
+		}
+	}
+}
+
+// TestPlacementCoversAllLIds: every LId has exactly one owner, and the
+// owner's slot sequence is dense: consecutive slots map to increasing LIds.
+func TestPlacementCoversAllLIdsProperty(t *testing.T) {
+	f := func(nm uint8, bs uint8, lidSeed uint32) bool {
+		p := Placement{NumMaintainers: int(nm%8) + 1, BatchSize: uint64(bs%50) + 1}
+		lid := uint64(lidSeed%100000) + 1
+		m := p.Owner(lid)
+		slot := p.SlotOf(lid)
+		if p.LIdOfSlot(m, slot) != lid {
+			return false
+		}
+		// Dense: next slot's LId is the next owned position, strictly
+		// greater.
+		return p.LIdOfSlot(m, slot+1) > lid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHead(t *testing.T) {
+	tests := []struct {
+		next []uint64
+		want uint64
+	}{
+		{nil, 0},
+		{[]uint64{1, 1001, 2001}, 0},       // nothing filled (N=3, B=1000)
+		{[]uint64{1001, 1001, 2001}, 1000}, // m0 filled its first range
+		{[]uint64{3001, 2001, 2001}, 2000},
+		{[]uint64{3001, 2001, 3001}, 2000},
+		{[]uint64{0}, 0},
+	}
+	for _, tt := range tests {
+		if got := Head(tt.next); got != tt.want {
+			t.Errorf("Head(%v) = %d, want %d", tt.next, got, tt.want)
+		}
+	}
+}
+
+// TestHeadNoGapsProperty: for any fill profile, every position ≤ Head is
+// filled and position Head+1 is not.
+func TestHeadNoGapsProperty(t *testing.T) {
+	f := func(fills [3]uint16) bool {
+		p := Placement{NumMaintainers: 3, BatchSize: 10}
+		filled := make(map[uint64]bool)
+		next := make([]uint64, 3)
+		for m := 0; m < 3; m++ {
+			for s := uint64(0); s < uint64(fills[m]%200); s++ {
+				filled[p.LIdOfSlot(m, s)] = true
+			}
+			next[m] = p.LIdOfSlot(m, uint64(fills[m]%200))
+		}
+		h := Head(next)
+		for lid := uint64(1); lid <= h; lid++ {
+			if !filled[lid] {
+				return false
+			}
+		}
+		return !filled[h+1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package metrics provides the measurement substrate for the evaluation:
+// monotonic counters, windowed throughput samplers (the timeseries of
+// Figure 9), and latency histograms.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready to use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Sample is one point of a throughput timeseries: the number of events
+// observed in the window ending at Elapsed since the sampler started.
+type Sample struct {
+	Elapsed time.Duration
+	Count   uint64
+	Rate    float64 // events per second over the window
+}
+
+// ThroughputSampler periodically snapshots a Counter and records the
+// per-window rate — the instrument behind the paper's Figure 9 timeseries.
+type ThroughputSampler struct {
+	mu      sync.Mutex
+	counter *Counter
+	window  time.Duration
+	start   time.Time
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewThroughputSampler returns a sampler over c with the given window.
+func NewThroughputSampler(c *Counter, window time.Duration) *ThroughputSampler {
+	return &ThroughputSampler{
+		counter: c,
+		window:  window,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start begins sampling in a background goroutine. It may be called once.
+func (s *ThroughputSampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.start = time.Now()
+	s.mu.Unlock()
+
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.window)
+		defer ticker.Stop()
+		prev := s.counter.Value()
+		prevT := time.Now()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-ticker.C:
+				cur := s.counter.Value()
+				dt := now.Sub(prevT).Seconds()
+				if dt <= 0 {
+					continue
+				}
+				s.mu.Lock()
+				s.samples = append(s.samples, Sample{
+					Elapsed: now.Sub(s.start),
+					Count:   cur - prev,
+					Rate:    float64(cur-prev) / dt,
+				})
+				s.mu.Unlock()
+				prev, prevT = cur, now
+			}
+		}
+	}()
+}
+
+// Stop ends sampling and waits for the background goroutine to exit.
+func (s *ThroughputSampler) Stop() {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Samples returns a copy of the recorded timeseries.
+func (s *ThroughputSampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// Histogram records latency observations and reports quantiles. It keeps
+// raw observations (bounded by Cap, reservoir-free: first Cap observations)
+// which is sufficient for the bounded experiment runs here.
+type Histogram struct {
+	mu  sync.Mutex
+	v   []time.Duration
+	cap int
+	n   uint64
+	sum time.Duration
+}
+
+// NewHistogram returns a histogram retaining at most capacity raw
+// observations (default 1<<16 when capacity <= 0).
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Histogram{cap: capacity}
+}
+
+// Observe records one latency observation.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.n++
+	h.sum += d
+	if len(h.v) < h.cap {
+		h.v = append(h.v, d)
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean of all observations (not only retained ones).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of retained observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.v) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.v...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Stopwatch measures sustained throughput of a closed operation window.
+type Stopwatch struct {
+	start time.Time
+	end   time.Time
+}
+
+// NewStopwatch returns a started stopwatch.
+func NewStopwatch() *Stopwatch { return &Stopwatch{start: time.Now()} }
+
+// Stop freezes the stopwatch.
+func (w *Stopwatch) Stop() { w.end = time.Now() }
+
+// Elapsed returns the measured duration (to now if not stopped).
+func (w *Stopwatch) Elapsed() time.Duration {
+	if w.end.IsZero() {
+		return time.Since(w.start)
+	}
+	return w.end.Sub(w.start)
+}
+
+// Rate returns events/sec for n events over the measured window.
+func (w *Stopwatch) Rate(n uint64) float64 {
+	s := w.Elapsed().Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(n) / s
+}
+
+// FormatRate renders a rate the way the paper's tables do, in Kappends/s.
+func FormatRate(perSec float64) string {
+	return fmt.Sprintf("%.1fK", perSec/1000)
+}
+
+// Table is a small helper for printing experiment tables aligned like the
+// paper's (machine → throughput rows).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(8*1000+8*10); got != want {
+		t.Errorf("Value = %d, want %d", got, want)
+	}
+}
+
+func TestThroughputSampler(t *testing.T) {
+	var c Counter
+	s := NewThroughputSampler(&c, 20*time.Millisecond)
+	s.Start()
+	s.Start() // double start must be a no-op
+	deadline := time.Now().Add(120 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		c.Add(100)
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // double stop must be safe
+	samples := s.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("got %d samples, want >= 3", len(samples))
+	}
+	var total uint64
+	for i, sm := range samples {
+		total += sm.Count
+		if sm.Rate < 0 {
+			t.Errorf("sample %d has negative rate", i)
+		}
+		if i > 0 && sm.Elapsed <= samples[i-1].Elapsed {
+			t.Errorf("samples not monotonic in time")
+		}
+	}
+	if total == 0 {
+		t.Error("sampler observed no events")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d", got)
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0.5); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Errorf("median = %v, want ~50ms", got)
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("q0 = %v, want 1ms", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("q1 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramCap(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100 (count not capped)", got)
+	}
+}
+
+func TestStopwatchRate(t *testing.T) {
+	w := NewStopwatch()
+	time.Sleep(20 * time.Millisecond)
+	w.Stop()
+	rate := w.Rate(1000)
+	if rate <= 0 || rate > 1000/0.015 {
+		t.Errorf("Rate = %v, implausible for 1000 events over >=20ms", rate)
+	}
+	if w.Elapsed() < 20*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 20ms", w.Elapsed())
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(129400); got != "129.4K" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Machine", "Throughput (Kappends/s)"}}
+	tb.AddRow("Client", "129")
+	tb.AddRow("Batcher", "129")
+	out := tb.String()
+	if !strings.Contains(out, "Machine") || !strings.Contains(out, "Batcher") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+}

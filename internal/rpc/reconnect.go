@@ -1,0 +1,104 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+)
+
+// ReconnectingClient is a Client that dials lazily and re-dials after
+// transport failures — the hardening a WAN-facing connection (sender →
+// remote receiver) needs, where links flap.
+//
+// If RetryOnce is set, a call that failed in transport is retried one time
+// on a fresh connection. Retrying can duplicate a non-idempotent request
+// (an FLStore Append would take a second log position), so it should be
+// enabled only for idempotent traffic — Chariots replication is (filters
+// deduplicate by TOId), as are reads and control-plane calls.
+type ReconnectingClient struct {
+	addr      string
+	retryOnce bool
+	backoff   time.Duration
+
+	mu     sync.Mutex
+	conn   *TCPClient
+	closed bool
+}
+
+// NewReconnecting returns a reconnecting client for addr. No connection is
+// attempted until the first call.
+func NewReconnecting(addr string, retryOnce bool) *ReconnectingClient {
+	return &ReconnectingClient{
+		addr:      addr,
+		retryOnce: retryOnce,
+		backoff:   100 * time.Millisecond,
+	}
+}
+
+// current returns a live connection, dialing if needed.
+func (r *ReconnectingClient) current() (*TCPClient, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	conn, err := Dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	r.conn = conn
+	return conn, nil
+}
+
+// drop discards a connection after a transport failure, so the next call
+// re-dials. Only the connection that failed is dropped (a concurrent call
+// may already have re-dialed).
+func (r *ReconnectingClient) drop(failed *TCPClient) {
+	r.mu.Lock()
+	if r.conn == failed {
+		r.conn = nil
+	}
+	r.mu.Unlock()
+	failed.Close()
+}
+
+// Call implements Client.
+func (r *ReconnectingClient) Call(msgType uint8, payload []byte) ([]byte, error) {
+	conn, err := r.current()
+	if err == nil {
+		var resp []byte
+		resp, err = conn.Call(msgType, payload)
+		if err == nil || IsRemote(err) {
+			return resp, err
+		}
+		r.drop(conn)
+	}
+	if !r.retryOnce {
+		return nil, err
+	}
+	time.Sleep(r.backoff)
+	conn, derr := r.current()
+	if derr != nil {
+		return nil, derr
+	}
+	resp, err := conn.Call(msgType, payload)
+	if err != nil && !IsRemote(err) {
+		r.drop(conn)
+	}
+	return resp, err
+}
+
+// Close implements Client.
+func (r *ReconnectingClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	return nil
+}

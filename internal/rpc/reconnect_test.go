@@ -1,0 +1,130 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// restartableServer lets a test kill and revive a server on a fixed port.
+type restartableServer struct {
+	t    *testing.T
+	addr string
+	srv  *Server
+}
+
+func newRestartable(t *testing.T) *restartableServer {
+	t.Helper()
+	// Reserve a port by listening and closing.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	rs := &restartableServer{t: t, addr: addr}
+	rs.start()
+	return rs
+}
+
+func (rs *restartableServer) start() {
+	rs.t.Helper()
+	srv := NewServer()
+	srv.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	srv.Handle(msgFail, func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	// The freed port may linger in TIME_WAIT briefly; retry.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := srv.Listen(rs.addr); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			rs.t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rs.srv = srv
+	rs.t.Cleanup(func() { srv.Close() })
+}
+
+func (rs *restartableServer) stop() { rs.srv.Close() }
+
+func TestReconnectingClientBasicCall(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, true)
+	defer c.Close()
+	resp, err := c.Call(msgEcho, []byte("hi"))
+	if err != nil || string(resp) != "hi" {
+		t.Fatalf("call = %q, %v", resp, err)
+	}
+	// Remote errors pass through without reconnecting.
+	if _, err := c.Call(msgFail, nil); !IsRemote(err) {
+		t.Errorf("remote error = %v", err)
+	}
+}
+
+func TestReconnectingClientSurvivesRestart(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, true)
+	c.backoff = 5 * time.Millisecond
+	defer c.Close()
+	if _, err := c.Call(msgEcho, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	rs.stop()
+	rs.start()
+	// The old connection is dead; the retry path must re-dial.
+	resp, err := c.Call(msgEcho, []byte("after-restart"))
+	if err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if string(resp) != "after-restart" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestReconnectingClientNoRetry(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, false)
+	defer c.Close()
+	if _, err := c.Call(msgEcho, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rs.stop()
+	if _, err := c.Call(msgEcho, []byte("y")); err == nil {
+		t.Error("call through dead server succeeded without retry")
+	}
+	// After the server returns, the NEXT call re-dials even without the
+	// retry-once policy (reconnection is lazy, retry is per-call).
+	rs.start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Call(msgEcho, []byte("z")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReconnectingClientClosed(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, true)
+	c.Close()
+	if _, err := c.Call(msgEcho, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("call after close = %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestReconnectingClientDialFailure(t *testing.T) {
+	c := NewReconnecting("127.0.0.1:1", false) // nothing listens on port 1
+	defer c.Close()
+	if _, err := c.Call(msgEcho, nil); err == nil {
+		t.Error("call to dead address succeeded")
+	}
+}

@@ -1,0 +1,318 @@
+// Package rpc is the request/response substrate connecting Chariots
+// components: a small framed-message RPC over TCP with pipelining, plus an
+// in-process transport with identical semantics for simulations that
+// measure algorithmic (not kernel-networking) behaviour.
+//
+// Servers register a handler per message type. Requests on one connection
+// are served in order (FIFO), which upper layers rely on for the
+// "send appends to the same maintainer in the desired order" form of
+// explicit ordering (§5.4); concurrency comes from multiple connections.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// msgError is the reserved response type carrying a handler error string.
+const msgError uint8 = 0xFF
+
+// ErrClosed is returned by calls on a closed client or server.
+var ErrClosed = errors.New("rpc: closed")
+
+// Handler serves one request payload and returns the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Client is the calling side of the RPC substrate. Implementations are
+// safe for concurrent use.
+type Client interface {
+	// Call sends a request of the given type and waits for its response.
+	Call(msgType uint8, payload []byte) ([]byte, error)
+	Close() error
+}
+
+// Server dispatches framed requests to registered handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[uint8]Handler
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[uint8]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers h for msgType. Registration must complete before the
+// server starts serving; re-registering a type replaces the handler.
+func (s *Server) Handle(msgType uint8, h Handler) {
+	if msgType == msgError {
+		panic("rpc: message type 0xFF is reserved")
+	}
+	s.mu.Lock()
+	s.handlers[msgType] = h
+	s.mu.Unlock()
+}
+
+// dispatch runs the handler for one frame and returns the response frame's
+// type and payload.
+func (s *Server) dispatch(f wire.Frame) (uint8, []byte) {
+	s.mu.Lock()
+	h, ok := s.handlers[f.Type]
+	s.mu.Unlock()
+	if !ok {
+		return msgError, []byte(fmt.Sprintf("rpc: no handler for message type %d", f.Type))
+	}
+	resp, err := h(f.Payload)
+	if err != nil {
+		return msgError, []byte(err.Error())
+	}
+	return f.Type, resp
+}
+
+// Listen binds to addr ("host:port"; ":0" for an ephemeral port) and starts
+// serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveConn(conn)
+		}
+	}()
+	return l.Addr(), nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		f, err := wire.Read(conn)
+		if err != nil {
+			return
+		}
+		respType, resp := s.dispatch(f)
+		writeMu.Lock()
+		err = wire.Write(conn, f.ReqID, respType, resp)
+		writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener, closes live connections, and waits for all
+// connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// TCPClient is a Client over one TCP connection with pipelined calls.
+type TCPClient struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Frame
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{conn: conn, pending: make(map[uint64]chan wire.Frame)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPClient) readLoop() {
+	for {
+		f, err := wire.Read(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.closed = true
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ReqID]
+		if ok {
+			delete(c.pending, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(msgType uint8, payload []byte) ([]byte, error) {
+	ch := make(chan wire.Frame, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := wire.Write(c.conn, id, msgType, payload)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, fmt.Errorf("rpc: connection lost: %w", err)
+	}
+	if f.Type == msgError {
+		return nil, &RemoteError{Message: string(f.Payload)}
+	}
+	return f.Payload, nil
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Message string
+}
+
+func (e *RemoteError) Error() string { return e.Message }
+
+// IsRemote reports whether err is an error produced by the remote handler.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// LocalClient is a Client that invokes a Server's handlers directly in
+// process — same dispatch semantics, no sockets. Simulations use it when
+// the experiment measures the algorithms rather than kernel networking.
+type LocalClient struct {
+	srv    *Server
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewLocalClient returns an in-process client for s.
+func NewLocalClient(s *Server) *LocalClient { return &LocalClient{srv: s} }
+
+// Call implements Client.
+func (c *LocalClient) Call(msgType uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	respType, resp := c.srv.dispatch(wire.Frame{Type: msgType, Payload: payload})
+	if respType == msgError {
+		return nil, &RemoteError{Message: string(resp)}
+	}
+	return resp, nil
+}
+
+// Close implements Client.
+func (c *LocalClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}

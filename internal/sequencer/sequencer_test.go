@@ -1,0 +1,184 @@
+package sequencer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ratelimit"
+)
+
+func TestSequencerIssuesUniqueMonotonic(t *testing.T) {
+	s := NewSequencer(nil)
+	first, err := s.Next(1)
+	if err != nil || first != 1 {
+		t.Fatalf("first = %d, %v", first, err)
+	}
+	second, _ := s.Next(5)
+	if second != 2 {
+		t.Errorf("second reservation = %d, want 2", second)
+	}
+	third, _ := s.Next(1)
+	if third != 7 {
+		t.Errorf("third = %d, want 7", third)
+	}
+	if s.Tail() != 8 {
+		t.Errorf("Tail = %d, want 8", s.Tail())
+	}
+	if s.Issued.Value() != 7 {
+		t.Errorf("Issued = %d, want 7", s.Issued.Value())
+	}
+}
+
+func TestSequencerInvalidReservation(t *testing.T) {
+	s := NewSequencer(nil)
+	if _, err := s.Next(0); err == nil {
+		t.Error("Next(0) accepted")
+	}
+	if _, err := s.Next(-3); err == nil {
+		t.Error("Next(-3) accepted")
+	}
+}
+
+func TestSequencerConcurrentUnique(t *testing.T) {
+	s := NewSequencer(nil)
+	var wg sync.WaitGroup
+	ch := make(chan uint64, 800)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				lid, err := s.Next(1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ch <- lid
+			}
+		}()
+	}
+	wg.Wait()
+	close(ch)
+	seen := map[uint64]bool{}
+	for lid := range ch {
+		if seen[lid] {
+			t.Fatalf("duplicate position %d", lid)
+		}
+		seen[lid] = true
+	}
+	if len(seen) != 800 {
+		t.Errorf("issued %d unique positions, want 800", len(seen))
+	}
+}
+
+func TestSequencerOverload(t *testing.T) {
+	s := NewSequencer(ratelimit.New(10, 2))
+	var rejected int
+	for i := 0; i < 100; i++ {
+		if _, err := s.Next(1); errors.Is(err, ErrSequencerOverloaded) {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Error("limited sequencer never rejected")
+	}
+	if s.Rejected.Value() != uint64(rejected) {
+		t.Errorf("Rejected counter = %d, want %d", s.Rejected.Value(), rejected)
+	}
+}
+
+func TestLogAppendStripesAcrossUnits(t *testing.T) {
+	units := []*StorageUnit{NewStorageUnit(nil, nil), NewStorageUnit(nil, nil), NewStorageUnit(nil, nil)}
+	log, err := NewLog(NewSequencer(nil), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := log.Append(&core.Record{Body: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, u := range units {
+		if u.Len() != 3 {
+			t.Errorf("unit %d has %d records, want 3", i, u.Len())
+		}
+	}
+	// Position p lives on unit (p-1) mod 3.
+	rec, err := log.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LId != 5 {
+		t.Errorf("Read(5).LId = %d", rec.LId)
+	}
+	if _, err := log.Read(0); !errors.Is(err, core.ErrNoSuchRecord) {
+		t.Errorf("Read(0) = %v", err)
+	}
+	if _, err := log.Read(100); !errors.Is(err, core.ErrNoSuchRecord) {
+		t.Errorf("Read(100) = %v", err)
+	}
+}
+
+func TestLogRejectsBadAssembly(t *testing.T) {
+	if _, err := NewLog(nil, []*StorageUnit{NewStorageUnit(nil, nil)}); err == nil {
+		t.Error("nil sequencer accepted")
+	}
+	if _, err := NewLog(NewSequencer(nil), nil); err == nil {
+		t.Error("no units accepted")
+	}
+}
+
+func TestStorageUnitWriteValidation(t *testing.T) {
+	u := NewStorageUnit(nil, nil)
+	if err := u.Write(&core.Record{TOId: 1}); err == nil {
+		t.Error("write without position accepted")
+	}
+	if err := u.Write(&core.Record{LId: 1, TOId: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Write(&core.Record{LId: 1, TOId: 1}); err == nil {
+		t.Error("duplicate position accepted")
+	}
+}
+
+func TestStorageUnitOverload(t *testing.T) {
+	u := NewStorageUnit(nil, ratelimit.New(5, 1))
+	u.Write(&core.Record{LId: 1, TOId: 1})
+	if err := u.Write(&core.Record{LId: 2, TOId: 2}); !errors.Is(err, ErrUnitOverloaded) {
+		t.Errorf("overload err = %v", err)
+	}
+}
+
+// TestSequencerBottleneckShape is the qualitative claim of §2.1: with a
+// rate-limited sequencer, adding storage units does not increase append
+// throughput once the sequencer saturates.
+func TestSequencerBottleneckShape(t *testing.T) {
+	run := func(nUnits int) int {
+		seq := NewSequencer(ratelimit.New(2000, 50))
+		var units []*StorageUnit
+		for i := 0; i < nUnits; i++ {
+			units = append(units, NewStorageUnit(nil, nil)) // unlimited units
+		}
+		log, _ := NewLog(seq, units)
+		ok := 0
+		for i := 0; i < 3000; i++ {
+			if _, err := log.Append(&core.Record{Body: []byte("x")}); err == nil {
+				ok++
+			}
+		}
+		return ok
+	}
+	one := run(1)
+	ten := run(10)
+	// Both runs are sequencer-bound; ten units must not beat one unit by
+	// more than noise.
+	if one == 0 || ten == 0 {
+		t.Fatal("no appends succeeded")
+	}
+	ratio := float64(ten) / float64(one)
+	if ratio > 1.5 {
+		t.Errorf("10 units scaled %.2fx over 1 unit despite sequencer bottleneck", ratio)
+	}
+}

@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Archive is the cold-storage tier of §6.1: "If the user chooses not to
+// garbage collect the records then they may employ a cold storage solution
+// to archive older records." Records move out of the hot segment store in
+// LId order into compressed-away append-only archive volumes; reads of
+// archived positions are served (slowly) from the archive, so the full
+// history — audit trails, time travel, debugging — remains available even
+// after the hot tier is trimmed.
+//
+// Volume format: one file per archived LId range, named
+// "<firstLId>-<lastLId>.arch", containing the same checksummed entry
+// framing as hot segments.
+type Archive struct {
+	mu      sync.Mutex
+	dir     string
+	volumes []archVolume // sorted by first LId
+}
+
+type archVolume struct {
+	path  string
+	first uint64
+	last  uint64
+}
+
+const archiveSuffix = ".arch"
+
+// ErrNotArchived is returned when a read names a position no archive
+// volume covers.
+var ErrNotArchived = errors.New("storage: position not archived")
+
+// OpenArchive opens (creating if needed) an archive rooted at dir.
+func OpenArchive(dir string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating archive dir: %w", err)
+	}
+	a := &Archive{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, archiveSuffix) {
+			continue
+		}
+		base := strings.TrimSuffix(name, archiveSuffix)
+		firstStr, lastStr, ok := strings.Cut(base, "-")
+		if !ok {
+			continue
+		}
+		first, err1 := strconv.ParseUint(firstStr, 10, 64)
+		last, err2 := strconv.ParseUint(lastStr, 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		a.volumes = append(a.volumes, archVolume{
+			path: filepath.Join(dir, name), first: first, last: last,
+		})
+	}
+	sort.Slice(a.volumes, func(i, j int) bool { return a.volumes[i].first < a.volumes[j].first })
+	return a, nil
+}
+
+// Put archives a batch of records as one volume. Records must be sorted by
+// LId and non-empty; the volume is fsynced before Put returns.
+func (a *Archive) Put(recs []*core.Record) error {
+	if len(recs) == 0 {
+		return errors.New("storage: empty archive batch")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LId <= recs[i-1].LId {
+			return errors.New("storage: archive batch not sorted by LId")
+		}
+	}
+	first, last := recs[0].LId, recs[len(recs)-1].LId
+	path := filepath.Join(a.dir, fmt.Sprintf("%020d-%020d%s", first, last, archiveSuffix))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating archive volume: %w", err)
+	}
+	var buf []byte
+	for _, r := range recs {
+		payload := core.MarshalRecord(r)
+		var hdr [entryHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.volumes = append(a.volumes, archVolume{path: path, first: first, last: last})
+	sort.Slice(a.volumes, func(i, j int) bool { return a.volumes[i].first < a.volumes[j].first })
+	a.mu.Unlock()
+	return nil
+}
+
+// volumeFor locates the volume that may contain lid.
+func (a *Archive) volumeFor(lid uint64) (archVolume, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i := sort.Search(len(a.volumes), func(i int) bool { return a.volumes[i].last >= lid })
+	if i == len(a.volumes) || a.volumes[i].first > lid {
+		return archVolume{}, false
+	}
+	return a.volumes[i], true
+}
+
+// Get reads one archived record by LId (a sequential scan of its volume —
+// the cold tier trades read speed for storage economy).
+func (a *Archive) Get(lid uint64) (*core.Record, error) {
+	vol, ok := a.volumeFor(lid)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotArchived, lid)
+	}
+	var found *core.Record
+	err := a.scanVolume(vol, func(r *core.Record) bool {
+		if r.LId == lid {
+			found = r
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: %d (volume gap)", ErrNotArchived, lid)
+	}
+	return found, nil
+}
+
+// Scan iterates archived records with minLId ≤ LId ≤ maxLId (0 = open) in
+// ascending order.
+func (a *Archive) Scan(minLId, maxLId uint64, fn func(*core.Record) bool) error {
+	a.mu.Lock()
+	vols := append([]archVolume(nil), a.volumes...)
+	a.mu.Unlock()
+	for _, vol := range vols {
+		if maxLId != 0 && vol.first > maxLId {
+			break
+		}
+		if vol.last < minLId {
+			continue
+		}
+		stop := false
+		err := a.scanVolume(vol, func(r *core.Record) bool {
+			if r.LId < minLId {
+				return true
+			}
+			if maxLId != 0 && r.LId > maxLId {
+				stop = true
+				return false
+			}
+			if !fn(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (a *Archive) scanVolume(vol archVolume, fn func(*core.Record) bool) error {
+	f, err := os.Open(vol.path)
+	if err != nil {
+		return fmt.Errorf("storage: opening archive volume: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, entryHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("storage: archive %s torn: %w", vol.path, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("storage: archive %s torn payload: %w", vol.path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return fmt.Errorf("storage: archive %s CRC mismatch", vol.path)
+		}
+		rec, _, err := core.DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+}
+
+// Volumes returns the number of archive volumes (introspection).
+func (a *Archive) Volumes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.volumes)
+}
+
+// ArchiveThenGC moves the GC-eligible prefix of a store into the archive
+// before trimming the hot tier: the §6.1 "keep the log, archive old
+// records" policy. It archives records with LId ≤ upTo, then GCs them from
+// the store, returning how many were archived.
+func ArchiveThenGC(st Store, a *Archive, upTo uint64) (int, error) {
+	var batch []*core.Record
+	if err := st.Scan(0, upTo, func(r *core.Record) bool {
+		batch = append(batch, r)
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	if err := a.Put(batch); err != nil {
+		return 0, err
+	}
+	if _, err := st.GC(upTo); err != nil {
+		return len(batch), fmt.Errorf("storage: archived but GC failed: %w", err)
+	}
+	return len(batch), nil
+}

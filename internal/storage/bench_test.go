@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func benchRecords(n, size int) []*core.Record {
+	body := workload.NewBody(size, 1)
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = &core.Record{LId: uint64(i + 1), TOId: uint64(i + 1), Body: body}
+	}
+	return recs
+}
+
+func BenchmarkMemStoreAppend(b *testing.B) {
+	body := workload.NewBody(512, 1)
+	s := NewMemStore()
+	defer s.Close()
+	b.ReportAllocs()
+	b.SetBytes(512)
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(&core.Record{LId: uint64(i + 1), TOId: uint64(i + 1), Body: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStoreGet(b *testing.B) {
+	s := NewMemStore()
+	defer s.Close()
+	s.AppendBatch(benchRecords(10000, 512))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(uint64(i%10000 + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentStoreAppend(b *testing.B) {
+	for _, sync := range []SyncPolicy{SyncNever, SyncEachBatch} {
+		name := "nosync"
+		if sync == SyncEachBatch {
+			name = "fsync"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := OpenSegmentStore(b.TempDir(), SegmentStoreOptions{Sync: sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			body := workload.NewBody(512, 1)
+			b.ReportAllocs()
+			b.SetBytes(512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Append(&core.Record{LId: uint64(i + 1), TOId: uint64(i + 1), Body: body}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSegmentStoreAppendBatch(b *testing.B) {
+	for _, batch := range []int{16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, err := OpenSegmentStore(b.TempDir(), SegmentStoreOptions{Sync: SyncEachBatch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			body := workload.NewBody(512, 1)
+			b.ReportAllocs()
+			b.SetBytes(int64(512 * batch))
+			lid := uint64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs := make([]*core.Record, batch)
+				for j := range recs {
+					recs[j] = &core.Record{LId: lid, TOId: lid, Body: body}
+					lid++
+				}
+				if err := s.AppendBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSegmentStoreRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, _ := OpenSegmentStore(dir, SegmentStoreOptions{})
+	s.AppendBatch(benchRecords(20000, 512))
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, err := OpenSegmentStore(dir, SegmentStoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s2.Len() != 20000 {
+			b.Fatalf("recovered %d records", s2.Len())
+		}
+		s2.Close()
+	}
+}

@@ -1,0 +1,427 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Segment file format: a sequence of entries, each
+//
+//	u32 length | u32 crc32c(payload) | payload (encoded core.Record)
+//
+// A torn final entry (crash mid-write) is detected by length/CRC mismatch
+// at open time and truncated away. Segment files are named
+// "<firstWriteSeq>.seg" where firstWriteSeq is the arrival sequence number
+// of the first entry, so lexicographic-by-number order is arrival order.
+
+const (
+	entryHeaderSize    = 8
+	defaultSegmentSize = 8 << 20 // rotate after 8 MiB
+	segmentSuffix      = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy controls when the segment store flushes to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNever leaves flushing to the OS (fastest; used by the
+	// simulation benches where durability is not under test).
+	SyncNever SyncPolicy = iota
+	// SyncEachBatch fsyncs once per AppendBatch (the paper's maintainers
+	// persist records before acknowledging).
+	SyncEachBatch
+)
+
+// SegmentStoreOptions configures a SegmentStore.
+type SegmentStoreOptions struct {
+	// MaxSegmentBytes triggers rotation to a new segment file; 0 uses a
+	// default of 8 MiB.
+	MaxSegmentBytes int64
+	// Sync selects the durability policy.
+	Sync SyncPolicy
+}
+
+type segment struct {
+	path    string
+	first   uint64 // arrival sequence of first entry
+	size    int64
+	maxLId  uint64 // highest LId stored in this segment
+	deleted bool
+}
+
+type indexEntry struct {
+	seg    *segment
+	offset int64
+	length int32
+}
+
+// SegmentStore is a disk-backed Store: records are appended to rolling
+// segment files and located through an in-memory LId index rebuilt on open.
+type SegmentStore struct {
+	mu       sync.Mutex
+	dir      string
+	opts     SegmentStoreOptions
+	segments []*segment
+	active   *os.File
+	actSeg   *segment
+	index    map[uint64]indexEntry
+	lids     []uint64
+	sorted   bool
+	writeSeq uint64
+	max      uint64
+	closed   bool
+}
+
+// OpenSegmentStore opens (creating if needed) a segment store in dir and
+// recovers its index by scanning existing segments, truncating any torn
+// tail entry in the most recent segment.
+func OpenSegmentStore(dir string, opts SegmentStoreOptions) (*SegmentStore, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = defaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating dir: %w", err)
+	}
+	s := &SegmentStore{
+		dir:    dir,
+		opts:   opts,
+		index:  make(map[uint64]indexEntry),
+		sorted: true,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *SegmentStore) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("storage: reading dir: %w", err)
+	}
+	var segs []*segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, &segment{path: filepath.Join(s.dir, name), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	for i, seg := range segs {
+		lastSegment := i == len(segs)-1
+		if err := s.scanSegment(seg, lastSegment); err != nil {
+			return err
+		}
+		s.segments = append(s.segments, seg)
+	}
+	return nil
+}
+
+// scanSegment reads a segment, populating the index. If truncateTorn is
+// set, a malformed tail is truncated rather than treated as corruption.
+func (s *SegmentStore) scanSegment(seg *segment, truncateTorn bool) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("storage: opening segment: %w", err)
+	}
+	defer f.Close()
+
+	var offset int64
+	hdr := make([]byte, entryHeaderSize)
+	count := seg.first
+	finish := func(truncate bool) error {
+		seg.size = offset
+		if count > s.writeSeq {
+			s.writeSeq = count
+		}
+		if truncate {
+			return os.Truncate(seg.path, offset)
+		}
+		return nil
+	}
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) && truncateTorn {
+				return finish(true)
+			}
+			return fmt.Errorf("storage: segment %s torn header at %d: %w", seg.path, offset, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if truncateTorn {
+				return finish(true)
+			}
+			return fmt.Errorf("storage: segment %s torn payload at %d: %w", seg.path, offset, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if truncateTorn {
+				return finish(true)
+			}
+			return fmt.Errorf("storage: segment %s CRC mismatch at %d", seg.path, offset)
+		}
+		rec, _, err := core.DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("storage: segment %s undecodable record at %d: %w", seg.path, offset, err)
+		}
+		s.indexRecord(rec, seg, offset+entryHeaderSize, int32(length))
+		offset += entryHeaderSize + int64(length)
+		count++
+	}
+	return finish(false)
+}
+
+func (s *SegmentStore) indexRecord(r *core.Record, seg *segment, off int64, length int32) {
+	s.index[r.LId] = indexEntry{seg: seg, offset: off, length: length}
+	s.lids = append(s.lids, r.LId)
+	if len(s.lids) > 1 && r.LId < s.lids[len(s.lids)-2] {
+		s.sorted = false
+	}
+	if r.LId > s.max {
+		s.max = r.LId
+	}
+	if r.LId > seg.maxLId {
+		seg.maxLId = r.LId
+	}
+}
+
+// rotateLocked opens a fresh active segment. Caller holds mu.
+func (s *SegmentStore) rotateLocked() error {
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return err
+		}
+		s.active = nil
+	}
+	seg := &segment{
+		path:  filepath.Join(s.dir, fmt.Sprintf("%020d%s", s.writeSeq, segmentSuffix)),
+		first: s.writeSeq,
+	}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: creating segment: %w", err)
+	}
+	s.active = f
+	s.actSeg = seg
+	s.segments = append(s.segments, seg)
+	return nil
+}
+
+// Append implements Store.
+func (s *SegmentStore) Append(r *core.Record) error {
+	return s.AppendBatch([]*core.Record{r})
+}
+
+// AppendBatch implements Store.
+func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, r := range rs {
+		if r.LId == 0 {
+			return errors.New("storage: record has no LId")
+		}
+		if _, ok := s.index[r.LId]; ok {
+			return fmt.Errorf("%w: %d", ErrDuplicate, r.LId)
+		}
+	}
+	if s.active == nil || s.actSeg.size >= s.opts.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	var buf []byte
+	type placed struct {
+		rec    *core.Record
+		off    int64
+		length int32
+	}
+	placements := make([]placed, 0, len(rs))
+	off := s.actSeg.size
+	for _, r := range rs {
+		payload := core.MarshalRecord(r)
+		var hdr [entryHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+		placements = append(placements, placed{rec: r, off: off + entryHeaderSize, length: int32(len(payload))})
+		off += entryHeaderSize + int64(len(payload))
+	}
+	if _, err := s.active.Write(buf); err != nil {
+		return fmt.Errorf("storage: writing batch: %w", err)
+	}
+	if s.opts.Sync == SyncEachBatch {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync: %w", err)
+		}
+	}
+	s.actSeg.size = off
+	for _, p := range placements {
+		s.indexRecord(p.rec, s.actSeg, p.off, p.length)
+	}
+	s.writeSeq += uint64(len(rs))
+	return nil
+}
+
+// readAt fetches and decodes one indexed entry.
+func (s *SegmentStore) readAt(e indexEntry) (*core.Record, error) {
+	f, err := os.Open(e.seg.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening segment for read: %w", err)
+	}
+	defer f.Close()
+	payload := make([]byte, e.length)
+	if _, err := f.ReadAt(payload, e.offset); err != nil {
+		return nil, fmt.Errorf("storage: reading entry: %w", err)
+	}
+	rec, _, err := core.DecodeRecord(payload)
+	return rec, err
+}
+
+// Get implements Store.
+func (s *SegmentStore) Get(lid uint64) (*core.Record, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e, ok := s.index[lid]
+	s.mu.Unlock()
+	if !ok {
+		return nil, core.ErrNoSuchRecord
+	}
+	return s.readAt(e)
+}
+
+// Scan implements Store.
+func (s *SegmentStore) Scan(minLId, maxLId uint64, fn func(*core.Record) bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if !s.sorted {
+		sort.Slice(s.lids, func(i, j int) bool { return s.lids[i] < s.lids[j] })
+		s.sorted = true
+	}
+	i := sort.Search(len(s.lids), func(i int) bool { return s.lids[i] >= minLId })
+	var window []indexEntry
+	for ; i < len(s.lids); i++ {
+		lid := s.lids[i]
+		if maxLId != 0 && lid > maxLId {
+			break
+		}
+		window = append(window, s.index[lid])
+	}
+	s.mu.Unlock()
+	for _, e := range window {
+		rec, err := s.readAt(e)
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// MaxLId implements Store.
+func (s *SegmentStore) MaxLId() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Len implements Store.
+func (s *SegmentStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// GC implements Store. Removal is whole-segment: a segment is deleted only
+// when every record in it has LId ≤ upTo and it is not the active segment.
+func (s *SegmentStore) GC(upTo uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	keep := s.segments[:0]
+	for _, seg := range s.segments {
+		if seg != s.actSeg && seg.maxLId != 0 && seg.maxLId <= upTo {
+			if err := os.Remove(seg.path); err != nil {
+				return 0, fmt.Errorf("storage: removing segment: %w", err)
+			}
+			seg.deleted = true
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	s.segments = keep
+	return s.dropDeletedFromIndex(), nil
+}
+
+// dropDeletedFromIndex prunes index entries whose segment was deleted.
+// Caller holds mu.
+func (s *SegmentStore) dropDeletedFromIndex() int {
+	removed := 0
+	keep := s.lids[:0]
+	for _, lid := range s.lids {
+		if e := s.index[lid]; e.seg.deleted {
+			delete(s.index, lid)
+			removed++
+			continue
+		}
+		keep = append(keep, lid)
+	}
+	s.lids = keep
+	return removed
+}
+
+// Close implements Store.
+func (s *SegmentStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.active != nil {
+		if s.opts.Sync != SyncNever {
+			if err := s.active.Sync(); err != nil {
+				s.active.Close()
+				return err
+			}
+		}
+		return s.active.Close()
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package streamproc
+
+import (
+	"sort"
+	"sync"
+)
+
+// Windower aggregates events into fixed-size windows keyed by log
+// position — the paper's analytics motivation ("click events... duration
+// spent in each page") over the shared log. Windowing by LId rather than
+// wall-clock gives every datacenter the *same* windows over the same log
+// replica, so analyses are reproducible and site-independent for the
+// prefix below the head.
+type Windower struct {
+	mu sync.Mutex
+	// size is the window width in log positions.
+	size uint64
+	// counts[window][groupKey] accumulates event counts.
+	counts map[uint64]map[string]uint64
+	keyOf  func(Event) string
+}
+
+// NewWindower groups events into windows of size log positions by the
+// given key extractor (e.g. the event's topic, a page id, a country).
+func NewWindower(size uint64, keyOf func(Event) string) *Windower {
+	if size < 1 {
+		size = 1
+	}
+	return &Windower{
+		size:   size,
+		counts: make(map[uint64]map[string]uint64),
+		keyOf:  keyOf,
+	}
+}
+
+// Handler returns the ReaderGroup handler that feeds the windower.
+func (w *Windower) Handler() Handler {
+	return func(ev Event) error {
+		win := (ev.LId - 1) / w.size
+		key := w.keyOf(ev)
+		w.mu.Lock()
+		m := w.counts[win]
+		if m == nil {
+			m = make(map[string]uint64)
+			w.counts[win] = m
+		}
+		m[key]++
+		w.mu.Unlock()
+		return nil
+	}
+}
+
+// WindowCount returns the count of key in the window containing lid.
+func (w *Windower) WindowCount(lid uint64, key string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.counts[(lid-1)/w.size][key]
+}
+
+// WindowStat is one (window, key, count) row of a report.
+type WindowStat struct {
+	Window uint64 // first LId of the window
+	Key    string
+	Count  uint64
+}
+
+// Report returns all accumulated rows ordered by (window, key).
+func (w *Windower) Report() []WindowStat {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []WindowStat
+	for win, m := range w.counts {
+		for key, n := range m {
+			out = append(out, WindowStat{Window: win*w.size + 1, Key: key, Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Window != out[j].Window {
+			return out[i].Window < out[j].Window
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TopK returns the k highest-count keys across all windows (ties broken
+// lexicographically), a typical "hottest pages" analytics query.
+func (w *Windower) TopK(k int) []WindowStat {
+	w.mu.Lock()
+	totals := make(map[string]uint64)
+	for _, m := range w.counts {
+		for key, n := range m {
+			totals[key] += n
+		}
+	}
+	w.mu.Unlock()
+	out := make([]WindowStat, 0, len(totals))
+	for key, n := range totals {
+		out = append(out, WindowStat{Key: key, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

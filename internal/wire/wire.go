@@ -1,0 +1,116 @@
+// Package wire implements the framed binary message format every Chariots
+// component speaks on the network: a length-prefixed frame carrying a
+// request id (for pipelined request/response matching), a message type,
+// and an opaque payload.
+//
+// Frame layout (little-endian):
+//
+//	u32 frameLen (bytes after this field) | u64 reqID | u8 msgType | payload
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame to guard against corrupt length
+// prefixes; batches larger than this must be split by the sender.
+const MaxFrameSize = 64 << 20
+
+const frameOverhead = 8 + 1 // reqID + msgType
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Frame is one decoded message.
+type Frame struct {
+	ReqID   uint64
+	Type    uint8
+	Payload []byte
+}
+
+// Append encodes the frame to dst and returns the extended slice.
+func Append(dst []byte, reqID uint64, msgType uint8, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameOverhead+len(payload)))
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = append(dst, msgType)
+	dst = append(dst, payload...)
+	return dst
+}
+
+// Write encodes and writes one frame to w.
+func Write(w io.Writer, reqID uint64, msgType uint8, payload []byte) error {
+	if frameOverhead+len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := Append(make([]byte, 0, 4+frameOverhead+len(payload)), reqID, msgType, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads one frame from r. The returned payload is freshly allocated.
+func Read(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen < frameOverhead {
+		return Frame{}, fmt.Errorf("wire: frame length %d below minimum", frameLen)
+	}
+	if frameLen > MaxFrameSize {
+		return Frame{}, ErrFrameTooLarge
+	}
+	body := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return Frame{
+		ReqID:   binary.LittleEndian.Uint64(body),
+		Type:    body[8],
+		Payload: body[9:],
+	}, nil
+}
+
+// --- small payload-building helpers shared by subsystem message schemas ---
+
+// AppendString appends a u16-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeString decodes a string written by AppendString, returning the
+// string and bytes consumed.
+func DecodeString(buf []byte) (string, int, error) {
+	if len(buf) < 2 {
+		return "", 0, errors.New("wire: short buffer for string")
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+n {
+		return "", 0, errors.New("wire: short buffer for string body")
+	}
+	return string(buf[2 : 2+n]), 2 + n, nil
+}
+
+// AppendBytes appends a u32-length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeBytes decodes a slice written by AppendBytes. The result is a copy.
+func DecodeBytes(buf []byte) ([]byte, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, errors.New("wire: short buffer for bytes")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) < 4+n {
+		return nil, 0, errors.New("wire: short buffer for bytes body")
+	}
+	out := make([]byte, n)
+	copy(out, buf[4:4+n])
+	return out, 4 + n, nil
+}

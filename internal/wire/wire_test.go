@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello world")
+	if err := Write(&buf, 42, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ReqID != 42 || f.Type != 7 || !bytes.Equal(f.Payload, payload) {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ReqID != 1 || f.Type != 2 || len(f.Payload) != 0 {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		Write(&buf, i, uint8(i), []byte{byte(i)})
+	}
+	for i := uint64(0); i < 10; i++ {
+		f, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ReqID != i || f.Type != uint8(i) || f.Payload[0] != byte(i) {
+			t.Errorf("frame %d = %+v", i, f)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Errorf("Read at end = %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	huge := make([]byte, MaxFrameSize)
+	if err := Write(io.Discard, 0, 0, huge); err != ErrFrameTooLarge {
+		t.Errorf("Write oversized = %v, want ErrFrameTooLarge", err)
+	}
+	// Reader side: corrupt length prefix claiming a huge frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := Read(&buf); err != ErrFrameTooLarge {
+		t.Errorf("Read oversized = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameBelowMinimum(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{3, 0, 0, 0, 1, 2, 3})
+	if _, err := Read(&buf); err == nil {
+		t.Error("accepted frame shorter than header")
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var full bytes.Buffer
+	Write(&full, 9, 9, []byte("payload"))
+	data := full.Bytes()
+	r := bytes.NewReader(data[:len(data)-3])
+	if _, err := Read(r); err == nil {
+		t.Error("accepted truncated frame body")
+	}
+}
+
+func TestStringHelpers(t *testing.T) {
+	buf := AppendString(nil, "chariots")
+	s, used, err := DecodeString(buf)
+	if err != nil || s != "chariots" || used != len(buf) {
+		t.Errorf("DecodeString = %q, %d, %v", s, used, err)
+	}
+	if _, _, err := DecodeString(buf[:1]); err == nil {
+		t.Error("accepted truncated string header")
+	}
+	if _, _, err := DecodeString(buf[:4]); err == nil {
+		t.Error("accepted truncated string body")
+	}
+	long := strings.Repeat("x", 1000)
+	s2, _, err := DecodeString(AppendString(nil, long))
+	if err != nil || s2 != long {
+		t.Error("long string round trip failed")
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	src := []byte{1, 2, 3}
+	buf := AppendBytes(nil, src)
+	got, used, err := DecodeBytes(buf)
+	if err != nil || used != len(buf) || !bytes.Equal(got, src) {
+		t.Errorf("DecodeBytes = %v, %d, %v", got, used, err)
+	}
+	buf[4] = 0xEE
+	if got[0] != 1 {
+		t.Error("DecodeBytes aliases input")
+	}
+	if _, _, err := DecodeBytes([]byte{1}); err == nil {
+		t.Error("accepted truncated bytes header")
+	}
+	if _, _, err := DecodeBytes([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Error("accepted truncated bytes body")
+	}
+}

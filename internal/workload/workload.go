@@ -1,0 +1,220 @@
+// Package workload provides the record generators behind the paper's
+// evaluation (§7): open-loop generators that offer a configurable target
+// throughput of fixed-size records (512 bytes unless stated otherwise),
+// and key-distribution helpers for the application workloads.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// DefaultRecordSize is the paper's record size (§7: "the size of each
+// record is 512 Bytes").
+const DefaultRecordSize = 512
+
+// NewBody returns a deterministic pseudo-random record body of n bytes.
+func NewBody(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// Sink consumes a batch of offered records, returning how many were
+// accepted (an overloaded component may accept fewer — the generator
+// counts the rest as dropped offered load).
+type Sink func(recs []*core.Record) int
+
+// OpenLoopGen offers records at a fixed target rate regardless of
+// acceptance — the generator behind Figure 7's target-throughput sweep.
+// Offered load above the sink's capacity is dropped by the sink, not
+// queued, so achieved throughput plateaus the way the paper's does.
+type OpenLoopGen struct {
+	// TargetPerSec is the offered rate (records/second).
+	TargetPerSec float64
+	// RecordSize is the body size; DefaultRecordSize if 0.
+	RecordSize int
+	// BatchSize is how many records are offered per sink call (batching
+	// amortizes call overhead without changing the offered rate).
+	BatchSize int
+	// Host stamps the records' host datacenter.
+	Host core.DCID
+
+	// Offered and Accepted count records.
+	Offered  metrics.Counter
+	Accepted metrics.Counter
+}
+
+// Run offers records to sink for the given duration (blocking).
+func (g *OpenLoopGen) Run(sink Sink, d time.Duration) {
+	batch := g.BatchSize
+	if batch < 1 {
+		batch = 32
+	}
+	size := g.RecordSize
+	if size == 0 {
+		size = DefaultRecordSize
+	}
+	body := NewBody(size, 42)
+
+	interval := time.Duration(float64(batch) / g.TargetPerSec * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	next := start
+	for time.Since(start) < d {
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		// If we fell behind (slow sink in a closed stretch), don't
+		// try to catch up unboundedly: open-loop offered load is
+		// paced by wall clock.
+		if behind := time.Since(start); next.Sub(start) < behind-100*time.Millisecond {
+			next = start.Add(behind)
+		}
+		recs := make([]*core.Record, batch)
+		for i := range recs {
+			recs[i] = &core.Record{Host: g.Host, Body: body}
+		}
+		g.Offered.Add(uint64(batch))
+		g.Accepted.Add(uint64(sink(recs)))
+	}
+}
+
+// ClosedLoopGen issues records as fast as the sink admits them, bounded
+// only by the generator machine's own capacity — the client machines of
+// Tables 2–5, whose throughput is shaped by pipeline backpressure.
+type ClosedLoopGen struct {
+	// RatePerSec bounds the generator machine itself (the paper's
+	// client machines top out ≈129K records/s); 0 = unbounded.
+	RatePerSec float64
+	RecordSize int
+	BatchSize  int
+	Host       core.DCID
+
+	// Sent counts records pushed into the pipeline.
+	Sent metrics.Counter
+}
+
+// Run pushes records into sink until stop closes. sink should block when
+// the pipeline is saturated (backpressure shapes the measured rate).
+func (g *ClosedLoopGen) Run(sink func(recs []*core.Record), stop <-chan struct{}) {
+	batch := g.BatchSize
+	if batch < 1 {
+		batch = 32
+	}
+	size := g.RecordSize
+	if size == 0 {
+		size = DefaultRecordSize
+	}
+	body := NewBody(size, 7)
+
+	var pace *time.Ticker
+	var interval time.Duration
+	if g.RatePerSec > 0 {
+		interval = time.Duration(float64(batch) / g.RatePerSec * float64(time.Second))
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		pace = time.NewTicker(interval)
+		defer pace.Stop()
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if pace != nil {
+			select {
+			case <-stop:
+				return
+			case <-pace.C:
+			}
+		}
+		recs := make([]*core.Record, batch)
+		for i := range recs {
+			recs[i] = &core.Record{Host: g.Host, Body: body}
+		}
+		sink(recs)
+		g.Sent.Add(uint64(batch))
+	}
+}
+
+// KeyChooser picks keys for application workloads.
+type KeyChooser interface {
+	Key() string
+}
+
+// UniformKeys picks uniformly from n keys.
+type UniformKeys struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	ks  []string
+}
+
+// NewUniformKeys builds a chooser over keys "k0".."k<n-1>".
+func NewUniformKeys(n int, seed int64) *UniformKeys {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = "k" + itoa(i)
+	}
+	return &UniformKeys{rng: rand.New(rand.NewSource(seed)), ks: ks}
+}
+
+// Key implements KeyChooser.
+func (u *UniformKeys) Key() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.ks[u.rng.Intn(len(u.ks))]
+}
+
+// ZipfKeys picks keys with a Zipfian distribution (hot keys), the standard
+// skewed workload for key-value benchmarks.
+type ZipfKeys struct {
+	mu   sync.Mutex
+	zipf *rand.Zipf
+	ks   []string
+}
+
+// NewZipfKeys builds a Zipf chooser over n keys with skew s (>1).
+func NewZipfKeys(n int, s float64, seed int64) *ZipfKeys {
+	if s <= 1 {
+		s = 1.1
+	}
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = "k" + itoa(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfKeys{zipf: rand.NewZipf(rng, s, 1, uint64(n-1)), ks: ks}
+}
+
+// Key implements KeyChooser.
+func (z *ZipfKeys) Key() string {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.ks[z.zipf.Uint64()]
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

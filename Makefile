@@ -1,0 +1,19 @@
+# Tier-1 gate: `make check` is what CI and pre-merge runs — build, vet,
+# and the full test suite. `make race` is the slower full-suite race pass.
+GO ?= go
+
+.PHONY: build test race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test

@@ -13,6 +13,10 @@
 // Ports: ingest on -listen, receivers on port+1, +2, ... (one per
 // receiver machine). -peer maps a remote datacenter id to its first
 // receiver address; peers may be started in any order (connections retry).
+//
+// Observability: pipeline, FLStore, and RPC metrics are served over HTTP on
+// -metrics (default: ingest port + 100) at /metrics (Prometheus text),
+// /metrics.json, /healthz, and /debug/pprof.
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 
 	"repro/internal/chariots"
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obsrv"
 	"repro/internal/rpc"
 )
 
@@ -60,17 +66,18 @@ func main() {
 		senders   = flag.Int("senders", 2, "sender machines")
 		receivers = flag.Int("receivers", 2, "receiver machines")
 		indexers  = flag.Int("indexers", 1, "indexer machines (tag reads)")
+		metricsA  = flag.String("metrics", "", `metrics HTTP listen address ("" = ingest port + 100, "off" = disabled)`)
 		peers     = peerFlag{}
 	)
 	flag.Var(peers, "peer", "remote datacenter receiver endpoint, <dcid>=<host:port>; repeatable")
 	flag.Parse()
 
-	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, peers); err != nil {
+	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, *metricsA, peers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(self, dcs int, listen string, batchers, filters, queues, maints, senders, receivers, indexers int, peers peerFlag) error {
+func run(self, dcs int, listen string, batchers, filters, queues, maints, senders, receivers, indexers int, metricsAddr string, peers peerFlag) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -95,10 +102,14 @@ func run(self, dcs int, listen string, batchers, filters, queues, maints, sender
 		return err
 	}
 
+	reg := metrics.NewRegistry()
+	dc.EnableMetrics(reg) // before Start: stage hooks install unsynchronized
+
 	// Receiver endpoints.
 	var servers []*rpc.Server
 	for i, rx := range dc.Receivers() {
 		srv := rpc.NewServer()
+		srv.EnableMetrics(reg, fmt.Sprintf("receiver-%d", i))
 		chariots.ServeReceiver(srv, rx)
 		a := net.JoinHostPort(host, strconv.Itoa(basePort+1+i))
 		if _, err := srv.Listen(a); err != nil {
@@ -110,6 +121,7 @@ func run(self, dcs int, listen string, batchers, filters, queues, maints, sender
 
 	// Ingest endpoint for application clients.
 	ingestSrv := rpc.NewServer()
+	ingestSrv.EnableMetrics(reg, "ingest")
 	chariots.ServeIngest(ingestSrv, dc)
 	if _, err := ingestSrv.Listen(listen); err != nil {
 		return fmt.Errorf("ingest: %w", err)
@@ -124,14 +136,36 @@ func run(self, dcs int, listen string, batchers, filters, queues, maints, sender
 	// flapping WAN link heals without operator action.
 	for remote, addr := range peers {
 		conn := rpc.NewReconnecting(addr, true)
+		conn.EnableMetrics(reg, fmt.Sprintf("dc%d", remote))
 		dc.ConnectTo(remote, []chariots.ReceiverAPI{chariots.NewReceiverClient(conn)})
 		log.Printf("DC%d will replicate to DC%d at %s", self, remote, addr)
+	}
+
+	// Metrics/health HTTP endpoint.
+	var obs *obsrv.Server
+	if metricsAddr != "off" {
+		if metricsAddr == "" {
+			metricsAddr = net.JoinHostPort(host, strconv.Itoa(basePort+100))
+		}
+		obs = obsrv.New(reg)
+		obs.AddCheck("head", func() error {
+			_, err := dc.Head()
+			return err
+		})
+		a, err := obs.Start(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		log.Printf("DC%d metrics on http://%s/metrics (healthz, pprof alongside)", self, a)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	if obs != nil {
+		obs.Close()
+	}
 	dc.Stop()
 	for _, s := range servers {
 		s.Close()

@@ -9,6 +9,11 @@
 // indexer j after the maintainers. With -data, records persist in segment
 // files under the directory (one subdirectory per maintainer) and survive
 // restarts; without it the log is in memory.
+//
+// Observability: every component registers its metrics in one process-wide
+// registry served over HTTP on -metrics (default: controller port + 100) at
+// /metrics (Prometheus text), /metrics.json, /healthz, and /debug/pprof.
+// The controller additionally answers the stats RPC used by `logctl stats`.
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"time"
 
 	"repro/internal/flstore"
+	"repro/internal/metrics"
+	"repro/internal/obsrv"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 )
@@ -36,14 +43,15 @@ func main() {
 		listen       = flag.String("listen", "127.0.0.1:7000", "controller listen address; components use consecutive ports")
 		dataDir      = flag.String("data", "", "directory for persistent segment stores (empty = in-memory)")
 		gossipEvery  = flag.Duration("gossip", 5*time.Millisecond, "head-of-log gossip interval")
+		metricsAddr  = flag.String("metrics", "", `metrics HTTP listen address ("" = controller port + 100, "off" = disabled)`)
 	)
 	flag.Parse()
-	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery); err != nil {
+	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration) error {
+func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -61,6 +69,8 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 		return err
 	}
 
+	reg := metrics.NewRegistry()
+
 	// Indexers first (maintainers post tags to them).
 	var indexerAddrs []string
 	var indexerAPIs []flstore.IndexerAPI
@@ -68,6 +78,7 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 	for j := 0; j < nIndexers; j++ {
 		ix := flstore.NewIndexer(nil)
 		srv := rpc.NewServer()
+		srv.EnableMetrics(reg, fmt.Sprintf("indexer-%d", j))
 		flstore.ServeIndexer(srv, ix)
 		a := addr(1 + nMaintainers + j)
 		if _, err := srv.Listen(a); err != nil {
@@ -90,10 +101,12 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 		var st storage.Store
 		if dataDir != "" {
 			dir := filepath.Join(dataDir, fmt.Sprintf("maintainer-%d", i))
-			st, err = storage.OpenSegmentStore(dir, storage.SegmentStoreOptions{Sync: storage.SyncEachBatch})
-			if err != nil {
-				return fmt.Errorf("maintainer %d store: %w", i, err)
+			seg, serr := storage.OpenSegmentStore(dir, storage.SegmentStoreOptions{Sync: storage.SyncEachBatch})
+			if serr != nil {
+				return fmt.Errorf("maintainer %d store: %w", i, serr)
 			}
+			seg.EnableMetrics(reg, metrics.L("maintainer", strconv.Itoa(i)))
+			st = seg
 		}
 		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
 			Index:       i,
@@ -105,7 +118,9 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 		if err != nil {
 			return err
 		}
+		m.EnableMetrics(reg)
 		srv := rpc.NewServer()
+		srv.EnableMetrics(reg, fmt.Sprintf("maintainer-%d", i))
 		flstore.ServeMaintainer(srv, m)
 		a := addr(1 + i)
 		if _, err := srv.Listen(a); err != nil {
@@ -132,6 +147,7 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 			peers[j] = flstore.NewMaintainerClient(conn)
 		}
 		g := flstore.NewGossiper(m, peers, gossipEvery)
+		g.EnableMetrics(reg)
 		g.Start()
 		gossipers = append(gossipers, g)
 	}
@@ -146,7 +162,9 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 		return err
 	}
 	ctrlSrv := rpc.NewServer()
+	ctrlSrv.EnableMetrics(reg, "controller")
 	flstore.ServeController(ctrlSrv, ctrl)
+	flstore.ServeStats(ctrlSrv, reg)
 	if _, err := ctrlSrv.Listen(listen); err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
@@ -154,10 +172,43 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 	log.Printf("controller listening on %s (placement: %d maintainers, batch %d)",
 		listen, nMaintainers, batch)
 
+	// Metrics/health HTTP endpoint.
+	var obs *obsrv.Server
+	if metricsAddr != "off" {
+		if metricsAddr == "" {
+			metricsAddr = net.JoinHostPort(host, strconv.Itoa(basePort+100))
+		}
+		obs = obsrv.New(reg)
+		for i, m := range maintainers {
+			m := m
+			obs.AddCheck(fmt.Sprintf("maintainer-%d", i), func() error {
+				_, err := m.Head()
+				return err
+			})
+		}
+		gossipBound := 20 * gossipEvery
+		obs.AddCheck("gossip", func() error {
+			for i, g := range gossipers {
+				if age := g.RoundAge(); age > gossipBound {
+					return fmt.Errorf("gossiper %d stalled: last round %s ago", i, age)
+				}
+			}
+			return nil
+		})
+		a, err := obs.Start(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		log.Printf("metrics on http://%s/metrics (healthz, pprof alongside)", a)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("shutting down")
+	if obs != nil {
+		obs.Close()
+	}
 	for _, g := range gossipers {
 		g.Stop()
 	}

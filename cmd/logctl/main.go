@@ -7,6 +7,7 @@
 //	logctl -controller 127.0.0.1:7000 head
 //	logctl -controller 127.0.0.1:7000 lookup -tag user=alice -recent 10
 //	logctl -controller 127.0.0.1:7000 tail -from 1
+//	logctl -controller 127.0.0.1:7000 stats -interval 1s
 package main
 
 import (
@@ -16,12 +17,15 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/flstore"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 )
 
@@ -55,6 +59,8 @@ func main() {
 		cmdLookup(client, rest)
 	case "tail":
 		cmdTail(client, rest)
+	case "stats":
+		cmdStats(conn, rest)
 	default:
 		usage()
 	}
@@ -68,7 +74,8 @@ commands:
   read <lid>                      print the record at a position
   head                            print the head of the log
   lookup -tag k[=v] [-recent n]   find records by tag
-  tail [-from lid]                follow the log (ctrl-c to stop)`)
+  tail [-from lid]                follow the log (ctrl-c to stop)
+  stats [-interval d]             per-maintainer throughput and latency`)
 	os.Exit(2)
 }
 
@@ -173,6 +180,63 @@ func cmdTail(c *flstore.Client, args []string) {
 	if err != nil && ctx.Err() == nil {
 		log.Fatalf("tail: %v", err)
 	}
+}
+
+// cmdStats fetches the controller's metrics snapshot twice, interval apart,
+// and renders one row per maintainer: head of log, append throughput over
+// the window (counter delta), p99 append latency (bucketed histogram), and
+// cumulative overload rejections.
+func cmdStats(conn rpc.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "sampling window for throughput rates")
+	fs.Parse(args)
+
+	before, err := flstore.FetchStats(conn)
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+	time.Sleep(*interval)
+	after, err := flstore.FetchStats(conn)
+	if err != nil {
+		log.Fatalf("stats: %v", err)
+	}
+
+	// Enumerate maintainers from the appends counter family.
+	var ids []int
+	for _, s := range after.Series {
+		if s.Name != "flstore_appends_total" {
+			continue
+		}
+		if id, err := strconv.Atoi(s.Labels["maintainer"]); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		log.Fatal("stats: no maintainer series in snapshot (is the node set running with metrics enabled?)")
+	}
+	sort.Ints(ids)
+
+	val := func(snap metrics.Snapshot, name, maintainer string) float64 {
+		if s := snap.Find(name, map[string]string{"maintainer": maintainer}); s != nil {
+			return s.Value
+		}
+		return 0
+	}
+	tbl := metrics.Table{Header: []string{"maintainer", "head LId", "appends/s", "p99 append", "rejected"}}
+	for _, id := range ids {
+		m := strconv.Itoa(id)
+		rate := (val(after, "flstore_appends_total", m) - val(before, "flstore_appends_total", m)) / interval.Seconds()
+		p99 := "-"
+		if h := after.Find("flstore_append_seconds", map[string]string{"maintainer": m}); h != nil && h.Count > 0 {
+			p99 = time.Duration(h.Quantile(0.99) * float64(time.Second)).Round(time.Microsecond).String()
+		}
+		tbl.AddRow(m,
+			strconv.FormatUint(uint64(val(after, "flstore_head_lid", m)), 10),
+			fmt.Sprintf("%.1f", rate),
+			p99,
+			strconv.FormatUint(uint64(val(after, "flstore_rejected_total", m)), 10))
+	}
+	fmt.Print(tbl.String())
 }
 
 func printRecord(rec *core.Record) {

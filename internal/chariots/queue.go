@@ -322,9 +322,13 @@ func (q *Queue) persist(recs []*core.Record, outs []chan []*core.Record, stop <-
 			return
 		}
 	}
+	ring := q.state.applyTimes.Load()
 	for _, rec := range recs {
 		q.state.atable.RecordApplied(rec.Host, rec.TOId)
 		if rec.Host == q.state.self {
+			if ring != nil {
+				ring.record(rec.TOId, time.Now().UnixNano())
+			}
 			q.state.fireAck(rec)
 			if q.state.feedEnabled {
 				if q.stopC == nil {

@@ -16,6 +16,12 @@ type StageMachine struct {
 	Name      string
 	Limiter   *ratelimit.Limiter
 	Processed metrics.Counter
+
+	// batchSize, when set (by Datacenter.EnableMetrics, before the stage
+	// starts), observes the records-per-batch distribution this machine
+	// sees — undersized batches at a stage mean its upstream is flushing
+	// on the interval rather than the threshold.
+	batchSize *metrics.BucketHistogram
 }
 
 // work charges n records against the machine's capacity (blocking until
@@ -24,6 +30,9 @@ type StageMachine struct {
 func (s *StageMachine) work(n int) {
 	s.Limiter.WaitN(n)
 	s.Processed.Add(uint64(n))
+	if h := s.batchSize; h != nil {
+		h.Observe(float64(n))
+	}
 }
 
 // Throughput rows for the experiment tables are read via Name/Processed.

@@ -2,6 +2,7 @@ package chariots
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/vclock"
@@ -36,6 +37,10 @@ type dcState struct {
 	// stages pass records in process; external copies are cloned at the
 	// receiver and never have acks.
 	acks sync.Map
+
+	// applyTimes, when set (EnableMetrics), records when each local TOId
+	// was applied, backing the wall-time replication-lag gauge.
+	applyTimes atomic.Pointer[applyTimeRing]
 }
 
 func newDCState(self core.DCID, n int, feedDepth int) *dcState {

@@ -1,8 +1,12 @@
 package flstore
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Gossiper drives the §5.4 head-of-log gossip for one maintainer: on a
@@ -19,6 +23,13 @@ type Gossiper struct {
 	stop    chan struct{}
 	done    chan struct{}
 	started bool
+
+	// lastRound is the wall time (UnixNano) of the most recent completed
+	// Round; 0 until the first. A stalled gossip loop shows up as this
+	// age growing past a few intervals — the head of the log then lags
+	// real progress, stalling EnforceHead reads.
+	lastRound atomic.Int64
+	rounds    metrics.Counter
 }
 
 // NewGossiper returns a gossiper for m. peers must be index-aligned with
@@ -79,6 +90,32 @@ func (g *Gossiper) Round() {
 		}
 		g.self.Gossip(j, theirs)
 	}
+	g.lastRound.Store(time.Now().UnixNano())
+	g.rounds.Inc()
+}
+
+// RoundAge returns how long ago the last gossip round completed, or a
+// negative duration if none has.
+func (g *Gossiper) RoundAge() time.Duration {
+	ns := g.lastRound.Load()
+	if ns == 0 {
+		return -1
+	}
+	return time.Since(time.Unix(0, ns))
+}
+
+// EnableMetrics exports gossip liveness for this maintainer: the age of the
+// last completed round (seconds; -1 before the first) and the total round
+// count. Call before Start.
+func (g *Gossiper) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
+	lbls := append([]metrics.Label{metrics.L("maintainer", strconv.Itoa(g.self.Index()))}, extra...)
+	reg.GaugeFunc("flstore_gossip_round_age_seconds", func() float64 {
+		if g.lastRound.Load() == 0 {
+			return -1
+		}
+		return g.RoundAge().Seconds()
+	}, lbls...)
+	reg.CounterFunc("flstore_gossip_rounds_total", func() float64 { return float64(g.rounds.Value()) }, lbls...)
 }
 
 // Stop halts the loop and waits for it to exit.

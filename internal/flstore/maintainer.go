@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -83,6 +85,35 @@ type Maintainer struct {
 	Appended metrics.Counter
 	// Rejected counts records turned away by the capacity limiter.
 	Rejected metrics.Counter
+
+	// appendLatency/readLatency are set by EnableMetrics (nil until then;
+	// the serving paths skip observation when unset). EnableMetrics must
+	// run before the maintainer serves traffic.
+	appendLatency *metrics.BucketHistogram
+	readLatency   *metrics.BucketHistogram
+}
+
+// EnableMetrics registers this maintainer's serving-path instrumentation
+// with reg: append/read latency histograms, append/rejection counters, the
+// explicit-order and out-of-order buffer depths, and the head-of-log and
+// next-LId gauges. Every series carries maintainer=<index> plus any extra
+// labels (deployments embedding several placements add e.g. dc=<id>).
+// Call before the maintainer starts serving.
+func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
+	lbls := append([]metrics.Label{metrics.L("maintainer", strconv.Itoa(m.cfg.Index))}, extra...)
+	m.appendLatency = reg.Histogram("flstore_append_seconds", metrics.LatencyBuckets, lbls...)
+	m.readLatency = reg.Histogram("flstore_read_seconds", metrics.LatencyBuckets, lbls...)
+	reg.CounterFunc("flstore_appends_total", func() float64 { return float64(m.Appended.Value()) }, lbls...)
+	reg.CounterFunc("flstore_rejected_total", func() float64 { return float64(m.Rejected.Value()) }, lbls...)
+	reg.GaugeFunc("flstore_order_buffer_records", func() float64 { return float64(m.OrderBuffered()) }, lbls...)
+	reg.GaugeFunc("flstore_pending_assigned_slots", func() float64 { return float64(m.PendingAssigned()) }, lbls...)
+	reg.GaugeFunc("flstore_head_lid", func() float64 { return float64(m.currentHead()) }, lbls...)
+	reg.GaugeFunc("flstore_next_lid", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.nextVec[m.cfg.Index])
+	}, lbls...)
+	reg.GaugeFunc("flstore_stored_records", func() float64 { return float64(m.store.Len()) }, lbls...)
 }
 
 // NewMaintainer returns a ready maintainer.
@@ -135,6 +166,9 @@ func (m *Maintainer) admit(n int) error {
 func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
 	if len(recs) == 0 {
 		return nil, nil
+	}
+	if h := m.appendLatency; h != nil {
+		defer h.ObserveSince(time.Now())
 	}
 	if err := m.admit(len(recs)); err != nil {
 		return nil, err
@@ -222,6 +256,9 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	if h := m.appendLatency; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	if err := m.admit(len(recs)); err != nil {
 		return err
 	}
@@ -299,6 +336,9 @@ func IndexerFor(key string, numIndexers int) int {
 
 // Read implements MaintainerAPI.
 func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
+	if h := m.readLatency; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	if lid == 0 {
 		return nil, core.ErrNoSuchRecord
 	}

@@ -2,11 +2,13 @@ package flstore
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -25,6 +27,7 @@ const (
 	msgPost
 	msgLookup
 	msgGetConfig
+	msgStats
 )
 
 // --- encoding helpers ---
@@ -342,6 +345,30 @@ func ServeController(srv *rpc.Server, c ControllerAPI) {
 		}
 		return appendConfig(nil, cfg), nil
 	})
+}
+
+// ServeStats registers the msgStats handler on srv: a JSON-encoded snapshot
+// of every series in reg. The controller exposes it so ops tooling (logctl
+// stats) can read a node set's metrics over the same RPC substrate the data
+// path uses, without requiring the HTTP exposition endpoint.
+func ServeStats(srv *rpc.Server, reg *metrics.Registry) {
+	srv.Handle(msgStats, func(p []byte) ([]byte, error) {
+		return json.Marshal(reg)
+	})
+}
+
+// FetchStats retrieves a registry snapshot from a server running
+// ServeStats.
+func FetchStats(c rpc.Client) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	resp, err := c.Call(msgStats, nil)
+	if err != nil {
+		return snap, mapRemoteError(err)
+	}
+	if err := json.Unmarshal(resp, &snap); err != nil {
+		return snap, fmt.Errorf("flstore: decoding stats: %w", err)
+	}
+	return snap, nil
 }
 
 func appendLookup(dst []byte, q LookupQuery) []byte {

@@ -121,9 +121,15 @@ func (s *ThroughputSampler) Samples() []Sample {
 	return append([]Sample(nil), s.samples...)
 }
 
-// Histogram records latency observations and reports quantiles. It keeps
-// raw observations (bounded by Cap, reservoir-free: first Cap observations)
-// which is sufficient for the bounded experiment runs here.
+// Histogram records latency observations and reports quantiles from raw
+// samples. Its retention is a capacity-capped prefix reservoir: the first
+// Cap observations are kept verbatim and everything after only updates
+// Count/Mean. Quantiles therefore describe the *first* Cap observations —
+// exact for bounded experiment runs that size Cap to the run, but
+// increasingly stale (biased toward startup behaviour) on a long-running
+// server once the reservoir fills. Server paths must use the Registry's
+// BucketHistogram instead, which is fixed-memory and current forever;
+// this type remains for offline experiments that want exact quantiles.
 type Histogram struct {
 	mu  sync.Mutex
 	v   []time.Duration

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGaugeSetAddSemantics(t *testing.T) {
+	var g Gauge
+	if v := g.Value(); v != 0 {
+		t.Fatalf("zero gauge = %v", v)
+	}
+	g.Set(3.5)
+	if v := g.Value(); v != 3.5 {
+		t.Fatalf("after Set(3.5) = %v", v)
+	}
+	g.Add(1.5)
+	if v := g.Value(); v != 5 {
+		t.Fatalf("after Add(1.5) = %v", v)
+	}
+	g.Add(-7)
+	if v := g.Value(); v != -2 {
+		t.Fatalf("gauges must go negative; got %v", v)
+	}
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if v := g.Value(); v != -3 {
+		t.Fatalf("after Inc/Dec/Dec = %v", v)
+	}
+	g.Set(0.25) // Set overrides accumulated state
+	if v := g.Value(); v != 0.25 {
+		t.Fatalf("after final Set = %v", v)
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("shard", "0"))
+	b := r.Counter("x_total", L("shard", "0"))
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	if c := r.Counter("x_total", L("shard", "1")); c == a {
+		t.Error("different label value must be a distinct series")
+	}
+	// Label order must not matter for identity.
+	h1 := r.Histogram("h_seconds", nil, L("a", "1"), L("b", "2"))
+	h2 := r.Histogram("h_seconds", nil, L("b", "2"), L("a", "1"))
+	if h1 != h2 {
+		t.Error("label order changed series identity")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", L("shard", "0"))
+}
+
+func TestBucketHistogramQuantileAndMerge(t *testing.T) {
+	h := NewBucketHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 6, 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-38.5) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	if q := h.Quantile(0.5); q < 2 || q > 4 {
+		t.Errorf("p50 = %v, want within (2,4]", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Errorf("p100 (in +Inf bucket) = %v, want top bound 8", q)
+	}
+	o := NewBucketHistogram([]float64{1, 2, 4, 8})
+	o.Observe(0.1)
+	o.Observe(0.1)
+	if err := h.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("merged count = %d", h.Count())
+	}
+	bad := NewBucketHistogram([]float64{1, 2})
+	if err := h.Merge(bad); err == nil {
+		t.Error("merge with different bounds succeeded")
+	}
+}
+
+// TestRegistryConcurrentScrape hammers registration, updates, and scrapes
+// concurrently; run under -race this is the server-path safety test.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	shards := []string{"0", "1", "2", "3"}
+	for _, shard := range shards {
+		wg.Add(1)
+		go func(shard string) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("writes_total", L("shard", shard)).Inc()
+				r.Gauge("depth", L("shard", shard)).Set(float64(i % 100))
+				r.Histogram("lat_seconds", LatencyBuckets, L("shard", shard)).Observe(float64(i%10) / 1000)
+				r.GaugeFunc("fn_gauge", func() float64 { return float64(i) }, L("shard", shard))
+			}
+		}(shard)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := json.Marshal(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	snap := r.Snapshot()
+	for _, shard := range shards {
+		s := snap.Find("writes_total", map[string]string{"shard": shard})
+		if s == nil || s.Value < 1 {
+			t.Errorf("shard %s writes_total missing or zero: %+v", shard, s)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", L("code", "200")).Add(3)
+	r.Counter("app_requests_total", L("code", "500")).Inc()
+	r.Gauge("app_depth", L("q", `with"quote`)).Set(2.5)
+	// Binary-exact observations so the _sum renders without float noise.
+	h := r.Histogram("app_latency_seconds", []float64{0.25, 0.5, 1})
+	h.Observe(0.125)
+	h.Observe(0.125)
+	h.Observe(0.75)
+	r.GaugeFunc("app_head_lid", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE app_depth gauge
+app_depth{q="with\"quote"} 2.5
+# TYPE app_head_lid gauge
+app_head_lid 42
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.25"} 2
+app_latency_seconds_bucket{le="0.5"} 2
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 1
+app_latency_seconds_count 3
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", L("m", "0")).Add(7)
+	h := r.Histogram("d_seconds", []float64{0.1, 1}, L("m", "0"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if s := snap.Find("n_total", map[string]string{"m": "0"}); s == nil || s.Value != 7 {
+		t.Errorf("counter lost in round trip: %+v", s)
+	}
+	hs := snap.Find("d_seconds", map[string]string{"m": "0"})
+	if hs == nil || hs.Count != 2 {
+		t.Fatalf("histogram lost in round trip: %+v", hs)
+	}
+	if q := hs.Quantile(0.99); q <= 0.1 || q > 1 {
+		t.Errorf("round-tripped p99 = %v", q)
+	}
+}

@@ -1,0 +1,140 @@
+// Package obsrv is the operator-facing observability surface of a running
+// Chariots/FLStore process: one HTTP server exposing the process's metrics
+// registry (Prometheus text at /metrics, JSON at /metrics.json), liveness
+// and readiness at /healthz, and the Go runtime profiler under
+// /debug/pprof/. Every long-running binary (cmd/flstore, cmd/chariots)
+// mounts one of these next to its RPC endpoints.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Check is one named health probe. It returns nil when healthy; the error
+// string is reported (but never logged with secrets) on /healthz.
+type Check func() error
+
+// Server serves the observability endpoints for one process.
+type Server struct {
+	reg *metrics.Registry
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	checks map[string]Check
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// New returns a server over reg with no health checks registered (an empty
+// check set reports healthy).
+func New(reg *metrics.Registry) *Server {
+	s := &Server{reg: reg, checks: make(map[string]Check)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// AddCheck registers (or replaces) a named health probe.
+func (s *Server) AddCheck(name string, c Check) {
+	s.mu.Lock()
+	s.checks[name] = c
+	s.mu.Unlock()
+}
+
+// Handler exposes the endpoint mux so a deployment embedding its own HTTP
+// server can mount the observability surface under it.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the registry this server exposes.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.reg.Snapshot())
+}
+
+// healthReport is the /healthz response body.
+type healthReport struct {
+	Status string            `json:"status"` // "ok" | "unhealthy"
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	checks := make(map[string]Check, len(s.checks))
+	for name, c := range s.checks {
+		checks[name] = c
+	}
+	s.mu.Unlock()
+
+	report := healthReport{Status: "ok", Checks: make(map[string]string, len(checks))}
+	names := make([]string, 0, len(checks))
+	for name := range checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	code := http.StatusOK
+	for _, name := range names {
+		if err := checks[name](); err != nil {
+			report.Checks[name] = err.Error()
+			report.Status = "unhealthy"
+			code = http.StatusServiceUnavailable
+		} else {
+			report.Checks[name] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(report)
+}
+
+// Start binds addr (":0" for ephemeral) and serves in a background
+// goroutine, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsrv: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops the HTTP server (no-op if never started).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.ln = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,125 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func startTestServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("test_events_total", metrics.L("kind", "a")).Add(5)
+	reg.Gauge("test_depth").Set(3)
+	s := New(reg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, "http://" + addr.String()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, base := startTestServer(t)
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, `test_events_total{kind="a"} 5`) {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE test_depth gauge") {
+		t.Errorf("/metrics missing TYPE line:\n%s", body)
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	_, base := startTestServer(t)
+	code, body := get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if s := snap.Find("test_events_total", map[string]string{"kind": "a"}); s == nil || s.Value != 5 {
+		t.Errorf("snapshot counter = %+v", s)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, base := startTestServer(t)
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("empty-check healthz = %d %s", code, body)
+	}
+	s.AddCheck("store", func() error { return nil })
+	s.AddCheck("gossip", func() error { return errors.New("stale: no round in 3s") })
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy healthz status = %d", code)
+	}
+	var report struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Status != "unhealthy" || report.Checks["store"] != "ok" || !strings.Contains(report.Checks["gossip"], "stale") {
+		t.Errorf("report = %+v", report)
+	}
+	// Recovery flips back to 200.
+	s.AddCheck("gossip", func() error { return nil })
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("recovered healthz status = %d", code)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	_, base := startTestServer(t)
+	code, body := get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d (goroutine profile missing)", code)
+	}
+}
+
+func TestCloseUnblocksPort(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(reg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still serving after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close:", err)
+	}
+}

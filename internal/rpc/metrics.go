@@ -1,0 +1,72 @@
+package rpc
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics instruments one Server's dispatch path. All series carry a
+// component label (e.g. "maintainer", "controller", "ingest") so one
+// process hosting several RPC servers exports distinguishable streams.
+type serverMetrics struct {
+	reg       *metrics.Registry
+	component string
+
+	inflight *metrics.Gauge
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	errors   *metrics.Counter
+
+	mu      sync.Mutex
+	latency map[uint8]*metrics.BucketHistogram // per message type
+}
+
+// EnableMetrics registers this server's dispatch instrumentation with reg:
+// per-message-type call latency histograms, an in-flight requests gauge,
+// payload bytes in/out, and a handler-error counter. Call before Listen;
+// the instruments are shared by all connections.
+func (s *Server) EnableMetrics(reg *metrics.Registry, component string) {
+	lbl := metrics.L("component", component)
+	m := &serverMetrics{
+		reg:       reg,
+		component: component,
+		inflight:  reg.Gauge("rpc_server_inflight_requests", lbl),
+		bytesIn:   reg.Counter("rpc_server_bytes_in_total", lbl),
+		bytesOut:  reg.Counter("rpc_server_bytes_out_total", lbl),
+		errors:    reg.Counter("rpc_server_errors_total", lbl),
+		latency:   make(map[uint8]*metrics.BucketHistogram),
+	}
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+}
+
+// histFor returns (lazily creating) the latency histogram for one message
+// type. Message types are a small fixed space, so per-type series are
+// bounded cardinality.
+func (m *serverMetrics) histFor(msgType uint8) *metrics.BucketHistogram {
+	m.mu.Lock()
+	h, ok := m.latency[msgType]
+	if !ok {
+		h = m.reg.Histogram("rpc_server_call_seconds", metrics.LatencyBuckets,
+			metrics.L("component", m.component),
+			metrics.L("msg_type", strconv.Itoa(int(msgType))))
+		m.latency[msgType] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// observe wraps one dispatch: in-flight accounting, latency, byte and error
+// counts. respLen/isErr describe the response frame.
+func (m *serverMetrics) observe(msgType uint8, reqLen, respLen int, start time.Time, isErr bool) {
+	m.histFor(msgType).ObserveSince(start)
+	m.bytesIn.Add(uint64(reqLen))
+	m.bytesOut.Add(uint64(respLen))
+	if isErr {
+		m.errors.Inc()
+	}
+}

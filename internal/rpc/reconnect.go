@@ -3,6 +3,8 @@ package rpc
 import (
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // ReconnectingClient is a Client that dials lazily and re-dials after
@@ -22,6 +24,16 @@ type ReconnectingClient struct {
 	mu     sync.Mutex
 	conn   *TCPClient
 	closed bool
+
+	// dials counts TCP connection attempts (successful or not); redials
+	// those after the first; dialFailures the attempts that failed;
+	// retries the retry-once second calls. Always maintained (they are
+	// single atomics), so a retry storm is visible even without a
+	// registry; EnableMetrics additionally exports them for scrapes.
+	dials        metrics.Counter
+	redials      metrics.Counter
+	dialFailures metrics.Counter
+	retries      metrics.Counter
 }
 
 // NewReconnecting returns a reconnecting client for addr. No connection is
@@ -44,8 +56,13 @@ func (r *ReconnectingClient) current() (*TCPClient, error) {
 	if r.conn != nil {
 		return r.conn, nil
 	}
+	if r.dials.Value() > 0 {
+		r.redials.Inc()
+	}
+	r.dials.Inc()
 	conn, err := Dial(r.addr)
 	if err != nil {
+		r.dialFailures.Inc()
 		return nil, err
 	}
 	r.conn = conn
@@ -78,6 +95,7 @@ func (r *ReconnectingClient) Call(msgType uint8, payload []byte) ([]byte, error)
 	if !r.retryOnce {
 		return nil, err
 	}
+	r.retries.Inc()
 	time.Sleep(r.backoff)
 	conn, derr := r.current()
 	if derr != nil {
@@ -88,6 +106,24 @@ func (r *ReconnectingClient) Call(msgType uint8, payload []byte) ([]byte, error)
 		r.drop(conn)
 	}
 	return resp, err
+}
+
+// Stats reports the client's connection-churn counters: total dial
+// attempts, re-dials after the first connection, failed dials, and
+// retry-once second calls. Tests and ops tooling use this to assert that a
+// flapping link produced bounded churn rather than a retry storm.
+func (r *ReconnectingClient) Stats() (dials, redials, dialFailures, retries uint64) {
+	return r.dials.Value(), r.redials.Value(), r.dialFailures.Value(), r.retries.Value()
+}
+
+// EnableMetrics exports the connection-churn counters to reg, labeled by
+// peer (the remote address or a deployment-chosen name).
+func (r *ReconnectingClient) EnableMetrics(reg *metrics.Registry, peer string) {
+	lbl := metrics.L("peer", peer)
+	reg.CounterFunc("rpc_client_dials_total", func() float64 { return float64(r.dials.Value()) }, lbl)
+	reg.CounterFunc("rpc_client_redials_total", func() float64 { return float64(r.redials.Value()) }, lbl)
+	reg.CounterFunc("rpc_client_dial_failures_total", func() float64 { return float64(r.dialFailures.Value()) }, lbl)
+	reg.CounterFunc("rpc_client_retries_total", func() float64 { return float64(r.retries.Value()) }, lbl)
 }
 
 // Close implements Client.

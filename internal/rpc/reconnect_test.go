@@ -5,6 +5,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // restartableServer lets a test kill and revive a server on a fixed port.
@@ -81,6 +83,15 @@ func TestReconnectingClientSurvivesRestart(t *testing.T) {
 	if string(resp) != "after-restart" {
 		t.Errorf("resp = %q", resp)
 	}
+	// One flap must cost exactly one retry and one re-dial — a retry
+	// storm here would multiply WAN traffic invisibly in production.
+	dials, redials, dialFailures, retries := c.Stats()
+	if dials != 2 || redials != 1 || retries != 1 {
+		t.Errorf("stats after one flap: dials=%d redials=%d retries=%d, want 2/1/1", dials, redials, retries)
+	}
+	if dialFailures != 0 {
+		t.Errorf("dialFailures = %d, want 0 (server was back before the retry)", dialFailures)
+	}
 }
 
 func TestReconnectingClientNoRetry(t *testing.T) {
@@ -126,5 +137,41 @@ func TestReconnectingClientDialFailure(t *testing.T) {
 	defer c.Close()
 	if _, err := c.Call(msgEcho, nil); err == nil {
 		t.Error("call to dead address succeeded")
+	}
+	dials, _, dialFailures, retries := c.Stats()
+	if dials != 1 || dialFailures != 1 || retries != 0 {
+		t.Errorf("stats = dials %d, failures %d, retries %d; want 1/1/0", dials, dialFailures, retries)
+	}
+}
+
+// TestReconnectCountersExported verifies the registry view of the churn
+// counters matches Stats, so dashboards see the same numbers tests assert.
+func TestReconnectCountersExported(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, true)
+	c.backoff = 5 * time.Millisecond
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.EnableMetrics(reg, rs.addr)
+	if _, err := c.Call(msgEcho, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	rs.stop()
+	rs.start()
+	if _, err := c.Call(msgEcho, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	want := map[string]uint64{}
+	want["rpc_client_dials_total"], want["rpc_client_redials_total"], want["rpc_client_dial_failures_total"], want["rpc_client_retries_total"] = c.Stats()
+	for name, v := range want {
+		s := snap.Find(name, map[string]string{"peer": rs.addr})
+		if s == nil {
+			t.Errorf("%s not exported", name)
+			continue
+		}
+		if s.Value != float64(v) {
+			t.Errorf("%s = %v, Stats says %d", name, s.Value, v)
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -43,6 +44,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	metrics  *serverMetrics // nil until EnableMetrics
 }
 
 // NewServer returns a server with no handlers registered.
@@ -69,15 +71,28 @@ func (s *Server) Handle(msgType uint8, h Handler) {
 func (s *Server) dispatch(f wire.Frame) (uint8, []byte) {
 	s.mu.Lock()
 	h, ok := s.handlers[f.Type]
+	m := s.metrics
 	s.mu.Unlock()
 	if !ok {
 		return msgError, []byte(fmt.Sprintf("rpc: no handler for message type %d", f.Type))
 	}
-	resp, err := h(f.Payload)
-	if err != nil {
-		return msgError, []byte(err.Error())
+	if m == nil {
+		resp, err := h(f.Payload)
+		if err != nil {
+			return msgError, []byte(err.Error())
+		}
+		return f.Type, resp
 	}
-	return f.Type, resp
+	m.inflight.Inc()
+	start := time.Now()
+	resp, err := h(f.Payload)
+	respType := f.Type
+	if err != nil {
+		respType, resp = msgError, []byte(err.Error())
+	}
+	m.observe(f.Type, len(f.Payload), len(resp), start, err != nil)
+	m.inflight.Dec()
+	return respType, resp
 }
 
 // Listen binds to addr ("host:port"; ":0" for an ephemeral port) and starts

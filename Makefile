@@ -1,8 +1,13 @@
 # Tier-1 gate: `make check` is what CI and pre-merge runs — build, vet,
-# and the full test suite. `make race` is the slower full-suite race pass.
+# the full test suite, and a race pass over the hot-path packages whose
+# buffer-reuse discipline is easiest to get wrong. `make race` is the
+# slower full-suite race pass.
 GO ?= go
 
-.PHONY: build test race vet check
+# Per-target budget for the fuzz smoke pass (long campaigns run manually).
+FUZZTIME ?= 5s
+
+.PHONY: build test race vet check fuzz-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,3 +22,16 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test
+	$(GO) test -race ./internal/wire ./internal/core ./internal/storage
+
+# fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
+# regressions on corrupt input without a long campaign.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzDecodeRecord$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz='^FuzzDecodeRecords$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/wire
+
+# bench-smoke runs the allocation-budget benchmarks once; the AllocsPerRun
+# assertions in the regular tests enforce the budgets, this shows the numbers.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='Allocs$$' -benchmem -benchtime=100x ./internal/flstore ./internal/chariots

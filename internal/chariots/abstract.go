@@ -94,6 +94,12 @@ type Snapshot struct {
 	From    core.DCID
 	Records []*core.Record
 	ATable  []vclock.Vector
+	// Owned marks Records as private copies the receiver may adopt and
+	// mutate (clear LIds, push into the pipeline) without cloning. RPC
+	// decode sets it — decoded records are arena-backed and belong to the
+	// snapshot — as do the resync paths, which clone before shipping. An
+	// in-process Sender leaves it false: its Records alias the local log.
+	Owned bool
 }
 
 // Propagate performs the §6.1 Propagate event toward datacenter j: a

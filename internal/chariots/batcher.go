@@ -100,6 +100,11 @@ func (b *Batcher) absorb(recs []*core.Record) {
 			// transient during hand-over).
 			f = len(b.bufs) - 1
 		}
+		if b.bufs[f] == nil {
+			// Flushing hands the buffer downstream, so each round
+			// starts fresh; size it for a full batch up front.
+			b.bufs[f] = make([]*core.Record, 0, b.thresh)
+		}
 		b.bufs[f] = append(b.bufs[f], r)
 	}
 	var full []int

@@ -232,11 +232,18 @@ func (q *Queue) forward(stop <-chan struct{}, maintainer int, in <-chan []*core.
 // drainBuffered collects pumped records without blocking, bounded by
 // maxDrain records per token cycle.
 func (q *Queue) drainBuffered() []*core.Record {
+	// Batches arriving on the channel are ownership transfers, so the
+	// common single-batch cycle adopts the first slice outright instead
+	// of copying into a fresh one.
 	var out []*core.Record
 	for len(out) < q.maxDrain {
 		select {
 		case recs := <-q.buffered:
-			out = append(out, recs...)
+			if out == nil {
+				out = recs
+			} else {
+				out = append(out, recs...)
+			}
 		default:
 			return out
 		}

@@ -43,11 +43,21 @@ func NewReceiver(name string, limiter *ratelimit.Limiter, state *dcState, batche
 func (r *Receiver) Deliver(snap Snapshot) error {
 	if len(snap.Records) > 0 {
 		r.work(len(snap.Records))
-		out := make([]*core.Record, 0, len(snap.Records))
-		for _, rec := range snap.Records {
-			c := rec.Clone()
-			c.LId = 0 // LIds are per-datacenter; ours is assigned by a queue
-			out = append(out, c)
+		var out []*core.Record
+		if snap.Owned {
+			// The snapshot's records are ours to keep (RPC arena decode
+			// or a resync's clones): adopt them, clearing LIds in place.
+			out = snap.Records
+			for _, rec := range out {
+				rec.LId = 0 // LIds are per-datacenter; ours is assigned by a queue
+			}
+		} else {
+			out = make([]*core.Record, 0, len(snap.Records))
+			for _, rec := range snap.Records {
+				c := rec.Clone()
+				c.LId = 0
+				out = append(out, c)
+			}
 		}
 		r.mu.Lock()
 		dst := r.batchers[int(r.rr%uint64(len(r.batchers)))]
@@ -180,23 +190,24 @@ func (s *Sender) ship(recs []*core.Record) {
 	}
 	s.mu.Unlock()
 
-	// Copies shipped across datacenters carry the record as-is; the
-	// receiver clears LIds on its side. Clone so remote mutation can
-	// never alias our log.
-	var copies []*core.Record
+	// Applied records are immutable, so the snapshot borrows them
+	// read-only instead of cloning: an RPC receiver encodes them onto the
+	// wire, and an in-process receiver clones before mutating (Owned is
+	// false). Only the slice header is copied — the sender's batch buffer
+	// is reused after ship returns, and a LatencyLink may still hold the
+	// snapshot then.
+	var shipped []*core.Record
 	if len(recs) > 0 {
-		copies = make([]*core.Record, len(recs))
-		for i, r := range recs {
-			copies[i] = r.Clone()
-		}
+		shipped = make([]*core.Record, len(recs))
+		copy(shipped, recs)
 	}
-	snap := Snapshot{From: s.state.self, Records: copies, ATable: table}
+	snap := Snapshot{From: s.state.self, Records: shipped, ATable: table}
 	for _, t := range targets {
 		if err := t.rx.Deliver(snap); err != nil {
 			s.Errors.Inc()
 			continue
 		}
-		s.Shipped.Add(uint64(len(copies)))
+		s.Shipped.Add(uint64(len(shipped)))
 	}
 }
 

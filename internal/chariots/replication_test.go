@@ -131,11 +131,24 @@ func TestSenderShipsCopiesNotAliases(t *testing.T) {
 	close(stop)
 	<-done
 	rx.mu.Lock()
-	shipped := rx.snaps[0].Records[0]
+	snap := rx.snaps[0]
 	rx.mu.Unlock()
-	shipped.Body[0] = 'X'
+	// An in-process sender ships a read-only borrow of the log's records:
+	// the snapshot must not claim ownership, so receivers clone before
+	// mutating.
+	if snap.Owned {
+		t.Fatal("sender marked a borrowed snapshot as Owned")
+	}
+	state2 := newDCState(1, 2, 64)
+	out := make(chan []*core.Record, 1)
+	r := NewReceiver("Receiver", nil, state2, []chan<- []*core.Record{out})
+	if err := r.Deliver(snap); err != nil {
+		t.Fatal(err)
+	}
+	batch := <-out
+	batch[0].Body[0] = 'X'
 	if orig.Body[0] != 'o' {
-		t.Error("shipped record aliases the local log's buffers")
+		t.Error("received record aliases the local log's buffers")
 	}
 }
 

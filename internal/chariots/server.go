@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 // Message types of the Chariots wire protocol (cross-datacenter shipping
@@ -42,11 +43,14 @@ func decodeSnapshot(buf []byte) (Snapshot, error) {
 		return snap, errors.New("chariots: short snapshot")
 	}
 	snap.From = core.DCID(binary.LittleEndian.Uint16(buf))
-	recs, used, err := core.DecodeRecords(buf[2:])
+	recs, used, err := core.DecodeRecordsShared(buf[2:])
 	if err != nil {
 		return snap, err
 	}
 	snap.Records = recs
+	// Arena-decoded records belong to this snapshot alone: the receiver
+	// may adopt them without another clone.
+	snap.Owned = true
 	off := 2 + used
 	if len(buf) < off+1 {
 		return snap, errors.New("chariots: short snapshot table flag")
@@ -92,7 +96,10 @@ type receiverClient struct{ c rpc.Client }
 func NewReceiverClient(c rpc.Client) ReceiverAPI { return &receiverClient{c: c} }
 
 func (rc *receiverClient) Deliver(snap Snapshot) error {
-	_, err := rc.c.Call(msgReplicate, appendSnapshot(nil, snap))
+	req := wire.GetBuf()
+	*req = appendSnapshot(*req, snap)
+	_, err := rc.c.Call(msgReplicate, *req)
+	wire.PutBuf(req)
 	return err
 }
 
@@ -104,7 +111,7 @@ func (rc *receiverClient) Deliver(snap Snapshot) error {
 // in-process API or poll msgApplied.
 func ServeIngest(srv *rpc.Server, dc *Datacenter) {
 	srv.Handle(msgIngest, func(p []byte) ([]byte, error) {
-		recs, _, err := core.DecodeRecords(p)
+		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +138,10 @@ func NewIngestClient(c rpc.Client) *IngestClient { return &IngestClient{c: c} }
 
 // Append ships fresh records into the remote pipeline.
 func (ic *IngestClient) Append(recs []*core.Record) error {
-	_, err := ic.c.Call(msgIngest, core.AppendRecords(nil, recs))
+	req := wire.GetBuf()
+	*req = core.AppendRecords(*req, recs)
+	_, err := ic.c.Call(msgIngest, *req)
+	wire.PutBuf(req)
 	return err
 }
 
@@ -171,7 +181,7 @@ func (dc *Datacenter) Resync(remote core.DCID, s *Sender) (int, error) {
 	for i, r := range stale {
 		copies[i] = r.Clone()
 	}
-	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot()}
+	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot(), Owned: true}
 	s.mu.Lock()
 	rxs := s.dests[remote]
 	s.mu.Unlock()
@@ -208,7 +218,7 @@ func (dc *Datacenter) ResyncAll(remote core.DCID, s *Sender) (int, error) {
 	for i, r := range all {
 		copies[i] = r.Clone()
 	}
-	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot()}
+	snap := Snapshot{From: dc.cfg.Self, Records: copies, ATable: dc.state.atable.Snapshot(), Owned: true}
 	s.mu.Lock()
 	rxs := s.dests[remote]
 	s.mu.Unlock()

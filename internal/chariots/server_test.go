@@ -24,8 +24,10 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, snap) {
-		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	want := snap
+	want.Owned = true // decoded records are arena-backed, owned by the snapshot
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 }
 

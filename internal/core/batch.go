@@ -1,0 +1,253 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the batch-granular side of the codec: the unit the append
+// and replication hot paths move is a record *batch*, and the goal is O(1)
+// buffer allocations per batch rather than O(records).
+//
+//   - BatchEncoder builds the AppendRecords wire format in a grow-only
+//     buffer that is reused across batches (steady-state: zero allocations
+//     per batch).
+//   - DecodeRecordsShared is the decode dual: it materializes a batch into
+//     records backed by shared arenas (one record array, one dep arena,
+//     one body arena), so the records are individually retainable — safe
+//     to hand to a store or pipeline stage — at a constant number of
+//     allocations per batch.
+//
+// Ownership rules for the zero-copy variants live in DESIGN.md, "Hot path
+// & memory discipline".
+
+// BatchEncoder incrementally builds an encoded record batch
+// (count-prefixed AppendRecords format) in a reusable buffer. The zero
+// value is ready; Reset makes the encoder reusable for the next batch
+// while keeping the grown buffer.
+type BatchEncoder struct {
+	buf   []byte
+	count uint32
+}
+
+// Reset discards the current batch but keeps the underlying buffer.
+func (e *BatchEncoder) Reset() {
+	if cap(e.buf) < 4 {
+		e.buf = make([]byte, 4, 512)
+	}
+	e.buf = e.buf[:4]
+	e.count = 0
+}
+
+// ensureHeader makes the zero value usable: the count prefix is reserved
+// lazily on first use and patched in Bytes.
+func (e *BatchEncoder) ensureHeader() {
+	if len(e.buf) < 4 {
+		e.Reset()
+	}
+}
+
+// Grow reserves capacity for at least n more bytes of encoded records
+// (use EncodedSize/EncodedSizeRecords to presize exactly).
+func (e *BatchEncoder) Grow(n int) {
+	e.ensureHeader()
+	if rem := cap(e.buf) - len(e.buf); rem < n {
+		grown := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(grown, e.buf)
+		e.buf = grown
+	}
+}
+
+// Add appends one record to the batch.
+func (e *BatchEncoder) Add(r *Record) {
+	e.ensureHeader()
+	e.buf = AppendRecord(e.buf, r)
+	e.count++
+}
+
+// AddAll appends every record of recs, presizing the buffer in one step.
+func (e *BatchEncoder) AddAll(recs []*Record) {
+	e.Grow(EncodedSizeRecords(recs) - 4)
+	for _, r := range recs {
+		e.buf = AppendRecord(e.buf, r)
+	}
+	e.count += uint32(len(recs))
+}
+
+// Count returns how many records the batch holds.
+func (e *BatchEncoder) Count() int { return int(e.count) }
+
+// Len returns the encoded size of the batch so far.
+func (e *BatchEncoder) Len() int {
+	if len(e.buf) < 4 {
+		return 4
+	}
+	return len(e.buf)
+}
+
+// Bytes patches the count prefix and returns the encoded batch. The slice
+// aliases the encoder's buffer: it is valid until the next Reset/Add.
+func (e *BatchEncoder) Bytes() []byte {
+	e.ensureHeader()
+	binary.LittleEndian.PutUint32(e.buf[0:4], e.count)
+	return e.buf
+}
+
+// batchStats is the skim-pass measurement used to size decode arenas.
+type batchStats struct {
+	deps      int
+	tags      int
+	bodyBytes int
+	consumed  int // bytes consumed by the n records (excluding count prefix)
+}
+
+// skimRecords walks n encoded records in buf without allocating, returning
+// totals for arena sizing. It validates exactly the structure the decode
+// pass will read, so the decode pass cannot fail after arenas are sized.
+func skimRecords(buf []byte, n int) (batchStats, error) {
+	var st batchStats
+	off := 0
+	for i := 0; i < n; i++ {
+		if len(buf) < off+recordHeaderSize {
+			return st, errShortBuffer
+		}
+		nDeps := int(binary.LittleEndian.Uint16(buf[off+18:]))
+		off += recordHeaderSize
+		if len(buf) < off+nDeps*10 {
+			return st, errShortBuffer
+		}
+		st.deps += nDeps
+		off += nDeps * 10
+		if len(buf) < off+2 {
+			return st, errShortBuffer
+		}
+		nTags := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		st.tags += nTags
+		for t := 0; t < nTags; t++ {
+			if len(buf) < off+2 {
+				return st, errShortBuffer
+			}
+			lk := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			if len(buf) < off+lk+4 {
+				return st, errShortBuffer
+			}
+			off += lk
+			lv := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if len(buf) < off+lv {
+				return st, errShortBuffer
+			}
+			off += lv
+		}
+		if len(buf) < off+4 {
+			return st, errShortBuffer
+		}
+		lb := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if len(buf) < off+lb {
+			return st, errShortBuffer
+		}
+		st.bodyBytes += lb
+		off += lb
+	}
+	st.consumed = off
+	return st, nil
+}
+
+// DecodeRecordsShared decodes a batch encoded by AppendRecords into
+// records backed by shared arenas: one []Record, one []Dep arena, one
+// []Tag arena, one body byte arena, and (per tagged record) one string
+// span — a constant number of allocations per batch instead of several
+// per record. The records do NOT alias buf; each is safe to retain
+// individually. Retaining any record keeps its batch's arenas reachable,
+// which is the intended trade for batches that travel the pipeline
+// together; callers that cherry-pick one record from a huge batch for
+// long-term retention should Clone it instead.
+func DecodeRecordsShared(buf []byte) ([]*Record, int, error) {
+	n, err := decodeBatchCount(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := skimRecords(buf[4:], n)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: decoding record batch: %w", err)
+	}
+	recs := make([]Record, n)
+	ptrs := make([]*Record, n)
+	var depArena []Dep
+	if st.deps > 0 {
+		depArena = make([]Dep, st.deps)
+	}
+	var tagArena []Tag
+	if st.tags > 0 {
+		tagArena = make([]Tag, st.tags)
+	}
+	var bodyArena []byte
+	if st.bodyBytes > 0 {
+		bodyArena = make([]byte, st.bodyBytes)
+	}
+	off := 4
+	depOff, tagOff, bodyOff := 0, 0, 0
+	for i := 0; i < n; i++ {
+		r := &recs[i]
+		ptrs[i] = r
+		b := buf[off:]
+		r.LId = binary.LittleEndian.Uint64(b[0:])
+		r.TOId = binary.LittleEndian.Uint64(b[8:])
+		r.Host = DCID(binary.LittleEndian.Uint16(b[16:]))
+		nDeps := int(binary.LittleEndian.Uint16(b[18:]))
+		o := recordHeaderSize
+		if nDeps > 0 {
+			ds := depArena[depOff : depOff+nDeps : depOff+nDeps]
+			depOff += nDeps
+			for d := 0; d < nDeps; d++ {
+				ds[d].DC = DCID(binary.LittleEndian.Uint16(b[o:]))
+				ds[d].TOId = binary.LittleEndian.Uint64(b[o+2:])
+				o += 10
+			}
+			r.Deps = ds
+		}
+		nTags := int(binary.LittleEndian.Uint16(b[o:]))
+		o += 2
+		if nTags > 0 {
+			// One string conversion covers the record's whole tag
+			// region (lengths included — a few wasted bytes); keys
+			// and values are substrings sharing that backing.
+			tagStart := o
+			for t := 0; t < nTags; t++ {
+				lk := int(binary.LittleEndian.Uint16(b[o:]))
+				o += 2 + lk
+				lv := int(binary.LittleEndian.Uint32(b[o:]))
+				o += 4 + lv
+			}
+			span := string(b[tagStart:o])
+			ts := tagArena[tagOff : tagOff+nTags : tagOff+nTags]
+			tagOff += nTags
+			p := 0
+			for t := 0; t < nTags; t++ {
+				lk := int(binary.LittleEndian.Uint16(b[tagStart+p:]))
+				p += 2
+				ts[t].Key = span[p : p+lk]
+				p += lk
+				lv := int(binary.LittleEndian.Uint32(b[tagStart+p:]))
+				p += 4
+				ts[t].Value = span[p : p+lv]
+				p += lv
+			}
+			r.Tags = ts
+		}
+		lb := int(binary.LittleEndian.Uint32(b[o:]))
+		o += 4
+		if lb > 0 {
+			body := bodyArena[bodyOff : bodyOff+lb : bodyOff+lb]
+			copy(body, b[o:o+lb])
+			r.Body = body
+			bodyOff += lb
+			o += lb
+		}
+		off += o
+	}
+	return ptrs, 4 + st.consumed, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func batchSample() []*Record {
+	return []*Record{
+		{LId: 1, TOId: 11, Host: 0, Body: []byte("alpha")},
+		{LId: 2, TOId: 12, Host: 1, Deps: []Dep{{DC: 0, TOId: 11}},
+			Tags: []Tag{{Key: "k", Value: "v"}, {Key: "stream", Value: "orders"}}},
+		{LId: 3, TOId: 13, Host: 2},
+		{LId: 4, TOId: 14, Host: 0,
+			Deps: []Dep{{DC: 1, TOId: 12}, {DC: 2, TOId: 13}},
+			Tags: []Tag{{Key: "empty", Value: ""}},
+			Body: []byte("a longer body payload for the fourth record")},
+	}
+}
+
+func TestBatchEncoderRoundTrip(t *testing.T) {
+	recs := batchSample()
+	var e BatchEncoder
+	for _, r := range recs {
+		e.Add(r)
+	}
+	if e.Count() != len(recs) {
+		t.Fatalf("Count = %d, want %d", e.Count(), len(recs))
+	}
+	buf := e.Bytes()
+	if want := EncodedSizeRecords(recs); len(buf) != want {
+		t.Fatalf("encoded %d bytes, EncodedSizeRecords says %d", len(buf), want)
+	}
+	if !reflect.DeepEqual(buf, AppendRecords(nil, recs)) {
+		t.Fatal("BatchEncoder bytes differ from AppendRecords")
+	}
+	got, used, err := DecodeRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d, want %d", used, len(buf))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBatchEncoderResetReuses(t *testing.T) {
+	recs := batchSample()
+	var e BatchEncoder
+	e.AddAll(recs)
+	first := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	if e.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", e.Count())
+	}
+	e.AddAll(recs)
+	if !reflect.DeepEqual(e.Bytes(), first) {
+		t.Fatal("re-encoded batch differs after Reset")
+	}
+	// An empty batch must still decode as a valid zero-record batch.
+	e.Reset()
+	got, _, err := DecodeRecords(e.Bytes())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch decode: got %v, err %v", got, err)
+	}
+}
+
+func TestDecodeRecordsShared(t *testing.T) {
+	recs := batchSample()
+	buf := AppendRecords(nil, recs)
+	got, used, err := DecodeRecordsShared(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d, want %d", used, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	// The records must not alias the input buffer: scribbling over buf
+	// must not change a decoded body.
+	body := string(got[3].Body)
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+	if string(got[3].Body) != body {
+		t.Fatal("DecodeRecordsShared body aliases the input buffer")
+	}
+}
+
+func TestDecodeRecordsSharedEmpty(t *testing.T) {
+	got, used, err := DecodeRecordsShared(AppendRecords(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 4 || len(got) != 0 {
+		t.Fatalf("got %d records, used %d", len(got), used)
+	}
+}
+
+func TestDecodeBatchCountGuard(t *testing.T) {
+	// A count prefix claiming more records than the buffer could hold
+	// must fail fast instead of preallocating count-proportional memory.
+	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := DecodeRecords(buf); err == nil {
+		t.Fatal("DecodeRecords accepted an impossible count")
+	}
+	if _, _, err := DecodeRecordsShared(buf); err == nil {
+		t.Fatal("DecodeRecordsShared accepted an impossible count")
+	}
+}
+
+func TestDecodeRecordsSharedTruncated(t *testing.T) {
+	full := AppendRecords(nil, batchSample())
+	for n := 4; n < len(full); n++ {
+		if _, _, err := DecodeRecordsShared(full[:n]); err == nil {
+			// Some truncations still hold a valid prefix batch only
+			// if the count said fewer records; with the true count
+			// they must all fail.
+			t.Fatalf("truncated batch of %d bytes decoded", n)
+		}
+	}
+}
+
+func TestDecodeRecordView(t *testing.T) {
+	want := batchSample()[3]
+	buf := MarshalRecord(want)
+	var view Record
+	used, err := DecodeRecordView(&view, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d, want %d", used, len(buf))
+	}
+	if !reflect.DeepEqual(&view, want) {
+		t.Fatalf("view %+v, want %+v", &view, want)
+	}
+	// The view's body aliases buf.
+	buf[len(buf)-1] ^= 0xFF
+	if view.Body[len(view.Body)-1] == want.Body[len(want.Body)-1] {
+		t.Fatal("DecodeRecordView body does not alias the buffer")
+	}
+	buf[len(buf)-1] ^= 0xFF
+
+	// Decoding another record into the same view must reuse Deps/Tags
+	// capacity and fully overwrite the previous contents.
+	plain := &Record{LId: 9, TOId: 99, Host: 1}
+	buf2 := MarshalRecord(plain)
+	if _, err := DecodeRecordView(&view, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if view.LId != 9 || view.TOId != 99 || len(view.Deps) != 0 || len(view.Tags) != 0 || view.Body != nil {
+		t.Fatalf("reused view not overwritten: %+v", view)
+	}
+	// Materializing a view for retention is Clone.
+	if _, err := DecodeRecordView(&view, buf); err != nil {
+		t.Fatal(err)
+	}
+	kept := view.Clone()
+	for i := range buf {
+		buf[i] = 0
+	}
+	if !reflect.DeepEqual(kept, want) {
+		t.Fatal("Clone of a view still aliases the buffer")
+	}
+}

@@ -20,6 +20,11 @@ import (
 
 const recordHeaderSize = 8 + 8 + 2 + 2 // through nDeps
 
+// minEncodedRecordSize is the smallest possible record encoding (empty
+// deps, tags, and body); batch count prefixes are sanity-checked against
+// it so a corrupt count cannot drive a giant preallocation.
+const minEncodedRecordSize = recordHeaderSize + 2 + 4
+
 var errShortBuffer = errors.New("core: short buffer decoding record")
 
 // EncodedSize returns the exact number of bytes MarshalRecord will produce.
@@ -65,66 +70,113 @@ func MarshalRecord(r *Record) []byte {
 // record and the number of bytes consumed. The returned record's Tags,
 // Deps and Body are copies; it does not alias buf.
 func DecodeRecord(buf []byte) (*Record, int, error) {
-	if len(buf) < recordHeaderSize {
-		return nil, 0, errShortBuffer
-	}
 	r := &Record{}
+	used, err := decodeRecordInto(r, buf, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, used, nil
+}
+
+// DecodeRecordView decodes one record from the front of buf into *r,
+// reusing r's Deps and Tags capacity across calls. The decoded Body
+// ALIASES buf: the view is valid only while buf is, and a component that
+// retains the record past that point must Clone it first (see the
+// ownership rules in DESIGN.md "Hot path & memory discipline"). Tag
+// strings are copies (Go strings are immutable), so only Body aliases.
+func DecodeRecordView(r *Record, buf []byte) (int, error) {
+	return decodeRecordInto(r, buf, false)
+}
+
+// decodeRecordInto is the single decode implementation: it fills *r,
+// reusing Deps/Tags capacity, copying the body iff copyBody.
+func decodeRecordInto(r *Record, buf []byte, copyBody bool) (int, error) {
+	if len(buf) < recordHeaderSize {
+		return 0, errShortBuffer
+	}
 	r.LId = binary.LittleEndian.Uint64(buf[0:])
 	r.TOId = binary.LittleEndian.Uint64(buf[8:])
 	r.Host = DCID(binary.LittleEndian.Uint16(buf[16:]))
 	nDeps := int(binary.LittleEndian.Uint16(buf[18:]))
 	off := recordHeaderSize
+	r.Deps = r.Deps[:0]
 	if nDeps > 0 {
 		if len(buf) < off+nDeps*10 {
-			return nil, 0, errShortBuffer
+			return 0, errShortBuffer
 		}
-		r.Deps = make([]Dep, nDeps)
+		if cap(r.Deps) < nDeps {
+			r.Deps = make([]Dep, 0, nDeps)
+		}
 		for i := 0; i < nDeps; i++ {
-			r.Deps[i].DC = DCID(binary.LittleEndian.Uint16(buf[off:]))
-			r.Deps[i].TOId = binary.LittleEndian.Uint64(buf[off+2:])
+			r.Deps = append(r.Deps, Dep{
+				DC:   DCID(binary.LittleEndian.Uint16(buf[off:])),
+				TOId: binary.LittleEndian.Uint64(buf[off+2:]),
+			})
 			off += 10
 		}
+	} else if cap(r.Deps) == 0 {
+		r.Deps = nil
 	}
 	if len(buf) < off+2 {
-		return nil, 0, errShortBuffer
+		return 0, errShortBuffer
 	}
 	nTags := int(binary.LittleEndian.Uint16(buf[off:]))
 	off += 2
+	r.Tags = r.Tags[:0]
 	if nTags > 0 {
-		r.Tags = make([]Tag, nTags)
+		if cap(r.Tags) < nTags {
+			r.Tags = make([]Tag, 0, nTags)
+		}
 		for i := 0; i < nTags; i++ {
 			if len(buf) < off+2 {
-				return nil, 0, errShortBuffer
+				return 0, errShortBuffer
 			}
 			lk := int(binary.LittleEndian.Uint16(buf[off:]))
 			off += 2
 			if len(buf) < off+lk+4 {
-				return nil, 0, errShortBuffer
+				return 0, errShortBuffer
 			}
-			r.Tags[i].Key = string(buf[off : off+lk])
+			key := string(buf[off : off+lk])
 			off += lk
 			lv := int(binary.LittleEndian.Uint32(buf[off:]))
 			off += 4
 			if len(buf) < off+lv {
-				return nil, 0, errShortBuffer
+				return 0, errShortBuffer
 			}
-			r.Tags[i].Value = string(buf[off : off+lv])
+			r.Tags = append(r.Tags, Tag{Key: key, Value: string(buf[off : off+lv])})
 			off += lv
 		}
+	} else if cap(r.Tags) == 0 {
+		r.Tags = nil
 	}
 	if len(buf) < off+4 {
-		return nil, 0, errShortBuffer
+		return 0, errShortBuffer
 	}
 	lb := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
 	if len(buf) < off+lb {
-		return nil, 0, errShortBuffer
+		return 0, errShortBuffer
 	}
-	if lb > 0 {
+	switch {
+	case lb == 0:
+		r.Body = nil
+	case copyBody:
 		r.Body = append([]byte(nil), buf[off:off+lb]...)
+	default:
+		r.Body = buf[off : off+lb : off+lb]
 	}
 	off += lb
-	return r, off, nil
+	return off, nil
+}
+
+// EncodedSizeRecords returns the exact number of bytes AppendRecords will
+// produce for recs, for single-allocation buffer sizing.
+func EncodedSizeRecords(recs []*Record) int {
+	n := 4
+	for _, r := range recs {
+		n += EncodedSize(r)
+	}
+	return n
 }
 
 // AppendRecords encodes a batch of records preceded by a u32 count.
@@ -136,13 +188,29 @@ func AppendRecords(dst []byte, recs []*Record) []byte {
 	return dst
 }
 
-// DecodeRecords decodes a batch encoded by AppendRecords, returning the
-// records and bytes consumed.
-func DecodeRecords(buf []byte) ([]*Record, int, error) {
+// decodeBatchCount reads and sanity-checks a batch's u32 count prefix: a
+// count that could not possibly fit in the remaining bytes (each record
+// encodes to at least minEncodedRecordSize) is rejected before any
+// count-proportional allocation happens.
+func decodeBatchCount(buf []byte) (int, error) {
 	if len(buf) < 4 {
-		return nil, 0, errShortBuffer
+		return 0, errShortBuffer
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
+	if n > (len(buf)-4)/minEncodedRecordSize {
+		return 0, fmt.Errorf("core: batch count %d exceeds buffer capacity: %w", n, errShortBuffer)
+	}
+	return n, nil
+}
+
+// DecodeRecords decodes a batch encoded by AppendRecords, returning the
+// records and bytes consumed. Every record is an independent deep copy;
+// for the O(1)-allocation hot-path variant see DecodeRecordsShared.
+func DecodeRecords(buf []byte) ([]*Record, int, error) {
+	n, err := decodeBatchCount(buf)
+	if err != nil {
+		return nil, 0, err
+	}
 	off := 4
 	recs := make([]*Record, 0, n)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// The fuzz targets pin two properties of the record codec against
+// adversarial input: no decoder may panic or over-read, and the three
+// decode paths (materializing, zero-copy view, shared-arena batch) must
+// agree byte-for-byte on both acceptance and result.
+
+func fuzzSeedRecords() []*Record {
+	return []*Record{
+		{LId: 1, TOId: 2, Host: 1, Body: []byte("body")},
+		{LId: 7, TOId: 9, Host: 2,
+			Deps: []Dep{{DC: 0, TOId: 3}, {DC: 1, TOId: 4}},
+			Tags: []Tag{{Key: "stream", Value: "orders"}, {Key: "empty", Value: ""}},
+			Body: []byte("a body that is long enough to matter")},
+		{LId: 3, TOId: 3, Host: 0},
+	}
+}
+
+func FuzzDecodeRecord(f *testing.F) {
+	for _, r := range fuzzSeedRecords() {
+		f.Add(MarshalRecord(r))
+	}
+	full := MarshalRecord(fuzzSeedRecords()[1])
+	f.Add(full[:len(full)/2]) // truncated mid-record
+	f.Add([]byte{})
+	// Tag-count overflow: header claims 0xFFFF tags with no bytes behind it.
+	over := MarshalRecord(fuzzSeedRecords()[2])
+	binary.LittleEndian.PutUint16(over[recordHeaderSize:], 0xFFFF)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, used, err := DecodeRecord(data)
+		var view Record
+		usedV, errV := DecodeRecordView(&view, data)
+		if (err == nil) != (errV == nil) {
+			t.Fatalf("DecodeRecord err=%v but DecodeRecordView err=%v", err, errV)
+		}
+		if err != nil {
+			return
+		}
+		if used != usedV {
+			t.Fatalf("consumed %d vs view %d", used, usedV)
+		}
+		if used > len(data) {
+			t.Fatalf("consumed %d > input %d", used, len(data))
+		}
+		if !reflect.DeepEqual(rec, view.Clone()) {
+			t.Fatalf("view disagrees: %+v vs %+v", rec, &view)
+		}
+		// The encoding is canonical: re-encoding reproduces the consumed
+		// prefix exactly.
+		if !bytes.Equal(MarshalRecord(rec), data[:used]) {
+			t.Fatal("re-encoded record differs from consumed input")
+		}
+	})
+}
+
+func FuzzDecodeRecords(f *testing.F) {
+	f.Add(AppendRecords(nil, fuzzSeedRecords()))
+	f.Add(AppendRecords(nil, nil))
+	full := AppendRecords(nil, fuzzSeedRecords())
+	f.Add(full[:len(full)-3])                   // truncated final record
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // impossible count prefix
+	f.Add([]byte{2, 0, 0, 0})                   // count says 2, no records
+	f.Add(append(full[:4:4], full[8:]...))      // corrupted record boundary
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, used, err := DecodeRecords(data)
+		recsS, usedS, errS := DecodeRecordsShared(data)
+		if (err == nil) != (errS == nil) {
+			t.Fatalf("DecodeRecords err=%v but DecodeRecordsShared err=%v", err, errS)
+		}
+		if err != nil {
+			return
+		}
+		if used != usedS || used > len(data) {
+			t.Fatalf("consumed %d vs shared %d (input %d)", used, usedS, len(data))
+		}
+		if len(recs) != len(recsS) {
+			t.Fatalf("decoded %d vs shared %d records", len(recs), len(recsS))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(recs[i], recsS[i]) {
+				t.Fatalf("record %d disagrees: %+v vs %+v", i, recs[i], recsS[i])
+			}
+		}
+		if !bytes.Equal(AppendRecords(nil, recs), data[:used]) {
+			t.Fatal("re-encoded batch differs from consumed input")
+		}
+	})
+}

@@ -174,24 +174,27 @@ func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
 		return nil, err
 	}
 	m.mu.Lock()
-	lids := make([]uint64, len(recs))
 	for i, r := range recs {
 		if r.LId != 0 {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("flstore: Append record %d already has LId %d", i, r.LId)
 		}
-		lid := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
-		r.LId = lid
+	}
+	// One range assignment for the whole batch: the maintainer fills its
+	// slots densely, so the batch occupies slots [filled, filled+len).
+	lids := make([]uint64, len(recs))
+	m.cfg.Placement.LIdsOfSlots(m.cfg.Index, m.filled, lids)
+	for i, r := range recs {
+		r.LId = lids[i]
 		if r.TOId == 0 {
 			// Standalone FLStore deployments have a single total
 			// order, so the LId doubles as the TOId. Chariots
 			// deployments assign TOIds upstream and use
 			// AppendAssigned instead.
-			r.TOId = lid
+			r.TOId = lids[i]
 		}
-		lids[i] = lid
-		m.filled++
 	}
+	m.filled += uint64(len(recs))
 	m.nextVec[m.cfg.Index] = m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
 	released := m.releasableOrderBatchesLocked()
 	m.mu.Unlock()

@@ -232,8 +232,12 @@ func decodeConfig(buf []byte) (*Config, error) {
 
 // ServeMaintainer registers RPC handlers exposing m on srv.
 func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
+	// The append handlers decode with DecodeRecordsShared: the request
+	// payload is borrowed (it aliases the connection's read scratch), and
+	// the arena decode materializes retainable records in O(1) allocations
+	// per batch.
 	srv.Handle(msgAppend, func(p []byte) ([]byte, error) {
-		recs, _, err := core.DecodeRecords(p)
+		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +248,7 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 		return appendLIds(nil, lids), nil
 	})
 	srv.Handle(msgAppendAssigned, func(p []byte) ([]byte, error) {
-		recs, _, err := core.DecodeRecords(p)
+		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +259,7 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 			return nil, errors.New("flstore: short AppendAfter request")
 		}
 		minLId := binary.LittleEndian.Uint64(p)
-		recs, _, err := core.DecodeRecords(p[8:])
+		recs, _, err := core.DecodeRecordsShared(p[8:])
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +288,7 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 		if err != nil {
 			return nil, err
 		}
-		return core.AppendRecords(nil, recs), nil
+		return core.AppendRecords(make([]byte, 0, core.EncodedSizeRecords(recs)), recs), nil
 	})
 	srv.Handle(msgHead, func(p []byte) ([]byte, error) {
 		h, err := m.Head()
@@ -445,7 +449,12 @@ type maintainerClient struct{ c rpc.Client }
 func NewMaintainerClient(c rpc.Client) MaintainerAPI { return &maintainerClient{c: c} }
 
 func (mc *maintainerClient) Append(recs []*core.Record) ([]uint64, error) {
-	resp, err := mc.c.Call(msgAppend, core.AppendRecords(nil, recs))
+	// Encode the batch into a pooled buffer: Call only borrows the request
+	// payload for the call's duration, so it can go back to the pool after.
+	req := wire.GetBuf()
+	*req = core.AppendRecords(*req, recs)
+	resp, err := mc.c.Call(msgAppend, *req)
+	wire.PutBuf(req)
 	if err != nil {
 		return nil, mapRemoteError(err)
 	}
@@ -464,14 +473,19 @@ func (mc *maintainerClient) Append(recs []*core.Record) ([]uint64, error) {
 }
 
 func (mc *maintainerClient) AppendAssigned(recs []*core.Record) error {
-	_, err := mc.c.Call(msgAppendAssigned, core.AppendRecords(nil, recs))
+	req := wire.GetBuf()
+	*req = core.AppendRecords(*req, recs)
+	_, err := mc.c.Call(msgAppendAssigned, *req)
+	wire.PutBuf(req)
 	return mapRemoteError(err)
 }
 
 func (mc *maintainerClient) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, error) {
-	req := binary.LittleEndian.AppendUint64(nil, minLId)
-	req = core.AppendRecords(req, recs)
-	resp, err := mc.c.Call(msgAppendAfter, req)
+	req := wire.GetBuf()
+	*req = binary.LittleEndian.AppendUint64(*req, minLId)
+	*req = core.AppendRecords(*req, recs)
+	resp, err := mc.c.Call(msgAppendAfter, *req)
+	wire.PutBuf(req)
 	if err != nil {
 		return nil, mapRemoteError(err)
 	}
@@ -504,7 +518,7 @@ func (mc *maintainerClient) Scan(rule core.Rule) ([]*core.Record, error) {
 	if err != nil {
 		return nil, mapRemoteError(err)
 	}
-	recs, _, err := core.DecodeRecords(resp)
+	recs, _, err := core.DecodeRecordsShared(resp)
 	return recs, err
 }
 

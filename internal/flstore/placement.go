@@ -59,6 +59,29 @@ func (p Placement) LIdOfSlot(m int, slot uint64) uint64 {
 	return chunk*p.BatchSize + within + 1
 }
 
+// LIdsOfSlots fills dst with the LIds of len(dst) consecutive slots of
+// maintainer m starting at firstSlot — the batch form of LIdOfSlot the
+// append hot path uses to assign a whole batch's positions in one range
+// walk (incrementing within a round, jumping at round boundaries) instead
+// of one divmod pair per record.
+func (p Placement) LIdsOfSlots(m int, firstSlot uint64, dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	lid := p.LIdOfSlot(m, firstSlot)
+	within := firstSlot % p.BatchSize
+	for i := range dst {
+		dst[i] = lid
+		within++
+		if within == p.BatchSize {
+			within = 0
+			lid += uint64(p.NumMaintainers-1)*p.BatchSize + 1
+		} else {
+			lid++
+		}
+	}
+}
+
 // RoundStart returns the first LId of maintainer m's range in the given
 // round (0-based).
 func (p Placement) RoundStart(m int, round uint64) uint64 {

@@ -26,12 +26,23 @@ const msgError uint8 = 0xFF
 var ErrClosed = errors.New("rpc: closed")
 
 // Handler serves one request payload and returns the response payload.
+//
+// The payload is BORROWED: it aliases the connection's reusable read
+// buffer and is valid only for the duration of the call. A handler that
+// needs any part of it afterwards must copy (the record codec's
+// materializing decoders — core.DecodeRecords / core.DecodeRecordsShared
+// — already do). The returned response is owned by the RPC layer only
+// until the frame is written, so handlers may return freshly built or
+// long-lived slices alike.
 type Handler func(payload []byte) ([]byte, error)
 
 // Client is the calling side of the RPC substrate. Implementations are
 // safe for concurrent use.
 type Client interface {
 	// Call sends a request of the given type and waits for its response.
+	// The request payload is borrowed only for the duration of the call
+	// (callers may reuse or pool it afterwards); the returned response
+	// is owned by the caller.
 	Call(msgType uint8, payload []byte) ([]byte, error)
 	Close() error
 }
@@ -142,15 +153,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// One reusable read buffer and one reusable write buffer per
+	// connection: requests are served in order, so the request frame is
+	// fully consumed (handlers copy what they keep) before the next read
+	// overwrites the scratch.
+	rd := wire.NewReader(conn)
+	wbuf := wire.GetBuf()
+	defer wire.PutBuf(wbuf)
 	var writeMu sync.Mutex
 	for {
-		f, err := wire.Read(conn)
+		f, err := rd.Next()
 		if err != nil {
 			return
 		}
 		respType, resp := s.dispatch(f)
 		writeMu.Lock()
-		err = wire.Write(conn, f.ReqID, respType, resp)
+		err = wire.WriteBuf(conn, wbuf, f.ReqID, respType, resp)
 		writeMu.Unlock()
 		if err != nil {
 			return
@@ -203,6 +221,9 @@ func Dial(addr string) (*TCPClient, error) {
 }
 
 func (c *TCPClient) readLoop() {
+	// Responses cross a channel into the waiting Call goroutine, which
+	// owns the payload after Call returns — so this loop must hand over
+	// freshly allocated payloads (wire.Read), not a reused scratch.
 	for {
 		f, err := wire.Read(c.conn)
 		if err != nil {

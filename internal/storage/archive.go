@@ -96,14 +96,21 @@ func (a *Archive) Put(recs []*core.Record) error {
 	if err != nil {
 		return fmt.Errorf("storage: creating archive volume: %w", err)
 	}
-	var buf []byte
+	// Frame the whole volume in one exactly-presized buffer (header
+	// reserved, record encoded in place, length+CRC patched) and write it
+	// with a single Write before the fsync.
+	total := 0
 	for _, r := range recs {
-		payload := core.MarshalRecord(r)
-		var hdr [entryHeaderSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
+		total += entryHeaderSize + core.EncodedSize(r)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range recs {
+		start := len(buf)
+		buf = append(buf, make([]byte, entryHeaderSize)...)
+		buf = core.AppendRecord(buf, r)
+		payload := buf[start+entryHeaderSize:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
@@ -206,6 +213,10 @@ func (a *Archive) scanVolume(vol archVolume, fn func(*core.Record) bool) error {
 	}
 	defer f.Close()
 	hdr := make([]byte, entryHeaderSize)
+	// The payload scratch grows but is never handed out: DecodeRecord
+	// copies, because fn may retain the record (Get does) after the
+	// scratch is overwritten by the next entry.
+	var payload []byte
 	for {
 		if _, err := io.ReadFull(f, hdr); err != nil {
 			if err == io.EOF {
@@ -215,7 +226,10 @@ func (a *Archive) scanVolume(vol archVolume, fn func(*core.Record) bool) error {
 		}
 		length := binary.LittleEndian.Uint32(hdr)
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		payload := make([]byte, length)
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
 		if _, err := io.ReadFull(f, payload); err != nil {
 			return fmt.Errorf("storage: archive %s torn payload: %w", vol.path, err)
 		}

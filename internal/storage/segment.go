@@ -70,6 +70,14 @@ type indexEntry struct {
 	length int32
 }
 
+// recPlacement records where one batch member will land in the active
+// segment, so the index is updated only after the write succeeds.
+type recPlacement struct {
+	rec    *core.Record
+	off    int64
+	length int32
+}
+
 // SegmentStore is a disk-backed Store: records are appended to rolling
 // segment files and located through an in-memory LId index rebuilt on open.
 type SegmentStore struct {
@@ -85,6 +93,12 @@ type SegmentStore struct {
 	writeSeq uint64
 	max      uint64
 	closed   bool
+
+	// encScratch/placeScratch are grow-only batch-encode buffers reused
+	// across AppendBatch calls (guarded by mu): the whole batch is framed
+	// into one contiguous buffer and written with a single Write.
+	encScratch   []byte
+	placeScratch []recPlacement
 
 	// fsyncLatency is set by EnableMetrics (nil until then); AppendBatch
 	// observes each Sync when present.
@@ -185,6 +199,11 @@ func (s *SegmentStore) scanSegment(seg *segment, truncateTorn bool) error {
 	var offset int64
 	hdr := make([]byte, entryHeaderSize)
 	count := seg.first
+	// One grow-only payload scratch and one reused Record for the whole
+	// scan: indexing needs only the decoded LId, so a zero-copy view into
+	// the scratch is enough — nothing past the loop iteration retains it.
+	var payload []byte
+	var rec core.Record
 	finish := func(truncate bool) error {
 		seg.size = offset
 		if count > s.writeSeq {
@@ -207,7 +226,10 @@ func (s *SegmentStore) scanSegment(seg *segment, truncateTorn bool) error {
 		}
 		length := binary.LittleEndian.Uint32(hdr)
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		payload := make([]byte, length)
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
 		if _, err := io.ReadFull(f, payload); err != nil {
 			if truncateTorn {
 				return finish(true)
@@ -220,11 +242,10 @@ func (s *SegmentStore) scanSegment(seg *segment, truncateTorn bool) error {
 			}
 			return fmt.Errorf("storage: segment %s CRC mismatch at %d", seg.path, offset)
 		}
-		rec, _, err := core.DecodeRecord(payload)
-		if err != nil {
+		if _, err := core.DecodeRecordView(&rec, payload); err != nil {
 			return fmt.Errorf("storage: segment %s undecodable record at %d: %w", seg.path, offset, err)
 		}
-		s.indexRecord(rec, seg, offset+entryHeaderSize, int32(length))
+		s.indexRecord(&rec, seg, offset+entryHeaderSize, int32(length))
 		offset += entryHeaderSize + int64(length)
 		count++
 	}
@@ -292,24 +313,33 @@ func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 			return err
 		}
 	}
-	var buf []byte
-	type placed struct {
-		rec    *core.Record
-		off    int64
-		length int32
+	// Frame the whole batch into one reusable buffer: reserve each entry
+	// header, encode the record in place behind it, then patch length and
+	// CRC — one group write (and at most one fsync) per batch.
+	total := 0
+	for _, r := range rs {
+		total += entryHeaderSize + core.EncodedSize(r)
 	}
-	placements := make([]placed, 0, len(rs))
+	if cap(s.encScratch) < total {
+		s.encScratch = make([]byte, 0, total)
+	}
+	if cap(s.placeScratch) < len(rs) {
+		s.placeScratch = make([]recPlacement, 0, len(rs))
+	}
+	buf := s.encScratch[:0]
+	placements := s.placeScratch[:0]
 	off := s.actSeg.size
 	for _, r := range rs {
-		payload := core.MarshalRecord(r)
-		var hdr [entryHeaderSize]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
-		placements = append(placements, placed{rec: r, off: off + entryHeaderSize, length: int32(len(payload))})
+		start := len(buf)
+		buf = append(buf, make([]byte, entryHeaderSize)...)
+		buf = core.AppendRecord(buf, r)
+		payload := buf[start+entryHeaderSize:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+		placements = append(placements, recPlacement{rec: r, off: off + entryHeaderSize, length: int32(len(payload))})
 		off += entryHeaderSize + int64(len(payload))
 	}
+	s.encScratch, s.placeScratch = buf, placements
 	if _, err := s.active.Write(buf); err != nil {
 		return fmt.Errorf("storage: writing batch: %w", err)
 	}

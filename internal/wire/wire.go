@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameSize bounds a single frame to guard against corrupt length
@@ -40,38 +41,115 @@ func Append(dst []byte, reqID uint64, msgType uint8, payload []byte) []byte {
 	return dst
 }
 
-// Write encodes and writes one frame to w.
-func Write(w io.Writer, reqID uint64, msgType uint8, payload []byte) error {
+// maxPooledBuf bounds the capacity of buffers kept in the frame pool so a
+// single jumbo frame cannot pin megabytes behind every pool slot.
+const maxPooledBuf = 1 << 20
+
+// bufPool recycles frame scratch buffers across Write calls (and any
+// caller using GetBuf/PutBuf): frame encoding is the hottest allocation
+// site in the system, one buffer per message in both directions.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length pooled scratch buffer. Callers hand it back
+// with PutBuf once the bytes are no longer referenced.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Oversized
+// buffers are dropped so the pool's steady-state footprint stays small.
+func PutBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// WriteBuf encodes the frame into *scratch (reusing its capacity, growing
+// it if needed) and writes it to w in one call. The caller retains
+// ownership of the scratch buffer; Write uses this with pooled buffers.
+func WriteBuf(w io.Writer, scratch *[]byte, reqID uint64, msgType uint8, payload []byte) error {
 	if frameOverhead+len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := Append(make([]byte, 0, 4+frameOverhead+len(payload)), reqID, msgType, payload)
-	_, err := w.Write(buf)
+	*scratch = Append((*scratch)[:0], reqID, msgType, payload)
+	_, err := w.Write(*scratch)
 	return err
 }
 
-// Read reads one frame from r. The returned payload is freshly allocated.
-func Read(r io.Reader) (Frame, error) {
+// Write encodes and writes one frame to w using a pooled scratch buffer —
+// zero allocations per frame in steady state.
+func Write(w io.Writer, reqID uint64, msgType uint8, payload []byte) error {
+	buf := GetBuf()
+	err := WriteBuf(w, buf, reqID, msgType, payload)
+	PutBuf(buf)
+	return err
+}
+
+// readInto reads one frame body into scratch (grown as needed) and decodes
+// it; the returned frame's payload aliases the scratch buffer.
+func readInto(r io.Reader, scratch []byte) (Frame, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Frame{}, err
+		return Frame{}, scratch, err
 	}
 	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
 	if frameLen < frameOverhead {
-		return Frame{}, fmt.Errorf("wire: frame length %d below minimum", frameLen)
+		return Frame{}, scratch, fmt.Errorf("wire: frame length %d below minimum", frameLen)
 	}
 	if frameLen > MaxFrameSize {
-		return Frame{}, ErrFrameTooLarge
+		return Frame{}, scratch, ErrFrameTooLarge
 	}
-	body := make([]byte, frameLen)
+	if uint32(cap(scratch)) < frameLen {
+		scratch = make([]byte, frameLen)
+	}
+	body := scratch[:frameLen]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, fmt.Errorf("wire: reading frame body: %w", err)
+		return Frame{}, scratch, fmt.Errorf("wire: reading frame body: %w", err)
 	}
 	return Frame{
 		ReqID:   binary.LittleEndian.Uint64(body),
 		Type:    body[8],
-		Payload: body[9:],
-	}, nil
+		Payload: body[9:frameLen],
+	}, scratch, nil
+}
+
+// Read reads one frame from r. The returned payload is freshly allocated
+// and owned by the caller; connection loops that process one frame at a
+// time should use Reader instead, which reuses one scratch buffer.
+func Read(r io.Reader) (Frame, error) {
+	f, _, err := readInto(r, nil)
+	return f, err
+}
+
+// Reader reads frames from a stream reusing one grow-only scratch buffer:
+// the allocation-free counterpart of Write's pooled path. Not safe for
+// concurrent use; one Reader per connection.
+type Reader struct {
+	r       io.Reader
+	scratch []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, scratch: make([]byte, 0, 4096)}
+}
+
+// Next reads one frame. The returned Payload ALIASES the reader's scratch
+// buffer and is valid only until the next call to Next; a consumer that
+// retains it (or any sub-slice, including decoded zero-copy record views)
+// past that point must copy first.
+func (rd *Reader) Next() (Frame, error) {
+	f, scratch, err := readInto(rd.r, rd.scratch)
+	rd.scratch = scratch
+	return f, err
 }
 
 // --- small payload-building helpers shared by subsystem message schemas ---

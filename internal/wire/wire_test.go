@@ -123,3 +123,104 @@ func TestBytesHelpers(t *testing.T) {
 		t.Error("accepted truncated bytes body")
 	}
 }
+
+func TestReaderSequenceReusesScratch(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		[]byte("first frame payload"),
+		[]byte("2nd"),
+		bytes.Repeat([]byte{0xAB}, 8192), // forces scratch growth
+		nil,
+	}
+	for i, p := range payloads {
+		if err := Write(&buf, uint64(i), uint8(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&buf)
+	for i, p := range payloads {
+		f, err := rd.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.ReqID != uint64(i) || f.Type != uint8(i) || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("Next at end = %v, want EOF", err)
+	}
+}
+
+func TestReaderPayloadInvalidatedByNext(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, 1, 1, []byte("AAAA"))
+	Write(&buf, 2, 2, []byte("BBBB"))
+	rd := NewReader(&buf)
+	f1, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := f1.Payload
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// The documented contract: the first payload aliases the reader's
+	// scratch, so after the next call it holds the second frame's bytes.
+	if string(first) != "BBBB" {
+		t.Fatalf("scratch not reused: first payload now %q", first)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	rd := NewReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}))
+	if _, err := rd.Next(); err != ErrFrameTooLarge {
+		t.Fatalf("Next oversized = %v, want ErrFrameTooLarge", err)
+	}
+	rd = NewReader(bytes.NewReader([]byte{3, 0, 0, 0, 1, 2, 3}))
+	if _, err := rd.Next(); err == nil {
+		t.Fatal("accepted frame below minimum")
+	}
+}
+
+func TestWriteBufReuse(t *testing.T) {
+	var buf bytes.Buffer
+	scratch := make([]byte, 0, 8)
+	if err := WriteBuf(&buf, &scratch, 7, 3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	grown := cap(scratch)
+	if err := WriteBuf(&buf, &scratch, 8, 3, []byte("pay")); err != nil {
+		t.Fatal(err)
+	}
+	if cap(scratch) != grown {
+		t.Fatal("WriteBuf reallocated a sufficient scratch buffer")
+	}
+	for i, want := range []struct {
+		id uint64
+		p  string
+	}{{7, "payload"}, {8, "pay"}} {
+		f, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.ReqID != want.id || string(f.Payload) != want.p {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+}
+
+func TestWriteSteadyStateAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 256)
+	// Warm the pool, then require the pooled write path to be
+	// allocation-free.
+	Write(io.Discard, 0, 0, payload)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := Write(io.Discard, 1, 2, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Write allocates %.1f/op, want 0", allocs)
+	}
+}

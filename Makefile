@@ -22,7 +22,8 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test
-	$(GO) test -race ./internal/wire ./internal/core ./internal/storage
+	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject
+	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes' ./internal/flstore
 
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.

@@ -3,7 +3,13 @@
 // over TCP. Clients initialize sessions against the controller address.
 //
 //	go run ./cmd/flstore -maintainers 3 -indexers 2 -batch 1000 \
-//	    -listen 127.0.0.1:7000 -data /tmp/flstore
+//	    -listen 127.0.0.1:7000 -data /tmp/flstore -replication 3 -ack majority
+//
+// With -replication R > 1 every LId range is hosted by R consecutive
+// maintainers (its replica group); -ack picks how many copies must exist
+// before an append is acknowledged (one|majority|all). Clients obtain both
+// from the controller and replicate transparently; `logctl replicas` shows
+// per-group membership, health, and catch-up lag.
 //
 // Ports: the controller listens on -listen; maintainer i on port+1+i;
 // indexer j after the maintainers. With -data, records persist in segment
@@ -31,6 +37,7 @@ import (
 	"repro/internal/flstore"
 	"repro/internal/metrics"
 	"repro/internal/obsrv"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 )
@@ -44,14 +51,16 @@ func main() {
 		dataDir      = flag.String("data", "", "directory for persistent segment stores (empty = in-memory)")
 		gossipEvery  = flag.Duration("gossip", 5*time.Millisecond, "head-of-log gossip interval")
 		metricsAddr  = flag.String("metrics", "", `metrics HTTP listen address ("" = controller port + 100, "off" = disabled)`)
+		replication  = flag.Int("replication", 1, "replicas per LId range (1 = unreplicated)")
+		ackPolicy    = flag.String("ack", "majority", "replication ack policy: one|majority|all")
 	)
 	flag.Parse()
-	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr); err != nil {
+	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr, *replication, *ackPolicy); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string) error {
+func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string, replication int, ackPolicy string) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -66,6 +75,17 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 
 	placement := flstore.Placement{NumMaintainers: nMaintainers, BatchSize: batch}
 	if err := placement.Validate(); err != nil {
+		return err
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	layout := replica.Layout{N: nMaintainers, R: replication}
+	if err := layout.Validate(); err != nil {
+		return err
+	}
+	ack, err := replica.ParseAckPolicy(ackPolicy)
+	if err != nil {
 		return err
 	}
 
@@ -114,6 +134,7 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 			Store:       st,
 			Indexers:    indexerAPIs,
 			EnforceHead: true,
+			Replication: replication,
 		})
 		if err != nil {
 			return err
@@ -157,6 +178,8 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 		Placement:       placement,
 		MaintainerAddrs: maintainerAddrs,
 		IndexerAddrs:    indexerAddrs,
+		Replication:     replication,
+		AckPolicy:       ack.String(),
 	})
 	if err != nil {
 		return err
@@ -165,12 +188,19 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 	ctrlSrv.EnableMetrics(reg, "controller")
 	flstore.ServeController(ctrlSrv, ctrl)
 	flstore.ServeStats(ctrlSrv, reg)
+	// Replica status for `logctl replicas`: assembled at request time by
+	// polling the in-process maintainers' per-range frontiers.
+	flstore.ServeReplicas(ctrlSrv, func() (*replica.ClusterStatus, error) {
+		return flstore.BuildClusterStatus(placement, layout, ack, func(mi, ri int) (uint64, error) {
+			return maintainers[mi].RangeFrontier(ri)
+		}), nil
+	})
 	if _, err := ctrlSrv.Listen(listen); err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
 	servers = append(servers, ctrlSrv)
-	log.Printf("controller listening on %s (placement: %d maintainers, batch %d)",
-		listen, nMaintainers, batch)
+	log.Printf("controller listening on %s (placement: %d maintainers, batch %d, replication %d, ack %s)",
+		listen, nMaintainers, batch, replication, ack)
 
 	// Metrics/health HTTP endpoint.
 	var obs *obsrv.Server

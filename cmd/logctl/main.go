@@ -8,6 +8,7 @@
 //	logctl -controller 127.0.0.1:7000 lookup -tag user=alice -recent 10
 //	logctl -controller 127.0.0.1:7000 tail -from 1
 //	logctl -controller 127.0.0.1:7000 stats -interval 1s
+//	logctl -controller 127.0.0.1:7000 replicas
 package main
 
 import (
@@ -61,6 +62,8 @@ func main() {
 		cmdTail(client, rest)
 	case "stats":
 		cmdStats(conn, rest)
+	case "replicas":
+		cmdReplicas(conn)
 	default:
 		usage()
 	}
@@ -75,7 +78,8 @@ commands:
   head                            print the head of the log
   lookup -tag k[=v] [-recent n]   find records by tag
   tail [-from lid]                follow the log (ctrl-c to stop)
-  stats [-interval d]             per-maintainer throughput and latency`)
+  stats [-interval d]             per-maintainer throughput and latency
+  replicas                        per-group replica membership, health, lag`)
 	os.Exit(2)
 }
 
@@ -235,6 +239,34 @@ func cmdStats(conn rpc.Client, args []string) {
 			fmt.Sprintf("%.1f", rate),
 			p99,
 			strconv.FormatUint(uint64(val(after, "flstore_rejected_total", m)), 10))
+	}
+	fmt.Print(tbl.String())
+}
+
+// cmdReplicas renders the controller's replica-group status: one row per
+// group member with its role, reachability, per-range frontier, and
+// catch-up lag in log positions.
+func cmdReplicas(conn rpc.Client) {
+	st, err := flstore.FetchReplicas(conn)
+	if err != nil {
+		log.Fatalf("replicas: %v (is the node set running with -replication?)", err)
+	}
+	fmt.Printf("replication=%d ack=%s\n", st.Replication, st.Ack)
+	tbl := metrics.Table{Header: []string{"range", "member", "role", "health", "frontier", "lag LIds"}}
+	for _, g := range st.Groups {
+		for _, m := range g.Members {
+			health := "ok"
+			if !m.Healthy {
+				health = "unreachable"
+			}
+			tbl.AddRow(
+				strconv.Itoa(g.Range),
+				strconv.Itoa(m.Member),
+				m.Role,
+				health,
+				strconv.FormatUint(m.Frontier, 10),
+				strconv.FormatUint(m.LagLIds, 10))
+		}
 	}
 	fmt.Print(tbl.String())
 }

@@ -8,7 +8,7 @@
 //
 // Experiments: fig7, fig8, table2, table3, table4, table5, fig9,
 // ablation-sequencer, ablation-batchsize, ablation-gossip,
-// ablation-tokencarry, ablation-flush.
+// ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover.
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 )
 
 func main() {
@@ -42,11 +43,13 @@ func main() {
 		"ablation-flush":      runAblationFlush,
 		"geo-visibility":      runGeoVisibility,
 		"hyksos":              runHyksos,
+		"failover":            runFailover,
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
+		"failover",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -297,6 +300,41 @@ func runGeoVisibility(dur time.Duration) error {
 		tb.AddRow(oneWay.String(),
 			res.Mean.Round(100*time.Microsecond).String(),
 			res.P99.Round(100*time.Microsecond).String())
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func runFailover(dur time.Duration) error {
+	header("Extension — replicated maintainer kill/restart (ack policies)",
+		"not in the paper's evaluation: availability through a maintainer failure under replica groups; appends must keep succeeding under majority/one, and the restarted member catches up")
+	appends := int(dur / (2 * time.Millisecond))
+	if appends < 100 {
+		appends = 100
+	}
+	tb := &metrics.Table{Header: []string{"ack", "appends ok", "appends failed", "evicted", "catch-up recs", "head growth", "read failures", "append p99"}}
+	for _, ack := range []replica.AckPolicy{replica.AckOne, replica.AckMajority} {
+		res, err := cluster.RunFailover(cluster.FailoverOptions{
+			Maintainers:     3,
+			Replication:     3,
+			Ack:             ack,
+			Seed:            7,
+			AppendsPerPhase: appends,
+		})
+		if err != nil {
+			return err
+		}
+		ok := res.Appends[0] + res.Appends[1] + res.Appends[2] -
+			res.FailedAppends[0] - res.FailedAppends[1] - res.FailedAppends[2]
+		failed := res.FailedAppends[0] + res.FailedAppends[1] + res.FailedAppends[2]
+		tb.AddRow(ack.String(),
+			fmt.Sprintf("%d", ok),
+			fmt.Sprintf("%d", failed),
+			fmt.Sprintf("%v", res.Evicted),
+			fmt.Sprintf("%d", res.CatchUpRecords),
+			fmt.Sprintf("%d → %d", res.HeadAfterKill, res.HeadFinal),
+			fmt.Sprintf("%d/%d", res.ReadFailures, res.ReadsChecked),
+			res.AppendP99.Round(10*time.Microsecond).String())
 	}
 	fmt.Print(tb.String())
 	return nil

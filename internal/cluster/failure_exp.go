@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/flstore"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+// FailoverOptions configures the replicated-FLStore failure experiment: a
+// three-phase run (healthy → one maintainer severed → restarted and caught
+// up) that measures what the client sees through the failure. Faults come
+// from a seeded schedule, so a run is reproducible by (Seed, phase sizes).
+type FailoverOptions struct {
+	Maintainers     int
+	Replication     int
+	Ack             replica.AckPolicy
+	Seed            uint64
+	AppendsPerPhase int
+	// KillIndex is the maintainer severed in phase two (default 1).
+	KillIndex int
+}
+
+// FailoverResult is one failure-experiment run.
+type FailoverResult struct {
+	// Appends and FailedAppends count client appends per phase
+	// (healthy, killed, rejoined).
+	Appends       [3]int
+	FailedAppends [3]int
+	// Evicted reports whether the session evicted the killed maintainer.
+	Evicted bool
+	// CatchUpRecords is how many records the restarted maintainer pulled.
+	CatchUpRecords int
+	// HeadAfterKill and HeadFinal are the exact head of the log at the end
+	// of phases two and three — the paper's HL must keep advancing through
+	// the failure.
+	HeadAfterKill, HeadFinal uint64
+	// ReadsChecked / ReadFailures cover every position up to HeadFinal read
+	// back through the client (failover path included).
+	ReadsChecked, ReadFailures int
+	// AppendP99 is the client-observed p99 append latency over all phases.
+	AppendP99 time.Duration
+}
+
+// RunFailover executes one kill/restart scenario against an in-process
+// replicated deployment wired over RPC with every link behind the fault
+// controller.
+func RunFailover(opts FailoverOptions) (FailoverResult, error) {
+	var res FailoverResult
+	n, r := opts.Maintainers, opts.Replication
+	if n < 2 || r < 2 || r > n {
+		return res, fmt.Errorf("cluster: failover needs 2 <= R <= N, got N=%d R=%d", n, r)
+	}
+	if opts.AppendsPerPhase <= 0 {
+		opts.AppendsPerPhase = 300
+	}
+	kill := opts.KillIndex
+	if kill <= 0 || kill >= n {
+		kill = 1
+	}
+	p := flstore.Placement{NumMaintainers: n, BatchSize: 8}
+	ctl := faultinject.New(faultinject.Options{Seed: opts.Seed})
+	ms := make([]*flstore.Maintainer, n)
+	srvs := make([]*rpc.Server, n)
+	for i := 0; i < n; i++ {
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{Index: i, Placement: p, Replication: r})
+		if err != nil {
+			return res, err
+		}
+		srv := rpc.NewServer()
+		flstore.ServeMaintainer(srv, m)
+		ms[i], srvs[i] = m, srv
+	}
+	wire := func(i int) flstore.MaintainerAPI {
+		return flstore.NewMaintainerClient(ctl.Wrap(fmt.Sprintf("c->m%d", i), rpc.NewLocalClient(srvs[i])))
+	}
+	apis := make([]flstore.MaintainerAPI, n)
+	for i := range apis {
+		apis[i] = wire(i)
+	}
+	client, err := flstore.NewReplicatedDirectClient(p, apis, nil, r, opts.Ack)
+	if err != nil {
+		return res, err
+	}
+
+	var latencies []time.Duration
+	phase := func(idx int) {
+		for i := 0; i < opts.AppendsPerPhase; i++ {
+			start := time.Now()
+			_, err := client.Append([]byte(fmt.Sprintf("p%d-%d", idx, i)), nil)
+			latencies = append(latencies, time.Since(start))
+			res.Appends[idx]++
+			if err != nil {
+				res.FailedAppends[idx]++
+			}
+		}
+	}
+
+	phase(0)
+	ctl.Sever(fmt.Sprintf("c->m%d", kill))
+	phase(1)
+	res.Evicted = client.Session().Health().State(kill) == replica.Evicted
+	if res.HeadAfterKill, err = client.HeadExact(); err != nil {
+		return res, fmt.Errorf("cluster: head after kill: %w", err)
+	}
+
+	// Restart: heal the link and run the rejoin sequence (catch-up, then
+	// readmission). The maintainer's in-memory state survived — only its
+	// links were cut — so catch-up transfers exactly the missed records.
+	ctl.Heal(fmt.Sprintf("c->m%d", kill))
+	if err := client.SetMaintainer(kill, wire(kill)); err != nil {
+		return res, err
+	}
+	if res.CatchUpRecords, err = client.Session().Rejoin(kill, 0); err != nil {
+		return res, fmt.Errorf("cluster: rejoin: %w", err)
+	}
+	phase(2)
+	if res.HeadFinal, err = client.HeadExact(); err != nil {
+		return res, fmt.Errorf("cluster: final head: %w", err)
+	}
+
+	for lid := uint64(1); lid <= res.HeadFinal; lid++ {
+		res.ReadsChecked++
+		if _, err := client.ReadLId(lid); err != nil {
+			res.ReadFailures++
+		}
+	}
+	if len(latencies) > 0 {
+		sorted := append([]time.Duration(nil), latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.AppendP99 = sorted[(len(sorted)*99)/100]
+	}
+	return res, nil
+}

@@ -66,10 +66,10 @@ func FuzzDecodeRecords(f *testing.F) {
 	f.Add(AppendRecords(nil, fuzzSeedRecords()))
 	f.Add(AppendRecords(nil, nil))
 	full := AppendRecords(nil, fuzzSeedRecords())
-	f.Add(full[:len(full)-3])                   // truncated final record
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})       // impossible count prefix
-	f.Add([]byte{2, 0, 0, 0})                   // count says 2, no records
-	f.Add(append(full[:4:4], full[8:]...))      // corrupted record boundary
+	f.Add(full[:len(full)-3])              // truncated final record
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})  // impossible count prefix
+	f.Add([]byte{2, 0, 0, 0})              // count says 2, no records
+	f.Add(append(full[:4:4], full[8:]...)) // corrupted record boundary
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, used, err := DecodeRecords(data)

@@ -1,0 +1,237 @@
+// Package faultinject is a deterministic chaos layer over internal/rpc:
+// it wraps rpc.Clients so that calls are dropped, delayed, duplicated, or
+// rejected (severed link) according to a schedule derived purely from a
+// seed, a link name, and a per-link call counter. The same seed therefore
+// replays the same event sequence byte for byte — crash, partition, and
+// flap scenarios become ordinary table-driven tests.
+//
+// The harness injects at the client side of a link, which models both
+// directions of failure visible to a caller: a dead server and a severed
+// network path look identical (the call errors). Scripted events (Sever,
+// Heal) compose with the probabilistic schedule; both feed one shared
+// event log so tests can assert replay equality.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// ErrDropped is returned for a call the schedule chose to drop. It is a
+// transport-style error (not an rpc.RemoteError), so upper layers treat it
+// like a lost connection.
+var ErrDropped = errors.New("faultinject: call dropped")
+
+// ErrSevered is returned for calls over a severed link.
+var ErrSevered = errors.New("faultinject: link severed")
+
+// Options configures the probabilistic part of a schedule. Probabilities
+// are per call, evaluated independently per link from the seeded PRNG;
+// zero values disable that fault class.
+type Options struct {
+	// Seed drives every probabilistic decision. The same seed, link names,
+	// and call order reproduce the same faults.
+	Seed uint64
+	// DropP is the probability a call is dropped (error, request not
+	// delivered).
+	DropP float64
+	// DupP is the probability a call is delivered twice (the duplicate
+	// runs first, its response discarded) — exercises idempotency.
+	DupP float64
+	// DelayP is the probability a call is delayed by Delay before
+	// delivery.
+	DelayP float64
+	// Delay is the injected latency for delayed calls.
+	Delay time.Duration
+	// Sleep is the delay implementation; nil uses time.Sleep. Tests
+	// substitute a recorder to keep wall-clock out of the schedule.
+	Sleep func(time.Duration)
+}
+
+// Action identifies one injected event.
+type Action string
+
+const (
+	ActionDrop   Action = "drop"
+	ActionDelay  Action = "delay"
+	ActionDup    Action = "dup"
+	ActionReject Action = "reject" // call hit a severed link
+	ActionSever  Action = "sever"  // scripted Sever()
+	ActionHeal   Action = "heal"   // scripted Heal()
+)
+
+// Event is one entry of the deterministic event log.
+type Event struct {
+	Link   string
+	Step   uint64 // per-link call counter at the time of the event
+	Action Action
+}
+
+// Controller owns the schedule and the shared state of all wrapped links.
+type Controller struct {
+	opts Options
+
+	mu      sync.Mutex
+	severed map[string]bool
+	steps   map[string]uint64
+	events  []Event
+}
+
+// New returns a controller for the given schedule options.
+func New(opts Options) *Controller {
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &Controller{
+		opts:    opts,
+		severed: make(map[string]bool),
+		steps:   make(map[string]uint64),
+	}
+}
+
+// Wrap returns a client that applies the controller's schedule to every
+// call on the named link. Multiple links may share a name (they then share
+// sever state and a step counter).
+func (c *Controller) Wrap(link string, inner rpc.Client) rpc.Client {
+	return &client{ctl: c, link: link, inner: inner}
+}
+
+// Sever cuts the named link: every call fails with ErrSevered until Heal.
+func (c *Controller) Sever(link string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed[link] = true
+	c.events = append(c.events, Event{Link: link, Step: c.steps[link], Action: ActionSever})
+}
+
+// Heal restores a severed link.
+func (c *Controller) Heal(link string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severed[link] = false
+	c.events = append(c.events, Event{Link: link, Step: c.steps[link], Action: ActionHeal})
+}
+
+// Severed reports whether the link is currently cut.
+func (c *Controller) Severed(link string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.severed[link]
+}
+
+// Events returns a copy of the event log in occurrence order.
+func (c *Controller) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Fingerprint renders the event log canonically, one line per event,
+// grouped per link in step order — convenient for asserting that two runs
+// with the same seed replayed identically. Grouping matters: concurrent
+// calls on different links may interleave differently from run to run, but
+// each link's own stream is a pure function of (seed, link, step), so the
+// per-link canonical form is replay-stable where raw occurrence order
+// (Events) is not.
+func (c *Controller) Fingerprint() string {
+	evs := c.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Link != evs[j].Link {
+			return evs[i].Link < evs[j].Link
+		}
+		return evs[i].Step < evs[j].Step
+	})
+	var b []byte
+	for _, e := range evs {
+		b = fmt.Appendf(b, "%s@%d:%s\n", e.Link, e.Step, e.Action)
+	}
+	return string(b)
+}
+
+// decide advances the link's step counter and resolves the fault (if any)
+// for this call from the pure (seed, link, step) function.
+func (c *Controller) decide(link string) (act Action, severed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	step := c.steps[link]
+	c.steps[link] = step + 1
+	if c.severed[link] {
+		c.events = append(c.events, Event{Link: link, Step: step, Action: ActionReject})
+		return ActionReject, true
+	}
+	r := rng{state: c.opts.Seed ^ hashLink(link) ^ (step * 0x9E3779B97F4A7C15)}
+	switch {
+	case c.opts.DropP > 0 && r.float64() < c.opts.DropP:
+		act = ActionDrop
+	case c.opts.DupP > 0 && r.float64() < c.opts.DupP:
+		act = ActionDup
+	case c.opts.DelayP > 0 && r.float64() < c.opts.DelayP:
+		act = ActionDelay
+	default:
+		return "", false
+	}
+	c.events = append(c.events, Event{Link: link, Step: step, Action: act})
+	return act, false
+}
+
+// client applies the schedule to one link.
+type client struct {
+	ctl   *Controller
+	link  string
+	inner rpc.Client
+}
+
+// Call implements rpc.Client.
+func (f *client) Call(msgType uint8, payload []byte) ([]byte, error) {
+	act, severed := f.ctl.decide(f.link)
+	if severed {
+		return nil, fmt.Errorf("%w: %s", ErrSevered, f.link)
+	}
+	switch act {
+	case ActionDrop:
+		return nil, fmt.Errorf("%w: %s", ErrDropped, f.link)
+	case ActionDelay:
+		f.ctl.opts.Sleep(f.ctl.opts.Delay)
+	case ActionDup:
+		// Deliver twice; the first response is discarded (the duplicate a
+		// retransmitting network would produce). Errors on the duplicate
+		// are ignored — only the final delivery's outcome is reported.
+		f.inner.Call(msgType, payload)
+	}
+	return f.inner.Call(msgType, payload)
+}
+
+// Close implements rpc.Client (passes through; sever state is unaffected).
+func (f *client) Close() error { return f.inner.Close() }
+
+// hashLink folds a link name into the PRNG stream split.
+func hashLink(link string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(link))
+	return h.Sum64()
+}
+
+// rng is a splitmix64 stream — tiny, seedable, and stable across Go
+// versions (math/rand's stream is not guaranteed), which the byte-for-byte
+// replay property depends on.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

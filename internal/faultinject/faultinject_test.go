@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// echoClient is a minimal rpc.Client that records calls and echoes the
+// payload back.
+type echoClient struct {
+	mu     sync.Mutex
+	calls  int
+	closed bool
+}
+
+func (e *echoClient) Call(msgType uint8, payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.calls++
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+func (e *echoClient) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}
+
+func (e *echoClient) callCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+var _ rpc.Client = (*echoClient)(nil)
+
+func TestSeverHealGating(t *testing.T) {
+	ctl := New(Options{Seed: 1})
+	inner := &echoClient{}
+	c := ctl.Wrap("a->b", inner)
+
+	if _, err := c.Call(1, []byte("hi")); err != nil {
+		t.Fatalf("healthy call: %v", err)
+	}
+	ctl.Sever("a->b")
+	if !ctl.Severed("a->b") {
+		t.Fatal("Severed() = false after Sever")
+	}
+	if _, err := c.Call(1, []byte("hi")); !errors.Is(err, ErrSevered) {
+		t.Fatalf("severed call = %v, want ErrSevered", err)
+	}
+	ctl.Heal("a->b")
+	if _, err := c.Call(1, []byte("hi")); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	if got := inner.callCount(); got != 2 {
+		t.Errorf("inner saw %d calls, want 2 (severed call must not reach it)", got)
+	}
+
+	// The scripted events appear in the log alongside the rejection.
+	var acts []Action
+	for _, e := range ctl.Events() {
+		acts = append(acts, e.Action)
+	}
+	want := []Action{ActionSever, ActionReject, ActionHeal}
+	if len(acts) != len(want) {
+		t.Fatalf("events = %v, want %v", acts, want)
+	}
+	for i := range want {
+		if acts[i] != want[i] {
+			t.Fatalf("events = %v, want %v", acts, want)
+		}
+	}
+}
+
+func TestSameSeedReplaysIdentically(t *testing.T) {
+	run := func(seed uint64) string {
+		ctl := New(Options{
+			Seed:   seed,
+			DropP:  0.3,
+			DupP:   0.2,
+			DelayP: 0.2,
+			Delay:  time.Millisecond,
+			Sleep:  func(time.Duration) {},
+		})
+		a := ctl.Wrap("c->m0", &echoClient{})
+		b := ctl.Wrap("c->m1", &echoClient{})
+		for i := 0; i < 50; i++ {
+			a.Call(1, nil)
+			b.Call(1, nil)
+			if i == 20 {
+				ctl.Sever("c->m1")
+			}
+			if i == 30 {
+				ctl.Heal("c->m1")
+			}
+		}
+		return ctl.Fingerprint()
+	}
+
+	first := run(42)
+	if first == "" {
+		t.Fatal("schedule with 30% drop over 100 calls produced no events")
+	}
+	if second := run(42); second != first {
+		t.Errorf("same seed diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
+	}
+	if other := run(43); other == first {
+		t.Error("different seeds produced the identical event log (suspicious schedule)")
+	}
+}
+
+func TestLinksDrawIndependentStreams(t *testing.T) {
+	// Two links under one seed must not fault in lockstep; the link name is
+	// folded into the stream.
+	ctl := New(Options{Seed: 7, DropP: 0.5})
+	a := ctl.Wrap("x", &echoClient{})
+	b := ctl.Wrap("y", &echoClient{})
+	diverged := false
+	for i := 0; i < 64; i++ {
+		_, errA := a.Call(1, nil)
+		_, errB := b.Call(1, nil)
+		if (errA == nil) != (errB == nil) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("links x and y faulted identically on every step")
+	}
+}
+
+func TestDropReturnsErrDroppedWithoutDelivery(t *testing.T) {
+	ctl := New(Options{Seed: 3, DropP: 1})
+	inner := &echoClient{}
+	c := ctl.Wrap("l", inner)
+	if _, err := c.Call(1, nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if inner.callCount() != 0 {
+		t.Errorf("dropped call reached inner client (%d calls)", inner.callCount())
+	}
+}
+
+func TestDupDeliversTwice(t *testing.T) {
+	ctl := New(Options{Seed: 3, DupP: 1})
+	inner := &echoClient{}
+	c := ctl.Wrap("l", inner)
+	resp, err := c.Call(1, []byte("p"))
+	if err != nil || string(resp) != "p" {
+		t.Fatalf("dup call = %q, %v", resp, err)
+	}
+	if inner.callCount() != 2 {
+		t.Errorf("inner saw %d calls, want 2", inner.callCount())
+	}
+}
+
+func TestDelayInvokesSleep(t *testing.T) {
+	var slept time.Duration
+	ctl := New(Options{
+		Seed:   3,
+		DelayP: 1,
+		Delay:  25 * time.Millisecond,
+		Sleep:  func(d time.Duration) { slept += d },
+	})
+	inner := &echoClient{}
+	c := ctl.Wrap("l", inner)
+	if _, err := c.Call(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 25*time.Millisecond {
+		t.Errorf("slept %v, want 25ms", slept)
+	}
+	if inner.callCount() != 1 {
+		t.Errorf("delayed call delivered %d times", inner.callCount())
+	}
+}
+
+func TestClosepassesThrough(t *testing.T) {
+	ctl := New(Options{Seed: 1})
+	inner := &echoClient{}
+	c := ctl.Wrap("l", inner)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.closed {
+		t.Error("Close did not reach inner client")
+	}
+}

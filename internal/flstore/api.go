@@ -45,6 +45,29 @@ type MaintainerAPI interface {
 	Gossip(from int, next uint64) (uint64, error)
 }
 
+// ReplicaAPI is the additional surface a replication-aware maintainer
+// exposes. It is kept separate from MaintainerAPI so unreplicated
+// deployments (and older fakes) keep compiling; callers type-assert, and
+// ServeMaintainer registers these handlers only when the implementation
+// provides them. Together with MaintainerAPI's Append and Read this is a
+// superset of replica.Member.
+type ReplicaAPI interface {
+	// AppendFor post-assigns positions in a hosted range other than the
+	// maintainer's own — the acting-primary failover path.
+	AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, error)
+	// ReplicaAppend ingests copies of records already positioned by the
+	// range's acting primary. Idempotent per LId.
+	ReplicaAppend(recs []*core.Record) error
+	// RangeFrontier returns the locally known next-unfilled LId of a
+	// hosted range.
+	RangeFrontier(rangeIdx int) (uint64, error)
+	// PullRange streams stored records of a hosted range for catch-up.
+	PullRange(rangeIdx int, fromLId uint64, limit int) ([]*core.Record, error)
+	// GossipVec exchanges whole next-unfilled vectors so replicated
+	// progress for a dead owner's range spreads.
+	GossipVec(vec []uint64) ([]uint64, error)
+}
+
 // Posting is one index entry streamed from a maintainer to an indexer:
 // the record at LId carries tag Key with value Value.
 type Posting struct {
@@ -91,6 +114,13 @@ type Config struct {
 	// (§6.3); readers use it to locate records written under old
 	// placements.
 	Epochs []Epoch
+	// Replication is the deployment's replica-group size R (0 and 1 both
+	// mean unreplicated); clients derive group membership from it and the
+	// placement alone.
+	Replication int
+	// AckPolicy is the append durability policy ("one", "majority",
+	// "all"); empty means "majority".
+	AckPolicy string
 }
 
 // Epoch is one entry of the elasticity journal: from FirstLId onward, the

@@ -9,24 +9,47 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replica"
 	"repro/internal/rpc"
+	"repro/internal/storage"
 )
 
 // Client is the linked library application clients use to talk to FLStore
 // (§3, §5.1): it learns the cluster layout from the controller once at
 // session start, then appends to and reads from the log maintainers
-// directly, consulting indexers only for tag-based reads.
+// directly, consulting indexers only for tag-based reads. Under
+// replication (R > 1) the client drives a replica.Session: appends go to
+// each range's acting primary and fan out to its group, reads fail over
+// across the group, and head computation takes each range's group-wide
+// maximum so a dead maintainer doesn't freeze the head of the log.
 type Client struct {
 	placement   Placement
 	epochs      []Epoch
 	maintainers []MaintainerAPI
 	indexers    []IndexerAPI
-	rr          atomic.Uint64 // round-robin append target
+	rr          atomic.Uint64 // round-robin append target (session == nil)
+
+	// session is the replication layer; nil when R == 1 and the wired
+	// maintainers don't expose the replica surface (legacy fakes).
+	session *replica.Session
 
 	// ReadRetry configures how long reads wait for the head of the log
 	// to pass the requested position before giving up.
 	ReadRetries  int
 	RetryBackoff time.Duration
+}
+
+// isLogicError classifies FLStore errors that must propagate to the caller
+// rather than trigger replica failover: they describe the request or the
+// log's state, not the health of the member that served them.
+func isLogicError(err error) bool {
+	return errors.Is(err, core.ErrNoSuchRecord) ||
+		errors.Is(err, core.ErrPastHead) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrWrongMaintainer) ||
+		errors.Is(err, ErrNotReplica) ||
+		errors.Is(err, ErrOrderBacklog) ||
+		errors.Is(err, storage.ErrDuplicate)
 }
 
 // NewClient starts a session: it polls the controller for the cluster
@@ -56,32 +79,91 @@ func NewClient(ctrl ControllerAPI) (*Client, error) {
 		}
 		c.indexers = append(c.indexers, NewIndexerClient(rc))
 	}
+	ack := replica.AckMajority
+	if cfg.AckPolicy != "" {
+		if ack, err = replica.ParseAckPolicy(cfg.AckPolicy); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.initSession(cfg.Replication, ack); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
 // NewDirectClient wires a client to in-process (or pre-dialed) component
-// APIs — the path used by simulations and tests.
+// APIs — the path used by simulations and tests. Replication is off
+// (R = 1); use NewReplicatedDirectClient for replica groups.
 func NewDirectClient(p Placement, maintainers []MaintainerAPI, indexers []IndexerAPI) (*Client, error) {
+	return NewReplicatedDirectClient(p, maintainers, indexers, 1, replica.AckOne)
+}
+
+// NewReplicatedDirectClient wires a client to in-process (or pre-dialed)
+// component APIs with a replica layout of R copies per range under the
+// given ack policy. Every maintainer handle must expose the replica
+// surface when R > 1.
+func NewReplicatedDirectClient(p Placement, maintainers []MaintainerAPI, indexers []IndexerAPI, r int, ack replica.AckPolicy) (*Client, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if len(maintainers) != p.NumMaintainers {
 		return nil, fmt.Errorf("flstore: %d maintainers for placement of %d", len(maintainers), p.NumMaintainers)
 	}
-	return &Client{
+	c := &Client{
 		placement:    p,
 		epochs:       []Epoch{{FirstLId: 1, Placement: p}},
 		maintainers:  maintainers,
 		indexers:     indexers,
 		ReadRetries:  50,
 		RetryBackoff: 2 * time.Millisecond,
-	}, nil
+	}
+	if err := c.initSession(r, ack); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// initSession builds the replica session over the wired maintainers. With
+// R <= 1 and maintainers that don't expose the replica surface (legacy
+// fakes), the client silently stays on the unreplicated paths; with R > 1
+// every member must support it.
+func (c *Client) initSession(r int, ack replica.AckPolicy) error {
+	if r < 1 {
+		r = 1
+	}
+	members := make([]replica.Member, len(c.maintainers))
+	for i, m := range c.maintainers {
+		rm, ok := m.(replica.Member)
+		if !ok {
+			if r > 1 {
+				return fmt.Errorf("flstore: maintainer %d does not support replication (R=%d)", i, r)
+			}
+			return nil
+		}
+		members[i] = rm
+	}
+	p := c.placement
+	s, err := replica.NewSession(members, replica.SessionConfig{
+		Layout:  replica.Layout{N: p.NumMaintainers, R: r},
+		Ack:     ack,
+		Owner:   func(lid uint64) int { return p.Owner(lid) },
+		IsFatal: isLogicError,
+	})
+	if err != nil {
+		return err
+	}
+	c.session = s
+	return nil
 }
 
 // Placement returns the placement the client is operating under.
 func (c *Client) Placement() Placement { return c.placement }
 
-// pickMaintainer selects the append target round-robin.
+// Session exposes the replication layer (nil on legacy unreplicated
+// wiring): tests and operators use it for health, catch-up, and rejoin.
+func (c *Client) Session() *replica.Session { return c.session }
+
+// pickMaintainer selects the append target round-robin (legacy path).
 func (c *Client) pickMaintainer() MaintainerAPI {
 	i := c.rr.Add(1) - 1
 	return c.maintainers[int(i%uint64(len(c.maintainers)))]
@@ -89,11 +171,12 @@ func (c *Client) pickMaintainer() MaintainerAPI {
 
 // Append inserts a record with the given body and tags into the shared log
 // (§3's Append(record, tags)) and returns the assigned LId. The record is
-// sent to a round-robin-selected maintainer, which post-assigns the
-// position.
+// sent to a round-robin-selected range's acting primary, which
+// post-assigns the position (and, under replication, fans copies out to
+// the range's group before acknowledging per the ack policy).
 func (c *Client) Append(body []byte, tags []core.Tag) (uint64, error) {
 	rec := &core.Record{Tags: tags, Body: body}
-	lids, err := c.pickMaintainer().Append([]*core.Record{rec})
+	lids, err := c.AppendBatch([]*core.Record{rec})
 	if err != nil {
 		return 0, err
 	}
@@ -104,6 +187,9 @@ func (c *Client) Append(body []byte, tags []core.Tag) (uint64, error) {
 // their assigned LIds preserve the batch order (§5.4's same-maintainer
 // explicit ordering).
 func (c *Client) AppendBatch(recs []*core.Record) ([]uint64, error) {
+	if c.session != nil {
+		return c.session.Append(recs)
+	}
 	return c.pickMaintainer().Append(recs)
 }
 
@@ -119,13 +205,38 @@ func (c *Client) AppendAfter(maintainer int, minLId uint64, recs []*core.Record)
 // Head returns the head of the log as known by one maintainer — every
 // position at or below it is gap-free and readable.
 func (c *Client) Head() (uint64, error) {
+	if c.session != nil {
+		// Ask any usable member; gossip keeps their estimates close.
+		for i := range c.maintainers {
+			if !c.session.Health().Usable(i) {
+				continue
+			}
+			h, err := c.maintainers[i].Head()
+			if err == nil {
+				return h, nil
+			}
+			if isLogicError(err) {
+				return 0, err
+			}
+		}
+		return 0, replica.ErrNoUsableGroup
+	}
 	return c.pickMaintainer().Head()
 }
 
-// HeadExact polls every maintainer's next-unfilled position and computes
-// the precise head, bypassing gossip staleness. Get-transactions use this
-// to pin their snapshot (Algorithm 1 line 2).
+// HeadExact polls every range's next-unfilled position and computes the
+// precise head, bypassing gossip staleness. Under replication each range's
+// frontier is the maximum over its group's usable members, so the head
+// keeps advancing while a maintainer is down. Get-transactions use this to
+// pin their snapshot (Algorithm 1 line 2).
 func (c *Client) HeadExact() (uint64, error) {
+	if c.session != nil {
+		next, err := c.session.Frontiers()
+		if err != nil {
+			return 0, err
+		}
+		return Head(next), nil
+	}
 	next := make([]uint64, len(c.maintainers))
 	for i, m := range c.maintainers {
 		n, err := m.NextUnfilled()
@@ -152,15 +263,30 @@ func (c *Client) ownerOf(lid uint64) (MaintainerAPI, error) {
 
 // ReadLId returns the record at lid, retrying while the position is beyond
 // the gossiped head (§5.4: a read at i must wait until no gap exists below
-// i).
+// i). Under replication the read fails over across the owning group.
 func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
-	m, err := c.ownerOf(lid)
-	if err != nil {
-		return nil, err
+	var read func() (*core.Record, error)
+	if c.session != nil {
+		p, err := PlacementAt(c.epochs, lid)
+		if err != nil {
+			return nil, err
+		}
+		// Failover routing knows only the current placement's groups;
+		// records written under an earlier epoch route directly.
+		if p == c.placement {
+			read = func() (*core.Record, error) { return c.session.Read(lid) }
+		}
+	}
+	if read == nil {
+		m, err := c.ownerOf(lid)
+		if err != nil {
+			return nil, err
+		}
+		read = func() (*core.Record, error) { return m.Read(lid) }
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.ReadRetries; attempt++ {
-		rec, err := m.Read(lid)
+		rec, err := read()
 		if err == nil {
 			return rec, nil
 		}
@@ -231,6 +357,47 @@ func (c *Client) readByTag(rule core.Rule) ([]*core.Record, error) {
 	return recs, nil
 }
 
+// scanMerged fans a scan out to every maintainer, deduplicates by LId
+// (replica copies appear at up to R maintainers), and reports whether at
+// least one maintainer answered. Under replication an unreachable or
+// evicted maintainer is skipped — its records are served by its group
+// peers.
+func (c *Client) scanMerged(rule core.Rule) ([]*core.Record, error) {
+	var all []*core.Record
+	seen := make(map[uint64]struct{})
+	answered := 0
+	var lastErr error
+	for i, m := range c.maintainers {
+		if c.session != nil && !c.session.Health().Usable(i) {
+			continue
+		}
+		recs, err := m.Scan(rule)
+		if err != nil {
+			if c.session == nil || isLogicError(err) {
+				return nil, err
+			}
+			c.session.Health().ReportFailure(i)
+			lastErr = err
+			continue
+		}
+		answered++
+		for _, r := range recs {
+			if _, dup := seen[r.LId]; dup {
+				continue
+			}
+			seen[r.LId] = struct{}{}
+			all = append(all, r)
+		}
+	}
+	if answered == 0 {
+		if lastErr == nil {
+			lastErr = replica.ErrNoUsableGroup
+		}
+		return nil, lastErr
+	}
+	return all, nil
+}
+
 func (c *Client) readByScan(rule core.Rule) ([]*core.Record, error) {
 	// Reads must not cross the head of the log: cap the scan at HL.
 	head, err := c.HeadExact()
@@ -244,13 +411,9 @@ func (c *Client) readByScan(rule core.Rule) ([]*core.Record, error) {
 	if head == 0 {
 		return nil, nil
 	}
-	var all []*core.Record
-	for _, m := range c.maintainers {
-		recs, err := m.Scan(capped)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, recs...)
+	all, err := c.scanMerged(capped)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if rule.MostRecent {
@@ -267,6 +430,25 @@ func (c *Client) readByScan(rule core.Rule) ([]*core.Record, error) {
 // Maintainers exposes the session's maintainer handles (used by layered
 // systems such as stream readers that partition work across maintainers).
 func (c *Client) Maintainers() []MaintainerAPI { return c.maintainers }
+
+// SetMaintainer replaces the handle at index i — the rewiring done after a
+// maintainer restarts on a fresh connection. The replica session (when
+// present) is updated in lockstep; the handle must expose the replica
+// surface if the session does.
+func (c *Client) SetMaintainer(i int, m MaintainerAPI) error {
+	if i < 0 || i >= len(c.maintainers) {
+		return fmt.Errorf("flstore: maintainer %d out of range", i)
+	}
+	if c.session != nil {
+		rm, ok := m.(replica.Member)
+		if !ok {
+			return fmt.Errorf("flstore: maintainer %d does not support replication", i)
+		}
+		c.session.SetMember(i, rm)
+	}
+	c.maintainers[i] = m
+	return nil
+}
 
 // Tail streams the log in LId order starting at fromLId (≥1): fn is
 // called for every record at or below the advancing head of the log, in
@@ -292,13 +474,9 @@ func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record)
 			return err
 		}
 		if head >= cursor {
-			var window []*core.Record
-			for _, m := range c.maintainers {
-				recs, err := m.Scan(core.Rule{MinLId: cursor, MaxLId: head})
-				if err != nil {
-					return err
-				}
-				window = append(window, recs...)
+			window, err := c.scanMerged(core.Rule{MinLId: cursor, MaxLId: head})
+			if err != nil {
+				return err
 			}
 			sort.Slice(window, func(i, j int) bool { return window[i].LId < window[j].LId })
 			for _, rec := range window {

@@ -30,6 +30,12 @@ type Gossiper struct {
 	// real progress, stalling EnforceHead reads.
 	lastRound atomic.Int64
 	rounds    metrics.Counter
+
+	// silent[j] is 1 while the last exchange with peer j failed — the
+	// per-peer staleness signal: while a peer is silent its scalar gossip
+	// contribution freezes, and only vector gossip through its group's
+	// survivors keeps the head of the log advancing.
+	silent []atomic.Int64
 }
 
 // NewGossiper returns a gossiper for m. peers must be index-aligned with
@@ -44,6 +50,7 @@ func NewGossiper(m *Maintainer, peers []MaintainerAPI, interval time.Duration) *
 		interval: interval,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		silent:   make([]atomic.Int64, len(peers)),
 	}
 }
 
@@ -74,24 +81,53 @@ func (g *Gossiper) loop() {
 }
 
 // Round performs one synchronous gossip exchange with every peer. Exposed
-// so tests and deterministic simulations can gossip without timers.
+// so tests and deterministic simulations can gossip without timers. Peers
+// exposing GossipVec exchange whole next-unfilled vectors (so replicated
+// progress for a dead owner's range spreads through its followers); others
+// fall back to the scalar §5.4 exchange. A peer whose exchange fails is
+// marked silent until one succeeds again.
 func (g *Gossiper) Round() {
-	next, err := g.self.NextUnfilled()
-	if err != nil {
-		return
-	}
+	vec := g.self.NextVec()
+	next := vec[g.self.Index()]
 	for j, peer := range g.peers {
 		if j == g.self.Index() || peer == nil {
 			continue
 		}
-		theirs, err := peer.Gossip(g.self.Index(), next)
-		if err != nil {
-			continue // unreachable peer; retry next round
+		if vg, ok := peer.(ReplicaAPI); ok {
+			theirs, err := vg.GossipVec(vec)
+			if err != nil {
+				g.silent[j].Store(1)
+				continue // unreachable peer; retry next round
+			}
+			g.self.GossipVec(theirs)
+		} else {
+			theirs, err := peer.Gossip(g.self.Index(), next)
+			if err != nil {
+				g.silent[j].Store(1)
+				continue
+			}
+			g.self.Gossip(j, theirs)
 		}
-		g.self.Gossip(j, theirs)
+		g.silent[j].Store(0)
 	}
 	g.lastRound.Store(time.Now().UnixNano())
 	g.rounds.Inc()
+}
+
+// SilentPeers returns how many peers failed their most recent exchange.
+func (g *Gossiper) SilentPeers() int {
+	n := 0
+	for j := range g.silent {
+		if g.silent[j].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PeerSilent reports whether peer j's last exchange failed.
+func (g *Gossiper) PeerSilent(j int) bool {
+	return j >= 0 && j < len(g.silent) && g.silent[j].Load() != 0
 }
 
 // RoundAge returns how long ago the last gossip round completed, or a
@@ -116,6 +152,18 @@ func (g *Gossiper) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) 
 		return g.RoundAge().Seconds()
 	}, lbls...)
 	reg.CounterFunc("flstore_gossip_rounds_total", func() float64 { return float64(g.rounds.Value()) }, lbls...)
+	for j := range g.peers {
+		if j == g.self.Index() || g.peers[j] == nil {
+			continue
+		}
+		j := j
+		reg.GaugeFunc("flstore_gossip_peer_silent", func() float64 {
+			if g.PeerSilent(j) {
+				return 1
+			}
+			return 0
+		}, append([]metrics.Label{metrics.L("peer", strconv.Itoa(j))}, lbls...)...)
+	}
 }
 
 // Stop halts the loop and waits for it to exit.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/ratelimit"
+	"repro/internal/replica"
 	"repro/internal/storage"
 )
 
@@ -25,6 +26,11 @@ var ErrOverloaded = errors.New("flstore: maintainer overloaded")
 // this indicates a stale configuration.
 var ErrWrongMaintainer = errors.New("flstore: LId not owned by this maintainer")
 
+// ErrNotReplica is returned when a replica operation names a range this
+// maintainer neither owns nor follows under the configured replication
+// factor.
+var ErrNotReplica = errors.New("flstore: range not hosted by this maintainer")
+
 // ErrOrderBacklog is returned when the explicit-order buffer (§5.4) would
 // exceed its configured bound.
 var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
@@ -34,6 +40,12 @@ type MaintainerConfig struct {
 	// Index is this maintainer's position in the placement (0-based).
 	Index     int
 	Placement Placement
+
+	// Replication is the replica-group size R: besides its own LId range,
+	// the maintainer stores follower copies of the R−1 preceding ranges
+	// (mod N) and can act as their primary during failover. 0 and 1 both
+	// mean unreplicated.
+	Replication int
 
 	// Store persists the records; NewMemStore is used when nil.
 	Store storage.Store
@@ -57,25 +69,39 @@ type MaintainerConfig struct {
 	MaxOrderBuffer int
 }
 
+// rangeState is the per-hosted-range ingestion state: the dense slot
+// frontier plus the out-of-order buffer feeding it. The store only ever
+// holds the dense prefix of every hosted range, which is what makes
+// restart recovery and catch-up gap-free.
+type rangeState struct {
+	// filled is the number of slots of this range filled so far; the next
+	// LId assigned or accepted for the range is LIdOfSlot(range, filled).
+	filled uint64
+	// pending holds records that arrived ahead of the dense frontier,
+	// keyed by slot.
+	pending map[uint64][]*core.Record
+}
+
 // Maintainer is one FLStore log maintainer (§5.2): it owns the deterministic
 // round-robin LId ranges of its index, assigns positions to records after
 // they arrive, persists them, answers reads, and gossips its progress so
-// every maintainer can compute the head of the log.
+// every maintainer can compute the head of the log. Under replication it
+// additionally follows the R−1 preceding ranges: it ingests copies via
+// ReplicaAppend, serves failover reads for them, and can assign their
+// positions (AppendFor) while acting as primary.
 type Maintainer struct {
-	cfg   MaintainerConfig
-	store storage.Store
+	cfg    MaintainerConfig
+	store  storage.Store
+	layout replica.Layout
 
 	mu sync.Mutex
-	// filled is the number of owned slots filled so far; the maintainer
-	// fills its slots densely in order, so the next LId it will assign
-	// or accept is LIdOfSlot(Index, filled).
-	filled uint64
-	// nextVec[j] is the latest gossiped next-unfilled LId of maintainer
-	// j (nextVec[Index] is maintained locally).
+	// hosted maps each range this maintainer stores (own + followed) to
+	// its ingestion state. The key set is fixed at construction.
+	hosted map[int]*rangeState
+	// nextVec[j] is the latest known next-unfilled LId of range j
+	// (nextVec[Index] is maintained locally; hosted followers' entries
+	// advance from replica ingestion, the rest from gossip).
 	nextVec []uint64
-	// pending holds AppendAssigned records that arrived ahead of the
-	// dense frontier, keyed by slot.
-	pending map[uint64][]*core.Record
 	// orderBuf parks AppendAfter batches whose minimum-LId bound is not
 	// yet satisfiable.
 	orderBuf orderHeap
@@ -114,6 +140,7 @@ func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label
 		return float64(m.nextVec[m.cfg.Index])
 	}, lbls...)
 	reg.GaugeFunc("flstore_stored_records", func() float64 { return float64(m.store.Len()) }, lbls...)
+	reg.GaugeFunc("flstore_hosted_ranges", func() float64 { return float64(len(m.hosted)) }, lbls...)
 }
 
 // NewMaintainer returns a ready maintainer.
@@ -124,6 +151,13 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	if cfg.Index < 0 || cfg.Index >= cfg.Placement.NumMaintainers {
 		return nil, fmt.Errorf("flstore: maintainer index %d out of range [0,%d)", cfg.Index, cfg.Placement.NumMaintainers)
 	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	layout := replica.Layout{N: cfg.Placement.NumMaintainers, R: cfg.Replication}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Store == nil {
 		cfg.Store = storage.NewMemStore()
 	}
@@ -133,24 +167,59 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	m := &Maintainer{
 		cfg:     cfg,
 		store:   cfg.Store,
+		layout:  layout,
+		hosted:  make(map[int]*rangeState, cfg.Replication),
 		nextVec: make([]uint64, cfg.Placement.NumMaintainers),
-		pending: make(map[uint64][]*core.Record),
+	}
+	for _, r := range layout.Hosts(cfg.Index) {
+		m.hosted[r] = &rangeState{pending: make(map[uint64][]*core.Record)}
 	}
 	// Initialize every entry to the corresponding maintainer's first
 	// owned LId so Head() is 0 until real gossip arrives.
 	for j := range m.nextVec {
 		m.nextVec[j] = cfg.Placement.LIdOfSlot(j, 0)
 	}
-	// Recover the dense frontier from a pre-populated store (restart).
+	// Recover the dense frontiers from a pre-populated store (restart).
+	// The store may hold several hosted ranges' records, so every record
+	// is attributed to its range; a non-dense range (possible only after a
+	// torn batch tail) keeps its frontier at the dense prefix, and the
+	// remainder is re-fetched by catch-up.
 	if max := cfg.Store.MaxLId(); max > 0 {
-		m.filled = cfg.Placement.SlotOf(max) + 1
-		m.nextVec[cfg.Index] = cfg.Placement.LIdOfSlot(cfg.Index, m.filled)
+		seen := make(map[int]map[uint64]bool)
+		err := cfg.Store.Scan(1, max, func(r *core.Record) bool {
+			rangeIdx := cfg.Placement.Owner(r.LId)
+			if _, ok := m.hosted[rangeIdx]; ok {
+				if seen[rangeIdx] == nil {
+					seen[rangeIdx] = make(map[uint64]bool)
+				}
+				seen[rangeIdx][cfg.Placement.SlotOf(r.LId)] = true
+			}
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flstore: recovering frontiers: %w", err)
+		}
+		for rangeIdx, slots := range seen {
+			st := m.hosted[rangeIdx]
+			for slots[st.filled] {
+				st.filled++
+			}
+			m.advanceNextLocked(rangeIdx, st)
+		}
 	}
 	return m, nil
 }
 
 // Index returns the maintainer's placement index.
 func (m *Maintainer) Index() int { return m.cfg.Index }
+
+// advanceNextLocked folds a hosted range's local frontier into nextVec.
+// Caller holds mu (or is still constructing the maintainer).
+func (m *Maintainer) advanceNextLocked(rangeIdx int, st *rangeState) {
+	if next := m.cfg.Placement.LIdOfSlot(rangeIdx, st.filled); next > m.nextVec[rangeIdx] {
+		m.nextVec[rangeIdx] = next
+	}
+}
 
 // admit applies the capacity limiter to n records.
 func (m *Maintainer) admit(n int) error {
@@ -162,8 +231,17 @@ func (m *Maintainer) admit(n int) error {
 	return ErrOverloaded
 }
 
-// Append implements MaintainerAPI: post-assignment of log positions.
+// Append implements MaintainerAPI: post-assignment of log positions in the
+// maintainer's own range.
 func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
+	return m.AppendFor(m.cfg.Index, recs)
+}
+
+// AppendFor post-assigns positions in any hosted range — rangeIdx equal to
+// the maintainer's own index is the normal append path, other hosted
+// ranges are the failover path where this maintainer acts as primary for a
+// dead owner's range.
+func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, error) {
 	if len(recs) == 0 {
 		return nil, nil
 	}
@@ -174,16 +252,21 @@ func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
 		return nil, err
 	}
 	m.mu.Lock()
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
 	for i, r := range recs {
 		if r.LId != 0 {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("flstore: Append record %d already has LId %d", i, r.LId)
 		}
 	}
-	// One range assignment for the whole batch: the maintainer fills its
-	// slots densely, so the batch occupies slots [filled, filled+len).
+	// One range assignment for the whole batch: the range fills its slots
+	// densely, so the batch occupies slots [filled, filled+len).
 	lids := make([]uint64, len(recs))
-	m.cfg.Placement.LIdsOfSlots(m.cfg.Index, m.filled, lids)
+	m.cfg.Placement.LIdsOfSlots(rangeIdx, st.filled, lids)
 	for i, r := range recs {
 		r.LId = lids[i]
 		if r.TOId == 0 {
@@ -194,9 +277,12 @@ func (m *Maintainer) Append(recs []*core.Record) ([]uint64, error) {
 			r.TOId = lids[i]
 		}
 	}
-	m.filled += uint64(len(recs))
-	m.nextVec[m.cfg.Index] = m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
-	released := m.releasableOrderBatchesLocked()
+	st.filled += uint64(len(recs))
+	m.advanceNextLocked(rangeIdx, st)
+	var released []orderBatch
+	if rangeIdx == m.cfg.Index {
+		released = m.releasableOrderBatchesLocked()
+	}
 	m.mu.Unlock()
 
 	if err := m.store.AppendBatch(recs); err != nil {
@@ -223,7 +309,7 @@ func (m *Maintainer) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, 
 		return nil, nil
 	}
 	m.mu.Lock()
-	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.hosted[m.cfg.Index].filled)
 	if next > minLId {
 		m.mu.Unlock()
 		return m.Append(recs)
@@ -242,7 +328,7 @@ func (m *Maintainer) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, 
 // below the frontier. Caller holds mu.
 func (m *Maintainer) releasableOrderBatchesLocked() []orderBatch {
 	var out []orderBatch
-	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	next := m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.hosted[m.cfg.Index].filled)
 	for m.orderBuf.Len() > 0 && m.orderBuf.batches[0].minLId < next {
 		b := heap.Pop(&m.orderBuf).(orderBatch)
 		m.orderBuf.size -= len(b.recs)
@@ -266,6 +352,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		return err
 	}
 	m.mu.Lock()
+	st := m.hosted[m.cfg.Index]
 	for _, r := range recs {
 		if r.LId == 0 {
 			m.mu.Unlock()
@@ -276,28 +363,28 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 			return fmt.Errorf("%w: %d", ErrWrongMaintainer, r.LId)
 		}
 		slot := m.cfg.Placement.SlotOf(r.LId)
-		if slot < m.filled {
+		if slot < st.filled {
 			m.mu.Unlock()
 			return fmt.Errorf("%w: %d", storage.ErrDuplicate, r.LId)
 		}
-		m.pending[slot] = append(m.pending[slot], r)
+		st.pending[slot] = append(st.pending[slot], r)
 	}
 	// Drain the contiguous prefix.
 	var ready []*core.Record
 	for {
-		rs, ok := m.pending[m.filled]
+		rs, ok := st.pending[st.filled]
 		if !ok {
 			break
 		}
 		if len(rs) > 1 {
 			m.mu.Unlock()
-			return fmt.Errorf("%w: slot %d assigned twice", storage.ErrDuplicate, m.filled)
+			return fmt.Errorf("%w: slot %d assigned twice", storage.ErrDuplicate, st.filled)
 		}
 		ready = append(ready, rs[0])
-		delete(m.pending, m.filled)
-		m.filled++
+		delete(st.pending, st.filled)
+		st.filled++
 	}
-	m.nextVec[m.cfg.Index] = m.cfg.Placement.LIdOfSlot(m.cfg.Index, m.filled)
+	m.advanceNextLocked(m.cfg.Index, st)
 	m.mu.Unlock()
 
 	if len(ready) == 0 {
@@ -308,6 +395,112 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 	}
 	m.Appended.Add(uint64(len(ready)))
 	return m.postTags(ready)
+}
+
+// ReplicaAppend ingests copies of records whose positions were assigned by
+// a range's acting primary; the range is derived from each record's LId,
+// and every named range must be hosted here. Delivery is idempotent:
+// records at or below the dense frontier (and duplicates of buffered
+// slots) are silently skipped, so fan-out retries and duplicated network
+// frames are harmless. Tag postings are not re-sent — the acting primary
+// already streamed them to the indexers.
+func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if h := m.appendLatency; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
+	if err := m.admit(len(recs)); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	touched := make(map[int]*rangeState)
+	for _, r := range recs {
+		if r.LId == 0 {
+			m.mu.Unlock()
+			return errors.New("flstore: ReplicaAppend record without LId")
+		}
+		rangeIdx := m.cfg.Placement.Owner(r.LId)
+		st, ok := m.hosted[rangeIdx]
+		if !ok {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+		}
+		slot := m.cfg.Placement.SlotOf(r.LId)
+		if slot < st.filled {
+			continue // already stored
+		}
+		if _, buffered := st.pending[slot]; buffered {
+			continue // duplicate of an in-flight copy
+		}
+		st.pending[slot] = []*core.Record{r}
+		touched[rangeIdx] = st
+	}
+	var ready []*core.Record
+	for rangeIdx, st := range touched {
+		for {
+			rs, ok := st.pending[st.filled]
+			if !ok {
+				break
+			}
+			ready = append(ready, rs[0])
+			delete(st.pending, st.filled)
+			st.filled++
+		}
+		m.advanceNextLocked(rangeIdx, st)
+	}
+	m.mu.Unlock()
+
+	if len(ready) == 0 {
+		return nil
+	}
+	if err := m.store.AppendBatch(ready); err != nil {
+		return err
+	}
+	m.Appended.Add(uint64(len(ready)))
+	return nil
+}
+
+// RangeFrontier returns the next-unfilled LId of a hosted range as known
+// locally: for the own range this is the assignment frontier, for followed
+// ranges the replicated frontier (everything below it is durably stored
+// here).
+func (m *Maintainer) RangeFrontier(rangeIdx int) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		return 0, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	return m.cfg.Placement.LIdOfSlot(rangeIdx, st.filled), nil
+}
+
+// PullRange streams up to limit stored records of a hosted range with
+// LId >= fromLId, in ascending LId order — the catch-up feed a restarted
+// peer drains to rebuild its copy.
+func (m *Maintainer) PullRange(rangeIdx int, fromLId uint64, limit int) ([]*core.Record, error) {
+	m.mu.Lock()
+	_, ok := m.hosted[rangeIdx]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	if fromLId == 0 {
+		fromLId = 1
+	}
+	var out []*core.Record
+	err := m.store.Scan(fromLId, 0, func(r *core.Record) bool {
+		if m.cfg.Placement.Owner(r.LId) != rangeIdx {
+			return true
+		}
+		out = append(out, r)
+		return limit <= 0 || len(out) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // postTags streams this batch's tag postings to the owning indexers.
@@ -337,7 +530,8 @@ func IndexerFor(key string, numIndexers int) int {
 	return int(h.Sum32() % uint32(numIndexers))
 }
 
-// Read implements MaintainerAPI.
+// Read implements MaintainerAPI. It serves every hosted range — a follower
+// copy answers reads while the range owner is down.
 func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 	if h := m.readLatency; h != nil {
 		defer h.ObserveSince(time.Now())
@@ -345,7 +539,7 @@ func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 	if lid == 0 {
 		return nil, core.ErrNoSuchRecord
 	}
-	if m.cfg.Placement.Owner(lid) != m.cfg.Index {
+	if !m.layout.Replicas(m.cfg.Index, m.cfg.Placement.Owner(lid)) {
 		return nil, fmt.Errorf("%w: %d", ErrWrongMaintainer, lid)
 	}
 	if m.cfg.EnforceHead {
@@ -357,8 +551,8 @@ func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 }
 
 // Scan implements MaintainerAPI. It serves only this maintainer's stored
-// records; the client library merges scans across maintainers and applies
-// head-of-log bounds.
+// records (including follower copies); the client library merges scans
+// across maintainers, deduplicates by LId, and applies head-of-log bounds.
 func (m *Maintainer) Scan(rule core.Rule) ([]*core.Record, error) {
 	var out []*core.Record
 	err := m.store.Scan(rule.MinLId, rule.EffectiveMaxLId(), func(r *core.Record) bool {
@@ -417,12 +611,46 @@ func (m *Maintainer) Gossip(from int, next uint64) (uint64, error) {
 	return m.nextVec[m.cfg.Index], nil
 }
 
-// PendingAssigned returns how many out-of-order assigned records are
-// buffered (test/ops introspection).
+// GossipVec merges a peer's whole next-unfilled vector element-wise and
+// returns a copy of ours — the replication-aware gossip: a follower (or
+// acting primary) advances a dead owner's entry from its replicated
+// frontier, and the vector exchange spreads that progress so the head of
+// the log keeps moving without the owner. The message stays fixed-size
+// (N LIds), preserving §5.4's throughput-independence.
+func (m *Maintainer) GossipVec(vec []uint64) ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for j, v := range vec {
+		if j < len(m.nextVec) && v > m.nextVec[j] {
+			m.nextVec[j] = v
+		}
+	}
+	// Fold hosted frontiers in before replying so followers advertise
+	// replicated progress for ranges whose owner may be dead.
+	for rangeIdx, st := range m.hosted {
+		m.advanceNextLocked(rangeIdx, st)
+	}
+	out := make([]uint64, len(m.nextVec))
+	copy(out, m.nextVec)
+	return out, nil
+}
+
+// NextVec returns a copy of the maintainer's next-unfilled vector.
+func (m *Maintainer) NextVec() []uint64 {
+	out, _ := m.GossipVec(nil)
+	return out
+}
+
+// PendingAssigned returns how many out-of-order records are buffered
+// across hosted ranges (test/ops introspection).
 func (m *Maintainer) PendingAssigned() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.pending)
+	n := 0
+	for _, st := range m.hosted {
+		n += len(st.pending)
+	}
+	return n
 }
 
 // OrderBuffered returns how many explicit-order records are parked.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -28,6 +29,12 @@ const (
 	msgLookup
 	msgGetConfig
 	msgStats
+	msgAppendFor
+	msgReplicaAppend
+	msgRangeFrontier
+	msgPullRange
+	msgGossipVec
+	msgReplicas
 )
 
 // --- encoding helpers ---
@@ -172,6 +179,8 @@ func appendConfig(dst []byte, cfg *Config) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Placement.NumMaintainers))
 		dst = binary.LittleEndian.AppendUint64(dst, e.Placement.BatchSize)
 	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cfg.Replication))
+	dst = wire.AppendString(dst, cfg.AckPolicy)
 	return dst
 }
 
@@ -225,6 +234,16 @@ func decodeConfig(buf []byte) (*Config, error) {
 		})
 		off += 20
 	}
+	if len(buf) < off+4 {
+		return nil, errors.New("flstore: short config replication")
+	}
+	cfg.Replication = int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	ack, _, err := wire.DecodeString(buf[off:])
+	if err != nil {
+		return nil, err
+	}
+	cfg.AckPolicy = ack
 	return cfg, nil
 }
 
@@ -316,6 +335,70 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 		}
 		return binary.LittleEndian.AppendUint64(nil, mine), nil
 	})
+	if r, ok := m.(ReplicaAPI); ok {
+		serveReplicaOps(srv, r)
+	}
+}
+
+// serveReplicaOps registers the replication handlers for maintainers that
+// implement ReplicaAPI.
+func serveReplicaOps(srv *rpc.Server, r ReplicaAPI) {
+	srv.Handle(msgAppendFor, func(p []byte) ([]byte, error) {
+		if len(p) < 4 {
+			return nil, errors.New("flstore: short AppendFor request")
+		}
+		rangeIdx := int(binary.LittleEndian.Uint32(p))
+		recs, _, err := core.DecodeRecordsShared(p[4:])
+		if err != nil {
+			return nil, err
+		}
+		lids, err := r.AppendFor(rangeIdx, recs)
+		if err != nil {
+			return nil, err
+		}
+		return appendLIds(nil, lids), nil
+	})
+	srv.Handle(msgReplicaAppend, func(p []byte) ([]byte, error) {
+		recs, _, err := core.DecodeRecordsShared(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, r.ReplicaAppend(recs)
+	})
+	srv.Handle(msgRangeFrontier, func(p []byte) ([]byte, error) {
+		if len(p) < 4 {
+			return nil, errors.New("flstore: short RangeFrontier request")
+		}
+		f, err := r.RangeFrontier(int(binary.LittleEndian.Uint32(p)))
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, f), nil
+	})
+	srv.Handle(msgPullRange, func(p []byte) ([]byte, error) {
+		if len(p) < 16 {
+			return nil, errors.New("flstore: short PullRange request")
+		}
+		rangeIdx := int(binary.LittleEndian.Uint32(p))
+		from := binary.LittleEndian.Uint64(p[4:])
+		limit := int(binary.LittleEndian.Uint32(p[12:]))
+		recs, err := r.PullRange(rangeIdx, from, limit)
+		if err != nil {
+			return nil, err
+		}
+		return core.AppendRecords(make([]byte, 0, core.EncodedSizeRecords(recs)), recs), nil
+	})
+	srv.Handle(msgGossipVec, func(p []byte) ([]byte, error) {
+		vec, _, err := decodeLIds(p)
+		if err != nil {
+			return nil, err
+		}
+		mine, err := r.GossipVec(vec)
+		if err != nil {
+			return nil, err
+		}
+		return appendLIds(nil, mine), nil
+	})
 }
 
 // ServeIndexer registers RPC handlers exposing ix on srv.
@@ -359,6 +442,34 @@ func ServeStats(srv *rpc.Server, reg *metrics.Registry) {
 	srv.Handle(msgStats, func(p []byte) ([]byte, error) {
 		return json.Marshal(reg)
 	})
+}
+
+// ServeReplicas registers the msgReplicas handler on srv: a JSON-encoded
+// replica.ClusterStatus assembled by fn at request time. The controller
+// exposes it so `logctl replicas` can render per-group membership, health,
+// and catch-up lag.
+func ServeReplicas(srv *rpc.Server, fn func() (*replica.ClusterStatus, error)) {
+	srv.Handle(msgReplicas, func(p []byte) ([]byte, error) {
+		st, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(st)
+	})
+}
+
+// FetchReplicas retrieves the replica-group status from a server running
+// ServeReplicas.
+func FetchReplicas(c rpc.Client) (*replica.ClusterStatus, error) {
+	resp, err := c.Call(msgReplicas, nil)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	st := &replica.ClusterStatus{}
+	if err := json.Unmarshal(resp, st); err != nil {
+		return nil, fmt.Errorf("flstore: decoding replica status: %w", err)
+	}
+	return st, nil
 }
 
 // FetchStats retrieves a registry snapshot from a server running
@@ -436,6 +547,8 @@ func mapRemoteError(err error) error {
 		return fmt.Errorf("%w: %s", storage.ErrDuplicate, msg)
 	case strings.Contains(msg, ErrWrongMaintainer.Error()):
 		return fmt.Errorf("%w: %s", ErrWrongMaintainer, msg)
+	case strings.Contains(msg, ErrNotReplica.Error()):
+		return fmt.Errorf("%w: %s", ErrNotReplica, msg)
 	case strings.Contains(msg, ErrOrderBacklog.Error()):
 		return fmt.Errorf("%w (remote)", ErrOrderBacklog)
 	}
@@ -555,6 +668,67 @@ func (mc *maintainerClient) Gossip(from int, next uint64) (uint64, error) {
 		return 0, errors.New("flstore: short Gossip response")
 	}
 	return binary.LittleEndian.Uint64(resp), nil
+}
+
+func (mc *maintainerClient) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, error) {
+	req := wire.GetBuf()
+	*req = binary.LittleEndian.AppendUint32(*req, uint32(rangeIdx))
+	*req = core.AppendRecords(*req, recs)
+	resp, err := mc.c.Call(msgAppendFor, *req)
+	wire.PutBuf(req)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	lids, _, err := decodeLIds(resp)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range recs {
+		if i < len(lids) {
+			r.LId = lids[i]
+		}
+	}
+	return lids, nil
+}
+
+func (mc *maintainerClient) ReplicaAppend(recs []*core.Record) error {
+	req := wire.GetBuf()
+	*req = core.AppendRecords(*req, recs)
+	_, err := mc.c.Call(msgReplicaAppend, *req)
+	wire.PutBuf(req)
+	return mapRemoteError(err)
+}
+
+func (mc *maintainerClient) RangeFrontier(rangeIdx int) (uint64, error) {
+	resp, err := mc.c.Call(msgRangeFrontier, binary.LittleEndian.AppendUint32(nil, uint32(rangeIdx)))
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	if len(resp) < 8 {
+		return 0, errors.New("flstore: short RangeFrontier response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
+}
+
+func (mc *maintainerClient) PullRange(rangeIdx int, fromLId uint64, limit int) ([]*core.Record, error) {
+	req := binary.LittleEndian.AppendUint32(nil, uint32(rangeIdx))
+	req = binary.LittleEndian.AppendUint64(req, fromLId)
+	req = binary.LittleEndian.AppendUint32(req, uint32(limit))
+	resp, err := mc.c.Call(msgPullRange, req)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	recs, _, err := core.DecodeRecordsShared(resp)
+	return recs, err
+}
+
+func (mc *maintainerClient) GossipVec(vec []uint64) ([]uint64, error) {
+	resp, err := mc.c.Call(msgGossipVec, appendLIds(nil, vec))
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	vec, _, err = decodeLIds(resp)
+	return vec, err
 }
 
 // indexerClient implements IndexerAPI over an rpc.Client.

@@ -1,0 +1,50 @@
+package flstore
+
+import (
+	"repro/internal/replica"
+)
+
+// BuildClusterStatus assembles the replica-group standing that
+// ServeReplicas ships to `logctl replicas`: for every range's group, each
+// member's role, whether the frontier poll reached it, its frontier for the
+// range, and its catch-up lag in log positions relative to the most
+// advanced group member. frontier performs the poll (an in-process
+// maintainer handle or an RPC client); an error marks the member
+// unreachable, whose lag then reads as the whole replicated prefix — the
+// worst case the catch-up protocol would have to transfer.
+func BuildClusterStatus(p Placement, layout replica.Layout, ack replica.AckPolicy,
+	frontier func(member, rangeIdx int) (uint64, error)) *replica.ClusterStatus {
+	// A frontier is the range's next-unfilled LId, so its slot index is
+	// exactly how many of the range's positions the member holds.
+	slotOf := func(f uint64) uint64 {
+		if f == 0 {
+			return 0
+		}
+		return p.SlotOf(f)
+	}
+	st := &replica.ClusterStatus{Replication: layout.R, Ack: ack.String()}
+	for ri := 0; ri < layout.N; ri++ {
+		g := layout.Group(ri)
+		gs := replica.GroupStatus{Range: ri}
+		var maxSlot uint64
+		for _, mi := range g.Members {
+			ms := replica.MemberStatus{Member: mi, Role: "follower"}
+			if mi == ri {
+				ms.Role = "primary"
+			}
+			if f, err := frontier(mi, ri); err == nil {
+				ms.Healthy = true
+				ms.Frontier = f
+				if s := slotOf(f); s > maxSlot {
+					maxSlot = s
+				}
+			}
+			gs.Members = append(gs.Members, ms)
+		}
+		for i := range gs.Members {
+			gs.Members[i].LagLIds = maxSlot - slotOf(gs.Members[i].Frontier)
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+	return st
+}

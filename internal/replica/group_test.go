@@ -1,0 +1,152 @@
+package replica
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	cases := []struct {
+		l  Layout
+		ok bool
+	}{
+		{Layout{N: 3, R: 1}, true},
+		{Layout{N: 3, R: 3}, true},
+		{Layout{N: 1, R: 1}, true},
+		{Layout{N: 3, R: 4}, false},
+		{Layout{N: 0, R: 1}, false},
+		{Layout{N: 3, R: 0}, false},
+	}
+	for _, c := range cases {
+		if err := c.l.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.l, err, c.ok)
+		}
+	}
+}
+
+func TestGroupDerivation(t *testing.T) {
+	l := Layout{N: 5, R: 3}
+	if got := l.Group(0).Members; !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Group(0) = %v", got)
+	}
+	if got := l.Group(4).Members; !reflect.DeepEqual(got, []int{4, 0, 1}) {
+		t.Errorf("Group(4) = %v (want wrap)", got)
+	}
+	// Hosts is the inverse: m hosts exactly the ranges whose groups
+	// contain m.
+	for m := 0; m < l.N; m++ {
+		hosts := l.Hosts(m)
+		if len(hosts) != l.R {
+			t.Fatalf("Hosts(%d) = %v, want %d entries", m, hosts, l.R)
+		}
+		if hosts[0] != m {
+			t.Errorf("Hosts(%d)[0] = %d, want own range first", m, hosts[0])
+		}
+		for _, r := range hosts {
+			found := false
+			for _, gm := range l.Group(r).Members {
+				if gm == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("Hosts(%d) contains %d but Group(%d) lacks %d", m, r, r, m)
+			}
+			if !l.Replicas(m, r) {
+				t.Errorf("Replicas(%d, %d) = false, want true", m, r)
+			}
+		}
+	}
+	if l.Replicas(0, 1) {
+		t.Error("Replicas(0, 1) = true; member 0 does not follow range 1 under R=3,N=5")
+	}
+}
+
+func TestGroupR1Degenerate(t *testing.T) {
+	l := Layout{N: 4, R: 1}
+	for i := 0; i < 4; i++ {
+		if got := l.Group(i).Members; !reflect.DeepEqual(got, []int{i}) {
+			t.Errorf("Group(%d) = %v under R=1", i, got)
+		}
+	}
+}
+
+func TestAckPolicyRequired(t *testing.T) {
+	cases := []struct {
+		p    AckPolicy
+		r    int
+		want int
+	}{
+		{AckOne, 3, 1},
+		{AckMajority, 3, 2},
+		{AckMajority, 5, 3},
+		{AckMajority, 1, 1},
+		{AckAll, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.p.Required(c.r); got != c.want {
+			t.Errorf("%v.Required(%d) = %d, want %d", c.p, c.r, got, c.want)
+		}
+	}
+}
+
+func TestParseAckPolicy(t *testing.T) {
+	for _, s := range []string{"one", "majority", "all", "Quorum", " ALL "} {
+		if _, err := ParseAckPolicy(s); err != nil {
+			t.Errorf("ParseAckPolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAckPolicy("paxos"); err == nil {
+		t.Error("ParseAckPolicy(paxos) succeeded")
+	}
+	p, _ := ParseAckPolicy("majority")
+	if p.String() != "majority" {
+		t.Errorf("round trip = %q", p.String())
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	h := NewHealth(2, 3)
+	if h.State(0) != Healthy {
+		t.Fatal("initial state not healthy")
+	}
+	h.ReportFailure(0)
+	if h.State(0) != Suspect {
+		t.Fatalf("after 1 failure = %v, want suspect", h.State(0))
+	}
+	h.ReportOK(0)
+	if h.State(0) != Healthy {
+		t.Fatal("success did not restore healthy")
+	}
+	// Three consecutive failures evict.
+	for i := 0; i < 3; i++ {
+		h.ReportFailure(0)
+	}
+	if h.State(0) != Evicted {
+		t.Fatalf("after 3 failures = %v, want evicted", h.State(0))
+	}
+	if h.Evictions.Value() != 1 {
+		t.Errorf("evictions = %d", h.Evictions.Value())
+	}
+	// Eviction is sticky under plain successes.
+	h.ReportOK(0)
+	if h.State(0) != Evicted {
+		t.Fatal("ReportOK readmitted an evicted member")
+	}
+	if h.Usable(0) {
+		t.Fatal("evicted member reported usable")
+	}
+	h.Readmit(0)
+	if h.State(0) != Healthy || h.Readmissions.Value() != 1 {
+		t.Fatalf("readmit: state=%v readmissions=%d", h.State(0), h.Readmissions.Value())
+	}
+	// Readmit of a healthy member is a no-op.
+	h.Readmit(1)
+	if h.Readmissions.Value() != 1 {
+		t.Error("Readmit of healthy member counted")
+	}
+	snap := h.Snapshot()
+	if len(snap) != 2 || snap[0] != Healthy {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

@@ -1,0 +1,132 @@
+package replica
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// State is a replica member's health as seen by one session.
+type State int
+
+const (
+	// Healthy members serve reads and receive write fan-out.
+	Healthy State = iota
+	// Suspect members have failed recently (timeout or transport error)
+	// but not often enough to evict; they still receive traffic, and a
+	// single success restores them to Healthy.
+	Suspect
+	// Evicted members have failed EvictAfter consecutive times. They
+	// receive no traffic and do not count toward ack quorums until they
+	// are re-admitted (after catch-up), so a dead maintainer cannot pin
+	// the head of the log or stall appends.
+	Evicted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Evicted:
+		return "evicted"
+	}
+	return "unknown"
+}
+
+// Health tracks per-member failure state for a replica session: suspect on
+// the first failure, evict after EvictAfter consecutive failures, restore
+// on success. Eviction is sticky — an evicted member rejoins only through
+// Readmit, which callers invoke after the catch-up protocol has refilled
+// the member's missing ranges (a freshly restarted maintainer answering
+// RPCs again is reachable but not yet safe to read from).
+type Health struct {
+	mu         sync.Mutex
+	states     []State
+	fails      []int
+	evictAfter int
+
+	// Evictions and Readmissions count state transitions (exported for
+	// metrics and experiment instrumentation).
+	Evictions    metrics.Counter
+	Readmissions metrics.Counter
+}
+
+// NewHealth tracks n members, evicting after evictAfter consecutive
+// failures (<= 0 uses 3).
+func NewHealth(n, evictAfter int) *Health {
+	if evictAfter <= 0 {
+		evictAfter = 3
+	}
+	return &Health{
+		states:     make([]State, n),
+		fails:      make([]int, n),
+		evictAfter: evictAfter,
+	}
+}
+
+// ReportOK records a successful call to member i. Healthy/Suspect members
+// return to Healthy; Evicted members stay evicted (see Readmit).
+func (h *Health) ReportOK(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.states[i] == Evicted {
+		return
+	}
+	h.states[i] = Healthy
+	h.fails[i] = 0
+}
+
+// ReportFailure records a failed call to member i and returns the
+// resulting state.
+func (h *Health) ReportFailure(i int) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.states[i] == Evicted {
+		return Evicted
+	}
+	h.fails[i]++
+	if h.fails[i] >= h.evictAfter {
+		h.states[i] = Evicted
+		h.Evictions.Inc()
+	} else {
+		h.states[i] = Suspect
+	}
+	return h.states[i]
+}
+
+// Readmit restores an evicted member to Healthy. Call it once the member
+// is reachable again and its hosted ranges have been caught up.
+func (h *Health) Readmit(i int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.states[i] != Evicted {
+		return
+	}
+	h.states[i] = Healthy
+	h.fails[i] = 0
+	h.Readmissions.Inc()
+}
+
+// State returns member i's current state.
+func (h *Health) State(i int) State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.states[i]
+}
+
+// Usable reports whether member i should receive traffic.
+func (h *Health) Usable(i int) bool {
+	return h.State(i) != Evicted
+}
+
+// Snapshot returns a copy of every member's state.
+func (h *Health) Snapshot() []State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]State, len(h.states))
+	copy(out, h.states)
+	return out
+}

@@ -1,0 +1,331 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// ErrInsufficientAcks is returned when an append reached the acting
+// primary but too few group members acknowledged the copy to satisfy the
+// ack policy. The records exist in the log (position assignment is not
+// undone); the caller may retry idempotently via AppendAssigned semantics
+// or surface the degraded durability.
+var ErrInsufficientAcks = errors.New("replica: insufficient acks")
+
+// ErrNoUsableGroup is returned when no range has a usable acting primary.
+var ErrNoUsableGroup = errors.New("replica: no usable replica group")
+
+// Member is the surface a replica session needs from one maintainer. It is
+// implemented by *flstore.Maintainer in process and by flstore's RPC
+// maintainer client across machines.
+type Member interface {
+	// Append post-assigns positions in the member's own range (§5.2).
+	Append(recs []*core.Record) ([]uint64, error)
+	// AppendFor post-assigns positions in another hosted range — the
+	// failover path an acting primary uses while the range owner is down.
+	AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, error)
+	// ReplicaAppend ingests copies of records whose LIds were assigned by
+	// the range's acting primary; the member derives the range from each
+	// record's LId. Idempotent per LId at the dense-frontier level.
+	ReplicaAppend(recs []*core.Record) error
+	// Read serves any hosted position (owned or followed).
+	Read(lid uint64) (*core.Record, error)
+	// RangeFrontier returns the next-unfilled LId of a hosted range as
+	// known locally (for followers: the replicated frontier).
+	RangeFrontier(rangeIdx int) (uint64, error)
+	// PullRange streams up to limit stored records of rangeIdx with
+	// LId >= fromLId in ascending LId order — the catch-up feed.
+	PullRange(rangeIdx int, fromLId uint64, limit int) ([]*core.Record, error)
+}
+
+// SessionConfig configures a replica session.
+type SessionConfig struct {
+	Layout Layout
+	Ack    AckPolicy
+	// Owner maps an LId to its range (Placement.Owner).
+	Owner func(lid uint64) int
+	// EvictAfter is the consecutive-failure threshold (default 3).
+	EvictAfter int
+	// IsFatal classifies an error as a logic error to propagate (true)
+	// rather than a member failure to fail over from (false). nil treats
+	// every error as a member failure.
+	IsFatal func(error) bool
+}
+
+// Session is the replication layer clients drive: it routes appends to an
+// acting primary per range, fans copies out to the rest of the group under
+// the configured ack policy, fails reads over across the group, and tracks
+// per-member health. It is safe for concurrent use.
+type Session struct {
+	cfg    SessionConfig
+	health *Health
+
+	mu      sync.RWMutex
+	members []Member
+
+	rr atomic.Uint64 // round-robin range cursor for appends
+
+	// Counters are always maintained; EnableMetrics additionally exports
+	// them (plus the ack-latency histogram) to a registry.
+	appends         metrics.Counter
+	appendFailovers metrics.Counter
+	readFailovers   metrics.Counter
+	fanoutFailures  metrics.Counter
+	catchupRecords  metrics.Counter
+	ackLatency      *metrics.BucketHistogram
+}
+
+// NewSession builds a session over index-aligned members.
+func NewSession(members []Member, cfg SessionConfig) (*Session, error) {
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	if len(members) != cfg.Layout.N {
+		return nil, fmt.Errorf("replica: %d members for layout of %d", len(members), cfg.Layout.N)
+	}
+	if cfg.Owner == nil {
+		return nil, errors.New("replica: SessionConfig.Owner is required")
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	return &Session{
+		cfg:     cfg,
+		health:  NewHealth(cfg.Layout.N, cfg.EvictAfter),
+		members: ms,
+	}, nil
+}
+
+// EnableMetrics exports the session's replication instrumentation: append
+// ack latency (observed per successful quorum), append/read failovers,
+// fan-out copy failures, catch-up volume, eviction/readmission totals, and
+// a per-member health-state gauge (0 healthy, 1 suspect, 2 evicted).
+func (s *Session) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
+	lbls := append([]metrics.Label{metrics.L("ack", s.cfg.Ack.String())}, extra...)
+	s.ackLatency = reg.Histogram("replica_ack_seconds", metrics.LatencyBuckets, lbls...)
+	reg.CounterFunc("replica_appends_total", func() float64 { return float64(s.appends.Value()) }, extra...)
+	reg.CounterFunc("replica_append_failovers_total", func() float64 { return float64(s.appendFailovers.Value()) }, extra...)
+	reg.CounterFunc("replica_read_failovers_total", func() float64 { return float64(s.readFailovers.Value()) }, extra...)
+	reg.CounterFunc("replica_fanout_failures_total", func() float64 { return float64(s.fanoutFailures.Value()) }, extra...)
+	reg.CounterFunc("replica_catchup_records_total", func() float64 { return float64(s.catchupRecords.Value()) }, extra...)
+	reg.CounterFunc("replica_evictions_total", func() float64 { return float64(s.health.Evictions.Value()) }, extra...)
+	reg.CounterFunc("replica_readmissions_total", func() float64 { return float64(s.health.Readmissions.Value()) }, extra...)
+	for i := 0; i < s.cfg.Layout.N; i++ {
+		i := i
+		reg.GaugeFunc("replica_member_state", func() float64 { return float64(s.health.State(i)) },
+			append([]metrics.Label{metrics.L("member", fmt.Sprint(i))}, extra...)...)
+	}
+}
+
+// Health exposes the session's member-health tracker.
+func (s *Session) Health() *Health { return s.health }
+
+// Layout returns the session's replica layout.
+func (s *Session) Layout() Layout { return s.cfg.Layout }
+
+// Member returns the current handle for member i.
+func (s *Session) Member(i int) Member {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.members[i]
+}
+
+// SetMember replaces the handle for member i — the rewiring a client does
+// after a maintainer restarts on a fresh connection.
+func (s *Session) SetMember(i int, m Member) {
+	s.mu.Lock()
+	s.members[i] = m
+	s.mu.Unlock()
+}
+
+// fatal reports whether err should propagate rather than trigger failover.
+func (s *Session) fatal(err error) bool {
+	return s.cfg.IsFatal != nil && s.cfg.IsFatal(err)
+}
+
+// ActingPrimary returns the member currently responsible for assigning
+// positions in rangeIdx: the first non-evicted member of its group.
+func (s *Session) ActingPrimary(rangeIdx int) (int, bool) {
+	g := s.cfg.Layout.Group(rangeIdx)
+	for _, m := range g.Members {
+		if s.health.Usable(m) {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Append replicates one batch: it picks a range round-robin among ranges
+// with a usable acting primary, has the acting primary assign positions
+// and persist, fans copies out to the rest of the group, and returns once
+// the ack policy is satisfied. A failed primary is reported to the health
+// tracker and the append retargets — appends keep succeeding as long as
+// any range has a usable group.
+func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	n := s.cfg.Layout.N
+	// Up to N ranges × R members worth of retargets before giving up: a
+	// kill mid-append costs a few failed calls, never a failed append.
+	var lastErr error
+	attempts := n * s.cfg.Layout.R
+	rangeIdx := int(s.rr.Add(1)-1) % n
+	for a := 0; a < attempts; a++ {
+		ap, ok := s.ActingPrimary(rangeIdx)
+		if !ok {
+			rangeIdx = (rangeIdx + 1) % n
+			continue
+		}
+		lids, err := s.primaryAppend(ap, rangeIdx, recs)
+		if err != nil {
+			if s.fatal(err) {
+				return nil, err
+			}
+			lastErr = err
+			s.health.ReportFailure(ap)
+			s.appendFailovers.Inc()
+			// Same range first (the next member in its group becomes
+			// acting primary); if the whole group is evicted the next
+			// iteration's ActingPrimary miss advances the range.
+			continue
+		}
+		s.health.ReportOK(ap)
+		acks := 1 + s.fanOut(rangeIdx, ap, recs)
+		if acks < s.cfg.Ack.Required(s.cfg.Layout.R) {
+			return lids, fmt.Errorf("%w: %d of %d (range %d)", ErrInsufficientAcks,
+				acks, s.cfg.Ack.Required(s.cfg.Layout.R), rangeIdx)
+		}
+		s.appends.Inc()
+		if h := s.ackLatency; h != nil {
+			h.ObserveSince(start)
+		}
+		return lids, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: last error: %v", ErrNoUsableGroup, lastErr)
+	}
+	return nil, ErrNoUsableGroup
+}
+
+// primaryAppend routes the position-assigning append to member ap for
+// rangeIdx, using the owner fast path when ap is the range owner.
+func (s *Session) primaryAppend(ap, rangeIdx int, recs []*core.Record) ([]uint64, error) {
+	m := s.Member(ap)
+	if ap == rangeIdx {
+		return m.Append(recs)
+	}
+	return m.AppendFor(rangeIdx, recs)
+}
+
+// fanOut sends copies to every usable group member except the acting
+// primary and returns how many succeeded. Fan-out waits for all members
+// (R is small), which keeps failure sequences deterministic under a seeded
+// fault schedule and reports precise ack counts.
+func (s *Session) fanOut(rangeIdx, actingPrimary int, recs []*core.Record) int {
+	g := s.cfg.Layout.Group(rangeIdx)
+	var wg sync.WaitGroup
+	var acked atomic.Int64
+	for _, mi := range g.Members {
+		if mi == actingPrimary || !s.health.Usable(mi) {
+			continue
+		}
+		mi := mi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Member(mi).ReplicaAppend(recs); err != nil {
+				if !s.fatal(err) {
+					s.health.ReportFailure(mi)
+				}
+				s.fanoutFailures.Inc()
+				return
+			}
+			s.health.ReportOK(mi)
+			acked.Add(1)
+		}()
+	}
+	wg.Wait()
+	return int(acked.Load())
+}
+
+// Read returns the record at lid, failing over across the owning group:
+// acting-primary order, skipping evicted members. Logic errors (past-head,
+// no-such-record from the freshest member) propagate; transport errors
+// mark the member and move on.
+func (s *Session) Read(lid uint64) (*core.Record, error) {
+	rangeIdx := s.cfg.Owner(lid)
+	g := s.cfg.Layout.Group(rangeIdx)
+	var lastErr error
+	tried := 0
+	for _, mi := range g.Members {
+		if !s.health.Usable(mi) {
+			continue
+		}
+		rec, err := s.Member(mi).Read(lid)
+		if err == nil {
+			s.health.ReportOK(mi)
+			if tried > 0 {
+				s.readFailovers.Inc()
+			}
+			return rec, nil
+		}
+		if s.fatal(err) {
+			return nil, err
+		}
+		s.health.ReportFailure(mi)
+		lastErr = err
+		tried++
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: range %d", ErrNoUsableGroup, rangeIdx)
+	}
+	return nil, lastErr
+}
+
+// Frontiers returns the per-range next-unfilled LIds computed over groups:
+// for each range, the maximum frontier any usable group member reports.
+// Taking the max makes a dead owner invisible — its group's survivors know
+// everything that was acknowledged — which is what lets the head of the
+// log keep advancing through a failure.
+func (s *Session) Frontiers() ([]uint64, error) {
+	n := s.cfg.Layout.N
+	out := make([]uint64, n)
+	for r := 0; r < n; r++ {
+		g := s.cfg.Layout.Group(r)
+		found := false
+		var lastErr error
+		for _, mi := range g.Members {
+			if !s.health.Usable(mi) {
+				continue
+			}
+			f, err := s.Member(mi).RangeFrontier(r)
+			if err != nil {
+				if s.fatal(err) {
+					return nil, err
+				}
+				s.health.ReportFailure(mi)
+				lastErr = err
+				continue
+			}
+			s.health.ReportOK(mi)
+			found = true
+			if f > out[r] {
+				out[r] = f
+			}
+		}
+		if !found {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: range %d", ErrNoUsableGroup, r)
+			}
+			return nil, lastErr
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package replica
+
+// Status types describe a deployment's replica groups for operator
+// tooling (`logctl replicas`). They are assembled server-side — the
+// controller process polls each maintainer's RangeFrontier and reports
+// reachability — and shipped as JSON over the controller RPC, like the
+// stats snapshot.
+
+// MemberStatus is one maintainer's standing within one replica group.
+type MemberStatus struct {
+	Member int `json:"member"`
+	// Role is "primary" for the range owner, "follower" otherwise.
+	Role string `json:"role"`
+	// Healthy reports whether the status poll reached the member.
+	Healthy bool `json:"healthy"`
+	// Frontier is the member's next-unfilled LId for the group's range
+	// (0 when unreachable).
+	Frontier uint64 `json:"frontier"`
+	// LagLIds is how many of the range's positions the member is missing
+	// relative to the most advanced group member — the catch-up debt.
+	LagLIds uint64 `json:"lag_lids"`
+}
+
+// GroupStatus is one range's replica group.
+type GroupStatus struct {
+	Range   int            `json:"range"`
+	Members []MemberStatus `json:"members"`
+}
+
+// ClusterStatus is the whole deployment's replication standing.
+type ClusterStatus struct {
+	Replication int           `json:"replication"`
+	Ack         string        `json:"ack"`
+	Groups      []GroupStatus `json:"groups"`
+}

@@ -1,15 +1,59 @@
 package rpc
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 )
 
+// Backoff is a capped exponential redial schedule with multiplicative
+// jitter: the k-th consecutive failure waits Base·Factor^(k−1) capped at
+// Max, scaled by a uniform factor in [1−Jitter, 1+Jitter] so a fleet of
+// clients that lost the same server doesn't re-dial in lockstep.
+type Backoff struct {
+	Base   time.Duration // first delay; 0 means 100ms
+	Max    time.Duration // cap; 0 means 5s
+	Factor float64       // growth per failure; <1 means 2
+	Jitter float64       // ± fraction of the delay; 0 disables jitter
+}
+
+// Delay returns the wait before attempt streak (1-based; streak <= 0 is
+// 0). rnd supplies uniform [0,1) samples for jitter; nil disables jitter.
+func (b Backoff) Delay(streak int, rnd func() float64) time.Duration {
+	if streak <= 0 {
+		return 0
+	}
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 1; i < streak && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 && rnd != nil {
+		d *= 1 - b.Jitter + 2*b.Jitter*rnd()
+	}
+	return time.Duration(d)
+}
+
 // ReconnectingClient is a Client that dials lazily and re-dials after
 // transport failures — the hardening a WAN-facing connection (sender →
-// remote receiver) needs, where links flap.
+// remote receiver) needs, where links flap. Consecutive transport
+// failures back off exponentially (see Backoff), so a dead peer costs a
+// bounded, decreasing dial rate instead of a tight retry loop.
 //
 // If RetryOnce is set, a call that failed in transport is retried one time
 // on a fresh connection. Retrying can duplicate a non-idempotent request
@@ -19,11 +63,25 @@ import (
 type ReconnectingClient struct {
 	addr      string
 	retryOnce bool
-	backoff   time.Duration
+
+	// Backoff is the redial schedule. Mutate only before the first call.
+	Backoff Backoff
+
+	// sleep and rnd are injectable for deterministic schedule tests;
+	// defaults are time.Sleep and a seeded splitmix64 stream.
+	sleep func(time.Duration)
+	rnd   func() float64
 
 	mu     sync.Mutex
 	conn   *TCPClient
 	closed bool
+	// streak counts consecutive transport failures since the last
+	// successful exchange; it indexes the backoff schedule.
+	streak int
+
+	// curBackoff is the delay (ns) the next re-dial will wait; 0 while the
+	// link is healthy. Exported as the rpc_client_backoff_seconds gauge.
+	curBackoff atomic.Int64
 
 	// dials counts TCP connection attempts (successful or not); redials
 	// those after the first; dialFailures the attempts that failed;
@@ -39,10 +97,20 @@ type ReconnectingClient struct {
 // NewReconnecting returns a reconnecting client for addr. No connection is
 // attempted until the first call.
 func NewReconnecting(addr string, retryOnce bool) *ReconnectingClient {
+	var state atomic.Uint64
+	state.Store(uint64(time.Now().UnixNano()))
 	return &ReconnectingClient{
 		addr:      addr,
 		retryOnce: retryOnce,
-		backoff:   100 * time.Millisecond,
+		Backoff:   Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.2},
+		sleep:     time.Sleep,
+		rnd: func() float64 {
+			// splitmix64: tiny, lock-free, good enough for jitter.
+			z := state.Add(0x9E3779B97F4A7C15)
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return float64((z^(z>>31))>>11) / (1 << 53)
+		},
 	}
 }
 
@@ -81,30 +149,71 @@ func (r *ReconnectingClient) drop(failed *TCPClient) {
 	failed.Close()
 }
 
+// noteFailure extends the failure streak and publishes the next delay.
+func (r *ReconnectingClient) noteFailure() {
+	r.mu.Lock()
+	r.streak++
+	d := r.Backoff.Delay(r.streak, r.rnd)
+	r.mu.Unlock()
+	r.curBackoff.Store(int64(d))
+}
+
+// noteSuccess resets the streak after a successful exchange.
+func (r *ReconnectingClient) noteSuccess() {
+	r.mu.Lock()
+	r.streak = 0
+	r.mu.Unlock()
+	r.curBackoff.Store(0)
+}
+
+// awaitBackoff sleeps the published delay when the link is down and at
+// least one failure has been observed; healthy-link calls pass through
+// with no delay.
+func (r *ReconnectingClient) awaitBackoff() {
+	r.mu.Lock()
+	wait := time.Duration(0)
+	if r.conn == nil && r.streak > 0 {
+		wait = time.Duration(r.curBackoff.Load())
+	}
+	r.mu.Unlock()
+	if wait > 0 {
+		r.sleep(wait)
+	}
+}
+
 // Call implements Client.
 func (r *ReconnectingClient) Call(msgType uint8, payload []byte) ([]byte, error) {
+	r.awaitBackoff()
 	conn, err := r.current()
 	if err == nil {
 		var resp []byte
 		resp, err = conn.Call(msgType, payload)
 		if err == nil || IsRemote(err) {
+			r.noteSuccess()
 			return resp, err
 		}
 		r.drop(conn)
+	} else if errors.Is(err, ErrClosed) {
+		return nil, err
 	}
+	r.noteFailure()
 	if !r.retryOnce {
 		return nil, err
 	}
 	r.retries.Inc()
-	time.Sleep(r.backoff)
+	r.awaitBackoff()
 	conn, derr := r.current()
 	if derr != nil {
+		r.noteFailure()
 		return nil, derr
 	}
 	resp, err := conn.Call(msgType, payload)
 	if err != nil && !IsRemote(err) {
 		r.drop(conn)
+		r.noteFailure()
+		return resp, err
 	}
+	r.noteSuccess()
 	return resp, err
 }
 
@@ -116,14 +225,22 @@ func (r *ReconnectingClient) Stats() (dials, redials, dialFailures, retries uint
 	return r.dials.Value(), r.redials.Value(), r.dialFailures.Value(), r.retries.Value()
 }
 
-// EnableMetrics exports the connection-churn counters to reg, labeled by
-// peer (the remote address or a deployment-chosen name).
+// CurrentBackoff returns the delay the next re-dial will wait (0 while the
+// link is healthy).
+func (r *ReconnectingClient) CurrentBackoff() time.Duration {
+	return time.Duration(r.curBackoff.Load())
+}
+
+// EnableMetrics exports the connection-churn counters and the live backoff
+// gauge to reg, labeled by peer (the remote address or a
+// deployment-chosen name).
 func (r *ReconnectingClient) EnableMetrics(reg *metrics.Registry, peer string) {
 	lbl := metrics.L("peer", peer)
 	reg.CounterFunc("rpc_client_dials_total", func() float64 { return float64(r.dials.Value()) }, lbl)
 	reg.CounterFunc("rpc_client_redials_total", func() float64 { return float64(r.redials.Value()) }, lbl)
 	reg.CounterFunc("rpc_client_dial_failures_total", func() float64 { return float64(r.dialFailures.Value()) }, lbl)
 	reg.CounterFunc("rpc_client_retries_total", func() float64 { return float64(r.retries.Value()) }, lbl)
+	reg.GaugeFunc("rpc_client_backoff_seconds", func() float64 { return r.CurrentBackoff().Seconds() }, lbl)
 }
 
 // Close implements Client.

@@ -68,7 +68,7 @@ func TestReconnectingClientBasicCall(t *testing.T) {
 func TestReconnectingClientSurvivesRestart(t *testing.T) {
 	rs := newRestartable(t)
 	c := NewReconnecting(rs.addr, true)
-	c.backoff = 5 * time.Millisecond
+	c.Backoff = Backoff{Base: 5 * time.Millisecond, Max: 5 * time.Millisecond}
 	defer c.Close()
 	if _, err := c.Call(msgEcho, []byte("warm")); err != nil {
 		t.Fatal(err)
@@ -144,12 +144,155 @@ func TestReconnectingClientDialFailure(t *testing.T) {
 	}
 }
 
+// TestBackoffScheduleDoublesAndCaps pins the redial schedule itself: pure
+// function of the failure streak, no wall clock involved.
+func TestBackoffScheduleDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Factor: 2}
+	want := []time.Duration{0,
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond}
+	for streak, w := range want {
+		if got := b.Delay(streak, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", streak, got, w)
+		}
+	}
+	// The zero value falls back to sane defaults rather than a zero sleep
+	// (which would spin-dial a dead peer).
+	var zero Backoff
+	if got := zero.Delay(1, nil); got != 100*time.Millisecond {
+		t.Errorf("zero-value Delay(1) = %v, want 100ms default", got)
+	}
+	if got := zero.Delay(20, nil); got != 5*time.Second {
+		t.Errorf("zero-value Delay(20) = %v, want 5s cap", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2}
+	lo := b.Delay(1, func() float64 { return 0 })
+	hi := b.Delay(1, func() float64 { return 0.999999 })
+	mid := b.Delay(1, func() float64 { return 0.5 })
+	if lo != 80*time.Millisecond {
+		t.Errorf("jitter floor = %v, want 80ms (1-J)", lo)
+	}
+	if hi <= 119*time.Millisecond || hi > 120*time.Millisecond {
+		t.Errorf("jitter ceiling = %v, want ~120ms (1+J)", hi)
+	}
+	if mid != 100*time.Millisecond {
+		t.Errorf("jitter midpoint = %v, want 100ms", mid)
+	}
+}
+
+// TestReconnectBackoffGrowsAndResets drives a client against a flapping
+// server with an injected (fake) clock: the recorded sleeps must follow the
+// exponential schedule while the server is down and the streak must reset
+// to zero on the first successful exchange.
+func TestReconnectBackoffGrowsAndResets(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, false)
+	c.Backoff = Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond, Factor: 2}
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c.rnd = nil // jitter off: the schedule must be exact
+	defer c.Close()
+
+	if _, err := c.Call(msgEcho, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CurrentBackoff(); got != 0 {
+		t.Fatalf("backoff while healthy = %v, want 0", got)
+	}
+	rs.stop()
+	// Six failing calls: the first fails with no sleep (streak was 0), each
+	// later one waits the delay published by the previous failure.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Call(msgEcho, []byte("down")); err == nil {
+			t.Fatalf("call %d against stopped server succeeded", i)
+		}
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+	if got := c.CurrentBackoff(); got != 400*time.Millisecond {
+		t.Errorf("backoff after 6 failures = %v, want 400ms cap", got)
+	}
+
+	rs.start()
+	if _, err := c.Call(msgEcho, []byte("back")); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if got := c.CurrentBackoff(); got != 0 {
+		t.Errorf("backoff after recovery = %v, want 0 (streak reset)", got)
+	}
+	// A fresh flap restarts the schedule from Base, not from the cap.
+	rs.stop()
+	slept = nil
+	c.Call(msgEcho, []byte("down-again"))
+	c.Call(msgEcho, []byte("down-again"))
+	if len(slept) != 1 || slept[0] != 100*time.Millisecond {
+		t.Errorf("post-reset sleeps = %v, want [100ms]", slept)
+	}
+	rs.start()
+}
+
+// TestBackoffGaugeExported verifies the live backoff is visible to scrapes
+// and returns to zero once the link heals.
+func TestBackoffGaugeExported(t *testing.T) {
+	rs := newRestartable(t)
+	c := NewReconnecting(rs.addr, false)
+	c.Backoff = Backoff{Base: 250 * time.Millisecond, Max: time.Second, Factor: 2}
+	c.sleep = func(time.Duration) {}
+	c.rnd = nil
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.EnableMetrics(reg, "peer0")
+	find := func() float64 {
+		s := reg.Snapshot().Find("rpc_client_backoff_seconds", map[string]string{"peer": "peer0"})
+		if s == nil {
+			t.Fatal("rpc_client_backoff_seconds not exported")
+		}
+		return s.Value
+	}
+	if _, err := c.Call(msgEcho, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if v := find(); v != 0 {
+		t.Errorf("gauge while healthy = %v, want 0", v)
+	}
+	rs.stop()
+	c.Call(msgEcho, []byte("b"))
+	if v := find(); v != 0.25 {
+		t.Errorf("gauge after first failure = %v, want 0.25", v)
+	}
+	rs.start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Call(msgEcho, []byte("c")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := find(); v != 0 {
+		t.Errorf("gauge after recovery = %v, want 0", v)
+	}
+}
+
 // TestReconnectCountersExported verifies the registry view of the churn
 // counters matches Stats, so dashboards see the same numbers tests assert.
 func TestReconnectCountersExported(t *testing.T) {
 	rs := newRestartable(t)
 	c := NewReconnecting(rs.addr, true)
-	c.backoff = 5 * time.Millisecond
+	c.Backoff = Backoff{Base: 5 * time.Millisecond, Max: 5 * time.Millisecond}
 	defer c.Close()
 	reg := metrics.NewRegistry()
 	c.EnableMetrics(reg, rs.addr)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,6 +144,88 @@ func TestSegmentStoreCorruptCRCTruncated(t *testing.T) {
 	}
 	if _, err := s2.Get(1); err != nil {
 		t.Errorf("first record lost: %v", err)
+	}
+}
+
+// TestSegmentStoreTornBatchFrame crashes the store mid-batch: AppendBatch
+// frames the whole batch into one buffer and one Write, so a power cut can
+// leave a prefix of that frame on disk — intact entries for the first
+// records of the batch, then a torn final entry. Recovery must keep the
+// intact prefix (batches are NOT all-or-nothing; the durable unit is the
+// entry) and truncate the tear so the position can be rewritten, e.g. by a
+// replica catch-up stream replaying the same LIds.
+func TestSegmentStoreTornBatchFrame(t *testing.T) {
+	// The batch on disk: entries for LIds 4,5,6 appended as one frame after
+	// an earlier batch of 1,2,3.
+	entrySize := func(lid uint64) int64 { return int64(entryHeaderSize + core.EncodedSize(rec(lid))) }
+	for _, tc := range []struct {
+		name string
+		// tear returns how many bytes of record 6's entry survive the crash.
+		tear func() int64
+	}{
+		{"mid-header", func() int64 { return 3 }},                    // length field itself torn
+		{"mid-payload", func() int64 { return entryHeaderSize + 3 }}, // header intact, payload short
+		{"payload-minus-one", func() int64 { return entrySize(6) - 1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openSeg(t, dir, SegmentStoreOptions{Sync: SyncEachBatch})
+			if err := s.AppendBatch([]*core.Record{rec(1), rec(2), rec(3)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendBatch([]*core.Record{rec(4), rec(5), rec(6)}); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+
+			files, _ := filepath.Glob(filepath.Join(dir, "*"+segmentSuffix))
+			if len(files) != 1 {
+				t.Fatalf("expected one segment, got %v", files)
+			}
+			st, err := os.Stat(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cut inside record 6's entry, keeping tc.tear() bytes of it.
+			keep := st.Size() - entrySize(6) + tc.tear()
+			if err := os.Truncate(files[0], keep); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openSeg(t, dir, SegmentStoreOptions{Sync: SyncEachBatch})
+			defer s2.Close()
+			// The intact prefix of the torn batch survives...
+			if got := s2.Len(); got != 5 {
+				t.Fatalf("Len after torn-batch recovery = %d, want 5", got)
+			}
+			for lid := uint64(1); lid <= 5; lid++ {
+				r, err := s2.Get(lid)
+				if err != nil {
+					t.Fatalf("record %d lost: %v", lid, err)
+				}
+				if want := fmt.Sprintf("body-%d", lid); string(r.Body) != want {
+					t.Errorf("record %d body = %q, want %q", lid, r.Body, want)
+				}
+			}
+			// ...the torn record is gone, and its position is writable again.
+			if _, err := s2.Get(6); !errors.Is(err, core.ErrNoSuchRecord) {
+				t.Fatalf("Get(6) after tear = %v, want ErrNoSuchRecord", err)
+			}
+			if err := s2.Append(rec(6)); err != nil {
+				t.Fatalf("rewriting torn position: %v", err)
+			}
+			s2.Close()
+
+			// The rewrite itself must be durable across another reopen.
+			s3 := openSeg(t, dir, SegmentStoreOptions{})
+			defer s3.Close()
+			if got := s3.Len(); got != 6 {
+				t.Fatalf("Len after rewrite+reopen = %d, want 6", got)
+			}
+			if r, err := s3.Get(6); err != nil || string(r.Body) != "body-6" {
+				t.Errorf("rewritten record 6 = %v, %v", r, err)
+			}
+		})
 	}
 }
 

@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ vet:
 
 check: build vet test
 	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject
-	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes' ./internal/flstore
+	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
 
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.
@@ -31,8 +31,15 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecodeRecord$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz='^FuzzDecodeRecords$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz='^FuzzDecodeRangeResult$$' -fuzztime=$(FUZZTIME) ./internal/flstore
 
 # bench-smoke runs the allocation-budget benchmarks once; the AllocsPerRun
 # assertions in the regular tests enforce the budgets, this shows the numbers.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='Allocs$$' -benchmem -benchtime=100x ./internal/flstore ./internal/chariots
+
+# bench-read runs the read-path benchmarks: batched range read vs single
+# reads, cached tail reads, and push vs poll tailing. The corresponding
+# budgets are enforced by TestReadRangeAllocBudget / TestTailCachedReadAllocBudget.
+bench-read:
+	$(GO) test -run='^$$' -bench='ReadRange|SingleReads|TailCached|TailPushVsPoll' -benchmem -benchtime=100x ./internal/flstore

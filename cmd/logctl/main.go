@@ -62,6 +62,8 @@ func main() {
 		cmdTail(client, rest)
 	case "stats":
 		cmdStats(conn, rest)
+	case "reads":
+		cmdReads(conn, rest)
 	case "replicas":
 		cmdReplicas(conn)
 	default:
@@ -79,6 +81,7 @@ commands:
   lookup -tag k[=v] [-recent n]   find records by tag
   tail [-from lid]                follow the log (ctrl-c to stop)
   stats [-interval d]             per-maintainer throughput and latency
+  reads [-interval d]             per-maintainer read-path counters and cache hit ratio
   replicas                        per-group replica membership, health, lag`)
 	os.Exit(2)
 }
@@ -239,6 +242,77 @@ func cmdStats(conn rpc.Client, args []string) {
 			fmt.Sprintf("%.1f", rate),
 			p99,
 			strconv.FormatUint(uint64(val(after, "flstore_rejected_total", m)), 10))
+	}
+	fmt.Print(tbl.String())
+}
+
+// cmdReads renders the read path per maintainer: range-read / multi-read /
+// tail-wait rates over the sampling window, records per range batch, and
+// the cumulative tail-cache hit ratio with the store-scan counters that
+// show whether tailing readers are touching the store at all.
+func cmdReads(conn rpc.Client, args []string) {
+	fs := flag.NewFlagSet("reads", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "sampling window for rates")
+	fs.Parse(args)
+
+	before, err := flstore.FetchStats(conn)
+	if err != nil {
+		log.Fatalf("reads: %v", err)
+	}
+	time.Sleep(*interval)
+	after, err := flstore.FetchStats(conn)
+	if err != nil {
+		log.Fatalf("reads: %v", err)
+	}
+
+	var ids []int
+	for _, s := range after.Series {
+		if s.Name != "flstore_appends_total" {
+			continue
+		}
+		if id, err := strconv.Atoi(s.Labels["maintainer"]); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		log.Fatal("reads: no maintainer series in snapshot (is the node set running with metrics enabled?)")
+	}
+	sort.Ints(ids)
+
+	val := func(snap metrics.Snapshot, name, maintainer string) float64 {
+		if s := snap.Find(name, map[string]string{"maintainer": maintainer}); s != nil {
+			return s.Value
+		}
+		return 0
+	}
+	rate := func(name, m string) string {
+		return fmt.Sprintf("%.1f", (val(after, name, m)-val(before, name, m))/interval.Seconds())
+	}
+	tbl := metrics.Table{Header: []string{
+		"maintainer", "range reads/s", "recs/batch", "multi reads/s",
+		"tail waits/s", "cache hit%", "store scans", "full scans"}}
+	for _, id := range ids {
+		m := strconv.Itoa(id)
+		reads := val(after, "flstore_range_reads_total", m) - val(before, "flstore_range_reads_total", m)
+		recs := val(after, "flstore_range_records_total", m) - val(before, "flstore_range_records_total", m)
+		perBatch := "-"
+		if reads > 0 {
+			perBatch = fmt.Sprintf("%.1f", recs/reads)
+		}
+		hits := val(after, "flstore_tail_cache_hits_total", m)
+		misses := val(after, "flstore_tail_cache_misses_total", m)
+		hitRatio := "-"
+		if hits+misses > 0 {
+			hitRatio = fmt.Sprintf("%.1f", 100*hits/(hits+misses))
+		}
+		tbl.AddRow(m,
+			rate("flstore_range_reads_total", m),
+			perBatch,
+			rate("flstore_multi_reads_total", m),
+			rate("flstore_tail_waits_total", m),
+			hitRatio,
+			strconv.FormatUint(uint64(val(after, "flstore_store_scans_total", m)), 10),
+			strconv.FormatUint(uint64(val(after, "flstore_scan_calls_total", m)), 10))
 	}
 	fmt.Print(tbl.String())
 }

@@ -475,19 +475,31 @@ func (dc *Datacenter) Applied() vclock.Vector { return dc.state.atable.SelfVecto
 // Head returns the readable head of the datacenter's log.
 func (dc *Datacenter) Head() (uint64, error) { return dc.reader.HeadExact() }
 
-// LogRecords returns every applied record ordered by LId (test and
-// equivalence-check introspection; scans all maintainers).
+// LogRecords returns every applied record ordered by LId (test,
+// equivalence-check, and restart-recovery introspection). The gap-free
+// prefix up to the head comes from one scatter-gather range read, already
+// in LId order; only the partially filled tail rounds past the head (which
+// restart recovery needs for NextLId) fall back to bounded maintainer
+// scans.
 func (dc *Datacenter) LogRecords() ([]*core.Record, error) {
-	var all []*core.Record
+	head, err := dc.reader.HeadExact()
+	if err != nil {
+		return nil, err
+	}
+	all, err := dc.reader.ReadRange(1, head)
+	if err != nil {
+		return nil, err
+	}
+	var tail []*core.Record
 	for _, m := range dc.maintainers {
-		recs, err := m.Scan(core.Rule{})
+		recs, err := m.Scan(core.Rule{MinLId: head + 1})
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, recs...)
+		tail = append(tail, recs...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].LId < all[j].LId })
-	return all, nil
+	sort.Slice(tail, func(i, j int) bool { return tail[i].LId < tail[j].LId })
+	return append(all, tail...), nil
 }
 
 // Machines returns every stage machine's (name, processed count) rows in

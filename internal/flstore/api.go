@@ -1,6 +1,8 @@
 package flstore
 
 import (
+	"time"
+
 	"repro/internal/core"
 )
 
@@ -66,6 +68,54 @@ type ReplicaAPI interface {
 	// GossipVec exchanges whole next-unfilled vectors so replicated
 	// progress for a dead owner's range spreads.
 	GossipVec(vec []uint64) ([]uint64, error)
+}
+
+// RangeQuery asks a maintainer for its hosted records in an LId interval.
+type RangeQuery struct {
+	// Lo and Hi bound the interval, inclusive. Lo 0 is treated as 1.
+	Lo, Hi uint64
+	// Range restricts the response to one hosted range (a maintainer
+	// index); negative serves every hosted range. The scatter-gather
+	// client pins it so replica followers don't re-ship blocks their
+	// group peers already serve.
+	Range int
+	// MaxRecords/MaxBytes bound the response batch; 0 applies the
+	// server's defaults. The server may truncate below either bound.
+	MaxRecords int
+	MaxBytes   int
+}
+
+// RangeResult is one maintainer's answer to a RangeQuery.
+type RangeResult struct {
+	// Records are the hosted records in [Lo, CoveredHi], ascending.
+	Records []*core.Record
+	// CoveredHi states how far the response got: every queried position
+	// at or below it that this maintainer hosts is present in Records.
+	// CoveredHi < Hi means the response was cut short — by the
+	// count/byte budget or by the hosted range's local frontier — and
+	// the client resumes from CoveredHi+1.
+	CoveredHi uint64
+}
+
+// RangeReadAPI is the batched read surface of a maintainer. Like
+// ReplicaAPI it is kept out of MaintainerAPI so legacy fakes keep
+// compiling: callers type-assert, ServeMaintainer registers its handlers
+// only when the implementation provides them, and the client falls back to
+// the single-record/scan paths when any wired maintainer lacks it.
+type RangeReadAPI interface {
+	// ReadRange returns every hosted record in [q.Lo, q.Hi] as one batch,
+	// ascending, within the query's budgets.
+	ReadRange(q RangeQuery) (RangeResult, error)
+	// MultiRead returns the hosted records at the given LIds in input
+	// order; positions not yet stored here are absent from the result.
+	MultiRead(lids []uint64) ([]*core.Record, error)
+	// TailWait parks until hosted range rangeIdx's local frontier (its
+	// next-unfilled LId) passes cursor or maxWait elapses (0 = server
+	// default), returning the current frontier either way — the push half
+	// of tail subscriptions. The head of the log advances exactly when
+	// the laggard range's frontier does, so a tailing client parks at
+	// that range's group instead of polling.
+	TailWait(rangeIdx int, cursor uint64, maxWait time.Duration) (uint64, error)
 }
 
 // Posting is one index entry streamed from a maintainer to an indexer:

@@ -33,10 +33,34 @@ type Client struct {
 	// maintainers don't expose the replica surface (legacy fakes).
 	session *replica.Session
 
+	// rangeCapable records whether every wired maintainer implements
+	// RangeReadAPI (recomputed on SetMaintainer); when false the client
+	// stays on the single-record/scan paths.
+	rangeCapable bool
+
+	// DisableRangeRead forces the legacy read paths even when every
+	// maintainer supports batched reads — the comparison knob the
+	// read-path experiment and benchmarks flip.
+	DisableRangeRead bool
+
 	// ReadRetry configures how long reads wait for the head of the log
-	// to pass the requested position before giving up.
+	// to pass the requested position before giving up: up to ReadRetries
+	// attempts on a capped-exponential schedule seeded at RetryBackoff.
 	ReadRetries  int
 	RetryBackoff time.Duration
+}
+
+// readJitter is the shared jitter stream for read-retry backoff.
+var readJitter atomic.Uint64
+
+func init() { readJitter.Store(uint64(time.Now().UnixNano()) | 1) }
+
+// jitterRnd returns uniform [0,1) samples (splitmix64, lock-free).
+func jitterRnd() float64 {
+	z := readJitter.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return float64((z^(z>>31))>>11) / (1 << 53)
 }
 
 // isLogicError classifies FLStore errors that must propagate to the caller
@@ -88,6 +112,7 @@ func NewClient(ctrl ControllerAPI) (*Client, error) {
 	if err := c.initSession(cfg.Replication, ack); err != nil {
 		return nil, err
 	}
+	c.updateRangeCapable()
 	return c, nil
 }
 
@@ -120,6 +145,7 @@ func NewReplicatedDirectClient(p Placement, maintainers []MaintainerAPI, indexer
 	if err := c.initSession(r, ack); err != nil {
 		return nil, err
 	}
+	c.updateRangeCapable()
 	return c, nil
 }
 
@@ -284,6 +310,11 @@ func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
 		}
 		read = func() (*core.Record, error) { return m.Read(lid) }
 	}
+	// Past-head waits resolve as soon as the gap below the position fills,
+	// so retry on a capped-exponential schedule with jitter (the PR-3
+	// redial schedule): early attempts are cheap and tight, later ones
+	// back off instead of hammering a stalled head.
+	bo := rpc.Backoff{Base: c.RetryBackoff, Max: 8 * c.RetryBackoff, Factor: 2, Jitter: 0.2}
 	var lastErr error
 	for attempt := 0; attempt <= c.ReadRetries; attempt++ {
 		rec, err := read()
@@ -294,7 +325,9 @@ func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
 		if !errors.Is(err, core.ErrPastHead) {
 			return nil, err
 		}
-		time.Sleep(c.RetryBackoff)
+		if c.RetryBackoff > 0 {
+			time.Sleep(bo.Delay(attempt+1, jitterRnd))
+		}
 	}
 	return nil, lastErr
 }
@@ -339,15 +372,20 @@ func (c *Client) readByTag(rule core.Rule) ([]*core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]*core.Record, 0, len(lids))
+	wanted := lids[:0]
 	for _, lid := range lids {
-		if lid < rule.MinLId {
-			continue
+		if lid >= rule.MinLId {
+			wanted = append(wanted, lid)
 		}
-		rec, err := c.ReadLId(lid)
-		if err != nil {
-			return nil, err
-		}
+	}
+	// One batched fetch per owning maintainer instead of a serial
+	// round trip per position.
+	fetched, err := c.ReadLIds(wanted)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*core.Record, 0, len(fetched))
+	for _, rec := range fetched {
 		// The indexer prunes by tag and LId; re-check the full rule
 		// (host/TOId constraints) before returning.
 		if rule.Match(rec) {
@@ -447,17 +485,55 @@ func (c *Client) SetMaintainer(i int, m MaintainerAPI) error {
 		c.session.SetMember(i, rm)
 	}
 	c.maintainers[i] = m
+	c.updateRangeCapable()
 	return nil
 }
 
 // Tail streams the log in LId order starting at fromLId (≥1): fn is
 // called for every record at or below the advancing head of the log, in
 // position order with no gaps, until ctx is cancelled or fn returns
-// false. The poll interval is RetryBackoff (bounded below at 1ms).
+// false. On range-capable wiring this is a push subscription: the client
+// parks on the laggard range's TailWait long-poll and drains each newly
+// covered window with scatter-gather range reads merged by placement — no
+// poll tick, no rescans, no sort. Legacy wiring degrades to a bounded
+// poll (interval RetryBackoff, ≥1ms).
 func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record) bool) error {
 	if fromLId == 0 {
 		fromLId = 1
 	}
+	if !c.rangeOK() {
+		return c.tailPoll(ctx, fromLId, fn)
+	}
+	cursor := fromLId
+	for {
+		head, err := c.waitHead(ctx, cursor, time.Time{})
+		if err != nil {
+			return err
+		}
+		for cursor <= head {
+			hi := cursor + tailChunk - 1
+			if hi > head {
+				hi = head
+			}
+			window, err := c.readRange(cursor, hi)
+			if err != nil {
+				return err
+			}
+			for _, rec := range window {
+				if !fn(rec) {
+					return nil
+				}
+			}
+			cursor = hi + 1
+		}
+	}
+}
+
+// tailPoll is the legacy tail loop for wiring without the batched read
+// surface. The window is merged by placement (position lid at index
+// lid−cursor) rather than sorted; §5.4 makes it gap-free below the head,
+// and any straggler a scan missed is fetched via ReadLId.
+func (c *Client) tailPoll(ctx context.Context, fromLId uint64, fn func(*core.Record) bool) error {
 	poll := c.RetryBackoff
 	if poll < time.Millisecond {
 		poll = time.Millisecond
@@ -474,11 +550,10 @@ func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record)
 			return err
 		}
 		if head >= cursor {
-			window, err := c.scanMerged(core.Rule{MinLId: cursor, MaxLId: head})
+			window, err := c.readRange(cursor, head)
 			if err != nil {
 				return err
 			}
-			sort.Slice(window, func(i, j int) bool { return window[i].LId < window[j].LId })
 			for _, rec := range window {
 				if !fn(rec) {
 					return nil

@@ -67,6 +67,11 @@ type MaintainerConfig struct {
 	// MaxOrderBuffer bounds the records parked by AppendAfter; 0 uses a
 	// default of 4096.
 	MaxOrderBuffer int
+
+	// TailCacheSize is the capacity (records) of the tail ring serving
+	// range reads near the append frontier from memory. 0 uses a default
+	// of 4096; negative disables the cache.
+	TailCacheSize int
 }
 
 // rangeState is the per-hosted-range ingestion state: the dense slot
@@ -106,17 +111,40 @@ type Maintainer struct {
 	// yet satisfiable.
 	orderBuf orderHeap
 
+	// tail caches recently appended records for the batched read path;
+	// nil when disabled.
+	tail *tailRing
+	// waitMu guards waitCh, the broadcast channel notifyProgressLocked
+	// closes (and replaces) whenever a next-unfilled entry advances.
+	// Always taken after mu when both are held.
+	waitMu sync.Mutex
+	waitCh chan struct{}
+
 	// Appended counts records durably stored (exported for experiment
 	// instrumentation).
 	Appended metrics.Counter
 	// Rejected counts records turned away by the capacity limiter.
 	Rejected metrics.Counter
+	// Read-path counters: range/multi-read calls and records served,
+	// tail long-polls, tail-ring hits/misses, ring-miss store scans, and
+	// full Scan calls (the legacy read path — a caught-up tail issues
+	// none).
+	RangeReads      metrics.Counter
+	RangeRecords    metrics.Counter
+	MultiReads      metrics.Counter
+	TailWaits       metrics.Counter
+	TailCacheHits   metrics.Counter
+	TailCacheMisses metrics.Counter
+	StoreScans      metrics.Counter
+	ScanCalls       metrics.Counter
 
 	// appendLatency/readLatency are set by EnableMetrics (nil until then;
 	// the serving paths skip observation when unset). EnableMetrics must
 	// run before the maintainer serves traffic.
 	appendLatency *metrics.BucketHistogram
 	readLatency   *metrics.BucketHistogram
+	rangeBatch    *metrics.BucketHistogram
+	tailWake      *metrics.BucketHistogram
 }
 
 // EnableMetrics registers this maintainer's serving-path instrumentation
@@ -141,6 +169,16 @@ func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label
 	}, lbls...)
 	reg.GaugeFunc("flstore_stored_records", func() float64 { return float64(m.store.Len()) }, lbls...)
 	reg.GaugeFunc("flstore_hosted_ranges", func() float64 { return float64(len(m.hosted)) }, lbls...)
+	m.rangeBatch = reg.Histogram("flstore_range_batch_records", metrics.BatchBuckets, lbls...)
+	m.tailWake = reg.Histogram("flstore_tail_wake_seconds", metrics.LatencyBuckets, lbls...)
+	reg.CounterFunc("flstore_range_reads_total", func() float64 { return float64(m.RangeReads.Value()) }, lbls...)
+	reg.CounterFunc("flstore_range_records_total", func() float64 { return float64(m.RangeRecords.Value()) }, lbls...)
+	reg.CounterFunc("flstore_multi_reads_total", func() float64 { return float64(m.MultiReads.Value()) }, lbls...)
+	reg.CounterFunc("flstore_tail_waits_total", func() float64 { return float64(m.TailWaits.Value()) }, lbls...)
+	reg.CounterFunc("flstore_tail_cache_hits_total", func() float64 { return float64(m.TailCacheHits.Value()) }, lbls...)
+	reg.CounterFunc("flstore_tail_cache_misses_total", func() float64 { return float64(m.TailCacheMisses.Value()) }, lbls...)
+	reg.CounterFunc("flstore_store_scans_total", func() float64 { return float64(m.StoreScans.Value()) }, lbls...)
+	reg.CounterFunc("flstore_scan_calls_total", func() float64 { return float64(m.ScanCalls.Value()) }, lbls...)
 }
 
 // NewMaintainer returns a ready maintainer.
@@ -164,12 +202,18 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	if cfg.MaxOrderBuffer == 0 {
 		cfg.MaxOrderBuffer = 4096
 	}
+	if cfg.TailCacheSize == 0 {
+		cfg.TailCacheSize = defaultTailCacheSize
+	}
 	m := &Maintainer{
 		cfg:     cfg,
 		store:   cfg.Store,
 		layout:  layout,
 		hosted:  make(map[int]*rangeState, cfg.Replication),
 		nextVec: make([]uint64, cfg.Placement.NumMaintainers),
+	}
+	if cfg.TailCacheSize > 0 {
+		m.tail = newTailRing(cfg.TailCacheSize)
 	}
 	for _, r := range layout.Hosts(cfg.Index) {
 		m.hosted[r] = &rangeState{pending: make(map[uint64][]*core.Record)}
@@ -218,6 +262,7 @@ func (m *Maintainer) Index() int { return m.cfg.Index }
 func (m *Maintainer) advanceNextLocked(rangeIdx int, st *rangeState) {
 	if next := m.cfg.Placement.LIdOfSlot(rangeIdx, st.filled); next > m.nextVec[rangeIdx] {
 		m.nextVec[rangeIdx] = next
+		m.notifyProgressLocked()
 	}
 }
 
@@ -288,6 +333,7 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	if err := m.store.AppendBatch(recs); err != nil {
 		return nil, err
 	}
+	m.cacheAppended(recs)
 	m.Appended.Add(uint64(len(recs)))
 	if err := m.postTags(recs); err != nil {
 		return nil, err
@@ -393,6 +439,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 	if err := m.store.AppendBatch(ready); err != nil {
 		return err
 	}
+	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return m.postTags(ready)
 }
@@ -458,6 +505,7 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 	if err := m.store.AppendBatch(ready); err != nil {
 		return err
 	}
+	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return nil
 }
@@ -554,6 +602,7 @@ func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 // records (including follower copies); the client library merges scans
 // across maintainers, deduplicates by LId, and applies head-of-log bounds.
 func (m *Maintainer) Scan(rule core.Rule) ([]*core.Record, error) {
+	m.ScanCalls.Inc()
 	var out []*core.Record
 	err := m.store.Scan(rule.MinLId, rule.EffectiveMaxLId(), func(r *core.Record) bool {
 		if rule.Match(r) {
@@ -607,6 +656,7 @@ func (m *Maintainer) Gossip(from int, next uint64) (uint64, error) {
 	}
 	if next > m.nextVec[from] {
 		m.nextVec[from] = next
+		m.notifyProgressLocked()
 	}
 	return m.nextVec[m.cfg.Index], nil
 }
@@ -620,15 +670,20 @@ func (m *Maintainer) Gossip(from int, next uint64) (uint64, error) {
 func (m *Maintainer) GossipVec(vec []uint64) ([]uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	changed := false
 	for j, v := range vec {
 		if j < len(m.nextVec) && v > m.nextVec[j] {
 			m.nextVec[j] = v
+			changed = true
 		}
 	}
 	// Fold hosted frontiers in before replying so followers advertise
 	// replicated progress for ranges whose owner may be dead.
 	for rangeIdx, st := range m.hosted {
 		m.advanceNextLocked(rangeIdx, st)
+	}
+	if changed {
+		m.notifyProgressLocked()
 	}
 	out := make([]uint64, len(m.nextVec))
 	copy(out, m.nextVec)

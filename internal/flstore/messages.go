@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -35,6 +36,9 @@ const (
 	msgPullRange
 	msgGossipVec
 	msgReplicas
+	msgReadRange
+	msgMultiRead
+	msgTailWait
 )
 
 // --- encoding helpers ---
@@ -123,6 +127,30 @@ func decodeLIds(buf []byte) ([]uint64, int, error) {
 		lids[i] = binary.LittleEndian.Uint64(buf[4+8*i:])
 	}
 	return lids, 4 + 8*n, nil
+}
+
+// appendRangeResult encodes a range-read response: the covered-through
+// position, then the record batch in the standard count-prefixed frame.
+func appendRangeResult(dst []byte, res RangeResult) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, res.CoveredHi)
+	return core.AppendRecords(dst, res.Records)
+}
+
+// decodeRangeResult decodes a range-read response envelope. The batch is
+// arena-decoded (DecodeRecordsShared), so a response of N records costs
+// O(1) allocations regardless of N.
+func decodeRangeResult(buf []byte) (RangeResult, error) {
+	var res RangeResult
+	if len(buf) < 8 {
+		return res, errors.New("flstore: short range-read response")
+	}
+	res.CoveredHi = binary.LittleEndian.Uint64(buf)
+	recs, _, err := core.DecodeRecordsShared(buf[8:])
+	if err != nil {
+		return res, err
+	}
+	res.Records = recs
+	return res, nil
 }
 
 func appendPostings(dst []byte, ps []Posting) []byte {
@@ -338,6 +366,57 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 	if r, ok := m.(ReplicaAPI); ok {
 		serveReplicaOps(srv, r)
 	}
+	if rr, ok := m.(RangeReadAPI); ok {
+		serveRangeReadOps(srv, rr)
+	}
+}
+
+// serveRangeReadOps registers the batched read-path handlers for
+// maintainers that implement RangeReadAPI. msgTailWait is registered
+// detached: a parked long-poll must not head-of-line-block the pipelined
+// requests behind it on a shared connection.
+func serveRangeReadOps(srv *rpc.Server, rr RangeReadAPI) {
+	srv.Handle(msgReadRange, func(p []byte) ([]byte, error) {
+		if len(p) < 28 {
+			return nil, errors.New("flstore: short ReadRange request")
+		}
+		q := RangeQuery{
+			Lo:         binary.LittleEndian.Uint64(p),
+			Hi:         binary.LittleEndian.Uint64(p[8:]),
+			Range:      int(int32(binary.LittleEndian.Uint32(p[16:]))),
+			MaxRecords: int(binary.LittleEndian.Uint32(p[20:])),
+			MaxBytes:   int(binary.LittleEndian.Uint32(p[24:])),
+		}
+		res, err := rr.ReadRange(q)
+		if err != nil {
+			return nil, err
+		}
+		return appendRangeResult(make([]byte, 0, 12+core.EncodedSizeRecords(res.Records)), res), nil
+	})
+	srv.Handle(msgMultiRead, func(p []byte) ([]byte, error) {
+		lids, _, err := decodeLIds(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := rr.MultiRead(lids)
+		if err != nil {
+			return nil, err
+		}
+		return core.AppendRecords(make([]byte, 0, core.EncodedSizeRecords(recs)), recs), nil
+	})
+	srv.HandleDetached(msgTailWait, func(p []byte) ([]byte, error) {
+		if len(p) < 20 {
+			return nil, errors.New("flstore: short TailWait request")
+		}
+		rangeIdx := int(int32(binary.LittleEndian.Uint32(p)))
+		cursor := binary.LittleEndian.Uint64(p[4:])
+		maxWait := time.Duration(int64(binary.LittleEndian.Uint64(p[12:])))
+		f, err := rr.TailWait(rangeIdx, cursor, maxWait)
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.AppendUint64(nil, f), nil
+	})
 }
 
 // serveReplicaOps registers the replication handlers for maintainers that
@@ -700,7 +779,10 @@ func (mc *maintainerClient) ReplicaAppend(recs []*core.Record) error {
 }
 
 func (mc *maintainerClient) RangeFrontier(rangeIdx int) (uint64, error) {
-	resp, err := mc.c.Call(msgRangeFrontier, binary.LittleEndian.AppendUint32(nil, uint32(rangeIdx)))
+	req := wire.GetBuf()
+	*req = binary.LittleEndian.AppendUint32(*req, uint32(rangeIdx))
+	resp, err := mc.c.Call(msgRangeFrontier, *req)
+	wire.PutBuf(req)
 	if err != nil {
 		return 0, mapRemoteError(err)
 	}
@@ -720,6 +802,48 @@ func (mc *maintainerClient) PullRange(rangeIdx int, fromLId uint64, limit int) (
 	}
 	recs, _, err := core.DecodeRecordsShared(resp)
 	return recs, err
+}
+
+func (mc *maintainerClient) ReadRange(q RangeQuery) (RangeResult, error) {
+	req := wire.GetBuf()
+	*req = binary.LittleEndian.AppendUint64(*req, q.Lo)
+	*req = binary.LittleEndian.AppendUint64(*req, q.Hi)
+	*req = binary.LittleEndian.AppendUint32(*req, uint32(int32(q.Range)))
+	*req = binary.LittleEndian.AppendUint32(*req, uint32(q.MaxRecords))
+	*req = binary.LittleEndian.AppendUint32(*req, uint32(q.MaxBytes))
+	resp, err := mc.c.Call(msgReadRange, *req)
+	wire.PutBuf(req)
+	if err != nil {
+		return RangeResult{}, mapRemoteError(err)
+	}
+	return decodeRangeResult(resp)
+}
+
+func (mc *maintainerClient) MultiRead(lids []uint64) ([]*core.Record, error) {
+	req := wire.GetBuf()
+	*req = appendLIds(*req, lids)
+	resp, err := mc.c.Call(msgMultiRead, *req)
+	wire.PutBuf(req)
+	if err != nil {
+		return nil, mapRemoteError(err)
+	}
+	recs, _, err := core.DecodeRecordsShared(resp)
+	return recs, err
+}
+
+func (mc *maintainerClient) TailWait(rangeIdx int, cursor uint64, maxWait time.Duration) (uint64, error) {
+	req := make([]byte, 0, 20)
+	req = binary.LittleEndian.AppendUint32(req, uint32(int32(rangeIdx)))
+	req = binary.LittleEndian.AppendUint64(req, cursor)
+	req = binary.LittleEndian.AppendUint64(req, uint64(int64(maxWait)))
+	resp, err := mc.c.Call(msgTailWait, req)
+	if err != nil {
+		return 0, mapRemoteError(err)
+	}
+	if len(resp) < 8 {
+		return 0, errors.New("flstore: short TailWait response")
+	}
+	return binary.LittleEndian.Uint64(resp), nil
 }
 
 func (mc *maintainerClient) GossipVec(vec []uint64) ([]uint64, error) {

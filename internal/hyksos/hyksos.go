@@ -29,6 +29,18 @@ var ErrNoKey = errors.New("hyksos: key not found")
 // Session.
 type Store struct {
 	dc *chariots.Datacenter
+
+	// PollInterval paces waits on state that has no subscription surface
+	// (the awareness table in WaitFor). Head-of-log waits subscribe
+	// through the reader's WaitHead instead of sleeping. 0 = 500µs.
+	PollInterval time.Duration
+}
+
+func (s *Store) pollInterval() time.Duration {
+	if s.PollInterval > 0 {
+		return s.PollInterval
+	}
+	return 500 * time.Microsecond
 }
 
 // NewStore wraps a running datacenter.
@@ -78,25 +90,21 @@ func (s *Session) Delete(key string) error {
 	return nil
 }
 
-// waitHead blocks until the head of the log reaches at least lid.
+// waitHead blocks until the head of the log reaches at least lid. The wait
+// subscribes to head advances (the reader parks on the laggard range's
+// long-poll) instead of sleeping a fixed tick.
 func (s *Session) waitHead(lid uint64) error {
 	if lid == 0 {
 		return nil
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		head, err := s.st.dc.Head()
-		if err != nil {
-			return err
-		}
-		if head >= lid {
-			return nil
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("hyksos: head stuck at %d below %d", head, lid)
-		}
-		time.Sleep(200 * time.Microsecond)
+	head, err := s.st.dc.Reader().WaitHead(lid, 5*time.Second)
+	if err != nil {
+		return err
 	}
+	if head < lid {
+		return fmt.Errorf("hyksos: head stuck at %d below %d", head, lid)
+	}
+	return nil
 }
 
 // Get returns the current value of key: the most recent put below the head
@@ -193,19 +201,14 @@ func (s *Session) WaitFor(ctx vclock.Vector, timeout time.Duration) bool {
 			// LId at or below the applied count; once the head
 			// covers it, the context's records are readable.
 			target := s.st.dc.AppliedCount()
-			for time.Now().Before(deadline) {
-				head, err := s.st.dc.Head()
-				if err != nil {
-					return false
-				}
-				if head >= target {
-					return true
-				}
-				time.Sleep(500 * time.Microsecond)
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return false
 			}
-			return false
+			head, err := s.st.dc.Reader().WaitHead(target, remain)
+			return err == nil && head >= target
 		}
-		time.Sleep(500 * time.Microsecond)
+		time.Sleep(s.st.pollInterval())
 	}
 	return false
 }

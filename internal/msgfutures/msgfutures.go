@@ -19,7 +19,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -145,15 +144,12 @@ func (m *Manager) poll() {
 		m.mu.Unlock()
 		return
 	}
-	var recs []*core.Record
-	for _, mt := range m.dc.Maintainers() {
-		window, err := mt.Scan(core.Rule{MinLId: cursor + 1, MaxLId: head})
-		if err != nil {
-			return
-		}
-		recs = append(recs, window...)
+	// One scatter-gather range read replaces the per-maintainer window
+	// scans; the result is already in LId order (merged by placement).
+	recs, err := m.dc.Reader().ReadRange(cursor+1, head)
+	if err != nil {
+		return
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].LId < recs[j].LId })
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

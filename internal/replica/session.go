@@ -260,24 +260,45 @@ func (s *Session) fanOut(rangeIdx, actingPrimary int, recs []*core.Record) int {
 // no-such-record from the freshest member) propagate; transport errors
 // mark the member and move on.
 func (s *Session) Read(lid uint64) (*core.Record, error) {
-	rangeIdx := s.cfg.Owner(lid)
-	g := s.cfg.Layout.Group(rangeIdx)
+	var rec *core.Record
+	err := s.ReadWith(s.cfg.Owner(lid), func(m Member) error {
+		var e error
+		rec, e = m.Read(lid)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadWith runs a read-side operation against rangeIdx's group with the
+// same failover discipline as Read: members in acting-primary order,
+// evicted members skipped, logic errors propagated, transport errors
+// reported to the health tracker before moving to the next member. fn
+// returns its result through its closure. This is the hook the batched
+// read path (range reads, tail waits) shares with single-record reads.
+func (s *Session) ReadWith(rangeIdx int, fn func(m Member) error) error {
 	var lastErr error
 	tried := 0
-	for _, mi := range g.Members {
+	// Group membership inline (owner, then the R−1 followers): ReadWith is
+	// the per-RPC failover wrapper on the batched read path, so the members
+	// slice Layout.Group builds would be a per-call allocation.
+	for k := 0; k < s.cfg.Layout.R; k++ {
+		mi := (rangeIdx + k) % s.cfg.Layout.N
 		if !s.health.Usable(mi) {
 			continue
 		}
-		rec, err := s.Member(mi).Read(lid)
+		err := fn(s.Member(mi))
 		if err == nil {
 			s.health.ReportOK(mi)
 			if tried > 0 {
 				s.readFailovers.Inc()
 			}
-			return rec, nil
+			return nil
 		}
 		if s.fatal(err) {
-			return nil, err
+			return err
 		}
 		s.health.ReportFailure(mi)
 		lastErr = err
@@ -286,7 +307,7 @@ func (s *Session) Read(lid uint64) (*core.Record, error) {
 	if lastErr == nil {
 		lastErr = fmt.Errorf("%w: range %d", ErrNoUsableGroup, rangeIdx)
 	}
-	return nil, lastErr
+	return lastErr
 }
 
 // Frontiers returns the per-range next-unfilled LIds computed over groups:
@@ -298,10 +319,13 @@ func (s *Session) Frontiers() ([]uint64, error) {
 	n := s.cfg.Layout.N
 	out := make([]uint64, n)
 	for r := 0; r < n; r++ {
-		g := s.cfg.Layout.Group(r)
 		found := false
 		var lastErr error
-		for _, mi := range g.Members {
+		// Group membership inline (owner, then the R−1 followers) rather
+		// than Layout.Group: Frontiers sits on the head-wait hot path and
+		// a per-range members slice is a measurable allocation there.
+		for k := 0; k < s.cfg.Layout.R; k++ {
+			mi := (r + k) % n
 			if !s.health.Usable(mi) {
 				continue
 			}

@@ -51,6 +51,7 @@ type Client interface {
 type Server struct {
 	mu       sync.Mutex
 	handlers map[uint8]Handler
+	detached map[uint8]bool
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -62,6 +63,7 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		handlers: make(map[uint8]Handler),
+		detached: make(map[uint8]bool),
 		conns:    make(map[net.Conn]struct{}),
 	}
 }
@@ -74,6 +76,22 @@ func (s *Server) Handle(msgType uint8, h Handler) {
 	}
 	s.mu.Lock()
 	s.handlers[msgType] = h
+	s.mu.Unlock()
+}
+
+// HandleDetached registers h like Handle, but frames of this type are
+// served in their own goroutine instead of the connection's in-order
+// serving loop. This is for handlers that may park (long-polls): a
+// detached request does not head-of-line-block the pipelined requests
+// behind it on the same connection — clients match responses by ReqID, so
+// out-of-order completion is already part of the protocol. Detached
+// handlers receive a private copy of the payload (the connection's read
+// scratch moves on underneath them) and therefore lose the FIFO ordering
+// guarantee relative to other requests on the connection.
+func (s *Server) HandleDetached(msgType uint8, h Handler) {
+	s.Handle(msgType, h)
+	s.mu.Lock()
+	s.detached[msgType] = true
 	s.mu.Unlock()
 }
 
@@ -160,11 +178,32 @@ func (s *Server) serveConn(conn net.Conn) {
 	rd := wire.NewReader(conn)
 	wbuf := wire.GetBuf()
 	defer wire.PutBuf(wbuf)
-	var writeMu sync.Mutex
+	writeMu := &sync.Mutex{}
 	for {
 		f, err := rd.Next()
 		if err != nil {
 			return
+		}
+		s.mu.Lock()
+		detached := s.detached[f.Type]
+		s.mu.Unlock()
+		if detached {
+			// The read scratch is reused by the next Next(), so the
+			// detached goroutine gets its own copy of the payload and its
+			// own write buffer; only the connection write lock is shared.
+			g := f
+			g.Payload = append([]byte(nil), f.Payload...)
+			go func() {
+				respType, resp := s.dispatch(g)
+				dbuf := wire.GetBuf()
+				writeMu.Lock()
+				// A write error here also poisons the serving loop's next
+				// write, which tears the connection down.
+				_ = wire.WriteBuf(conn, dbuf, g.ReqID, respType, resp)
+				writeMu.Unlock()
+				wire.PutBuf(dbuf)
+			}()
+			continue
 		}
 		respType, resp := s.dispatch(f)
 		writeMu.Lock()

@@ -235,3 +235,60 @@ func BenchmarkTCPCall(b *testing.B) {
 		}
 	}
 }
+
+// TestDetachedHandlerDoesNotBlockPipeline pins the property the flstore
+// tail subscription depends on: a long-poll handler registered with
+// HandleDetached parks on its own goroutine, so a pipelined request on the
+// same connection is served while the long-poll is still outstanding.
+func TestDetachedHandlerDoesNotBlockPipeline(t *testing.T) {
+	const msgPark uint8 = 4
+	s := NewServer()
+	s.Handle(msgEcho, func(p []byte) ([]byte, error) { return p, nil })
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.HandleDetached(msgPark, func(p []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		return append([]byte("woke:"), p...), nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	parked := make(chan error, 1)
+	var parkedResp []byte
+	go func() {
+		resp, err := c.Call(msgPark, []byte("tail"))
+		parkedResp = resp
+		parked <- err
+	}()
+	// Only proceed once the server has dispatched the long-poll, so the
+	// echo below genuinely shares the connection with a parked handler.
+	<-entered
+	resp, err := c.Call(msgEcho, []byte("ping"))
+	if err != nil {
+		t.Fatalf("pipelined echo behind parked long-poll: %v", err)
+	}
+	if string(resp) != "ping" {
+		t.Errorf("echo = %q", resp)
+	}
+	select {
+	case err := <-parked:
+		t.Fatalf("long-poll completed before release (err=%v)", err)
+	default:
+	}
+	close(release)
+	if err := <-parked; err != nil {
+		t.Fatal(err)
+	}
+	if string(parkedResp) != "woke:tail" {
+		t.Errorf("long-poll response = %q", parkedResp)
+	}
+}

@@ -184,42 +184,41 @@ func (g *ReaderGroup) Cursor(part int) uint64 {
 	return g.cursors[part]
 }
 
-// readPartition polls one maintainer for records between the cursor and
-// the head of the log, processes subscribed events in LId order, and
-// checkpoints after each batch.
+// readPartition subscribes one partition to the log: it parks on the
+// reader's head-advance long-poll (no fixed poll tick) and drains the
+// partition's share of each newly covered window with one batched range
+// read, processing subscribed events in LId order and checkpointing after
+// each batch. Every owned position at or below the window's head is
+// guaranteed delivered, so advancing the cursor to the head preserves
+// exactly-once processing.
 func (g *ReaderGroup) readPartition(part int) {
-	m := g.dc.Maintainers()[part]
+	reader := g.dc.Reader()
 	for {
 		select {
 		case <-g.stop:
 			return
 		default:
 		}
-		head, err := g.dc.Head()
+		g.mu.Lock()
+		cursor := g.cursors[part]
+		g.mu.Unlock()
+		// The bounded wait keeps Stop() responsive; a timed-out round
+		// simply re-parks.
+		head, err := reader.WaitHead(cursor+1, 5*time.Millisecond)
 		if err != nil {
 			g.fail(err)
 			return
 		}
-		g.mu.Lock()
-		cursor := g.cursors[part]
-		g.mu.Unlock()
 		if head <= cursor {
-			select {
-			case <-g.stop:
-				return
-			case <-time.After(500 * time.Microsecond):
-			}
 			continue
 		}
-		recs, err := m.Scan(core.Rule{MinLId: cursor + 1, MaxLId: head})
+		recs, err := reader.ReadRangeOwned(part, cursor+1, head)
 		if err != nil {
 			g.fail(err)
 			return
 		}
 		processedAny := false
-		highest := cursor
 		for _, rec := range recs {
-			highest = rec.LId
 			topic, ok := rec.TagValue(topicTagKey)
 			if !ok || (g.topics != nil && !g.topics[topic]) {
 				g.Skipped.Inc()
@@ -234,10 +233,10 @@ func (g *ReaderGroup) readPartition(part int) {
 			processedAny = true
 		}
 		g.mu.Lock()
-		g.cursors[part] = highest
+		g.cursors[part] = head
 		g.mu.Unlock()
 		if processedAny {
-			g.checkpoint(part, highest)
+			g.checkpoint(part, head)
 		}
 	}
 }

@@ -7,7 +7,33 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read api-snapshot api-check
+
+# The public surface of the client-facing packages, as sorted declaration
+# lines from `go doc -all`. api-check fails when the surface drifts from
+# the committed snapshot; regenerate deliberately with api-snapshot.
+API_PKGS = flstore chariots
+api_decl = $(GO) doc -all ./internal/$(1) | grep -E '^(func|type|var|const)' | LC_ALL=C sort
+
+api-snapshot:
+	@mkdir -p api
+	@for p in $(API_PKGS); do \
+		$(call api_decl,$$p) > api/$$p.txt || exit 1; \
+		echo "api/$$p.txt written"; \
+	done
+
+api-check:
+	@for p in $(API_PKGS); do \
+		$(call api_decl,$$p) > api/$$p.txt.got || exit 1; \
+		if ! diff -u api/$$p.txt api/$$p.txt.got; then \
+			rm -f api/$$p.txt.got; \
+			echo "API surface of internal/$$p drifted from api/$$p.txt."; \
+			echo "Run 'make api-snapshot' and commit if the change is intended."; \
+			exit 1; \
+		fi; \
+		rm -f api/$$p.txt.got; \
+	done
+	@echo "api surface matches snapshots"
 
 build:
 	$(GO) build ./...
@@ -21,7 +47,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test
+check: build vet test api-check
 	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject
 	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
 

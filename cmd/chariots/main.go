@@ -66,18 +66,20 @@ func main() {
 		senders   = flag.Int("senders", 2, "sender machines")
 		receivers = flag.Int("receivers", 2, "receiver machines")
 		indexers  = flag.Int("indexers", 1, "indexer machines (tag reads)")
+		credits   = flag.Int("credits", 0, "pipeline credit bound in records (0 = default 32768, negative = unbounded)")
+		shed      = flag.Bool("shed", false, "reject appends when the credit bound is hit instead of blocking")
 		metricsA  = flag.String("metrics", "", `metrics HTTP listen address ("" = ingest port + 100, "off" = disabled)`)
 		peers     = peerFlag{}
 	)
 	flag.Var(peers, "peer", "remote datacenter receiver endpoint, <dcid>=<host:port>; repeatable")
 	flag.Parse()
 
-	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, *metricsA, peers); err != nil {
+	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, *credits, *shed, *metricsA, peers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(self, dcs int, listen string, batchers, filters, queues, maints, senders, receivers, indexers int, metricsAddr string, peers peerFlag) error {
+func run(self, dcs int, listen string, batchers, filters, queues, maints, senders, receivers, indexers, credits int, shed bool, metricsAddr string, peers peerFlag) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -94,9 +96,11 @@ func run(self, dcs int, listen string, batchers, filters, queues, maints, sender
 		Filters:     filters,
 		Queues:      queues,
 		Maintainers: maints,
-		Senders:     senders,
-		Receivers:   receivers,
-		Indexers:    indexers,
+		Senders:          senders,
+		Receivers:        receivers,
+		Indexers:         indexers,
+		PipelineCredits:  credits,
+		ShedOnSaturation: shed,
 	})
 	if err != nil {
 		return err

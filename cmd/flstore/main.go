@@ -37,6 +37,7 @@ import (
 	"repro/internal/flstore"
 	"repro/internal/metrics"
 	"repro/internal/obsrv"
+	"repro/internal/ratelimit"
 	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
@@ -53,14 +54,17 @@ func main() {
 		metricsAddr  = flag.String("metrics", "", `metrics HTTP listen address ("" = controller port + 100, "off" = disabled)`)
 		replication  = flag.Int("replication", 1, "replicas per LId range (1 = unreplicated)")
 		ackPolicy    = flag.String("ack", "majority", "replication ack policy: one|majority|all")
+		admitRate    = flag.Float64("admit-rate", 0, "per-maintainer admission budget in records/sec (0 = unlimited)")
+		admitBurst   = flag.Int("admit-burst", 0, "admission token-bucket burst in records (0 = rate/10, min 64)")
+		backlog      = flag.Int("backlog", 0, "per-maintainer ingress backlog bound in records (0 = default 65536, negative = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr, *replication, *ackPolicy); err != nil {
+	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr, *replication, *ackPolicy, *admitRate, *admitBurst, *backlog); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string, replication int, ackPolicy string) error {
+func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string, replication int, ackPolicy string, admitRate float64, admitBurst, backlog int) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -128,13 +132,26 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 			seg.EnableMetrics(reg, metrics.L("maintainer", strconv.Itoa(i)))
 			st = seg
 		}
+		var limiter *ratelimit.Limiter
+		if admitRate > 0 {
+			b := admitBurst
+			if b <= 0 {
+				b = int(admitRate / 10)
+				if b < 64 {
+					b = 64
+				}
+			}
+			limiter = ratelimit.New(admitRate, b)
+		}
 		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
-			Index:       i,
-			Placement:   placement,
-			Store:       st,
-			Indexers:    indexerAPIs,
-			EnforceHead: true,
-			Replication: replication,
+			Index:             i,
+			Placement:         placement,
+			Store:             st,
+			Indexers:          indexerAPIs,
+			EnforceHead:       true,
+			Replication:       replication,
+			Limiter:           limiter,
+			MaxIngressBacklog: backlog,
 		})
 		if err != nil {
 			return err

@@ -46,12 +46,13 @@ func main() {
 		"hyksos":              runHyksos,
 		"failover":            runFailover,
 		"readpath":            runReadPath,
+		"overload":            runOverload,
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
-		"failover", "readpath",
+		"failover", "readpath", "overload",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -393,6 +394,46 @@ func runReadPath(dur time.Duration) error {
 	fmt.Println("wrote BENCH_readpath.json")
 	if res.TailSpeedup < 5 {
 		return fmt.Errorf("tail speedup %.1fx below the 5x acceptance bar", res.TailSpeedup)
+	}
+	return nil
+}
+
+func runOverload(dur time.Duration) error {
+	header("Extension — end-to-end backpressure & admission control",
+		"not in the paper's evaluation: 2x-saturating offered load with the pipeline credit bound + shed policy on vs the seed's unbounded ingress; bars: bounded in-flight records and bounded admitted-append p99 with admission on")
+	res, err := cluster.RunOverload(cluster.OverloadOptions{Duration: dur / 2})
+	if err != nil {
+		return err
+	}
+	for _, arm := range []cluster.OverloadArm{res.On, res.Off} {
+		mode := "off"
+		if arm.Admission {
+			mode = "on "
+		}
+		fmt.Printf("admission %s  offered %7d accepted %7d shed %7d | in-flight high water %6d | probe p50 %7.1fms p99 %7.1fms (%d probes, %d shed) | applied %7.0f recs/s\n",
+			mode, arm.Offered, arm.Accepted, arm.Shed, arm.CreditHighWater,
+			arm.ProbeP50Ms, arm.ProbeP99Ms, arm.ProbeCount, arm.ProbeSheds, arm.AppliedPerSec)
+	}
+	fmt.Printf("high-water ratio (off/on) %.1fx | p99 ratio (off/on) %.1fx\n", res.HighWaterRatio, res.P99Ratio)
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_overload.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_overload.json")
+	if res.On.CreditHighWater > res.Credits {
+		return fmt.Errorf("admission-on in-flight high water %d exceeds the %d-credit bound", res.On.CreditHighWater, res.Credits)
+	}
+	if res.HighWaterRatio < 2 {
+		return fmt.Errorf("in-flight high-water ratio %.1fx below the 2x acceptance bar (admission made no difference)", res.HighWaterRatio)
+	}
+	if res.On.ProbeP99Ms > 500 {
+		return fmt.Errorf("admission-on probe p99 %.1fms above the 500ms bound", res.On.ProbeP99Ms)
+	}
+	if res.P99Ratio < 2 {
+		return fmt.Errorf("p99 ratio %.1fx below the 2x acceptance bar (admission made no difference)", res.P99Ratio)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+package chariots
+
+// Credit-based pipeline flow control. The datacenter ingress (Inject)
+// acquires one credit per record; the credit is returned when the queue
+// stage applies the record to the log (queue.persist). Between those two
+// points the record occupies stage inboxes, batcher buffers, and the
+// queue's token work list — so the gate bounds exactly the memory the
+// pipeline can accumulate when a downstream stage (maintainer, store,
+// cross-DC replication) is slower than the offered load. When credits run
+// out, ingress either blocks (backpressure, the default) or sheds with a
+// retryable SaturationError, per Config.ShedOnSaturation.
+
+import "sync"
+
+// creditGate is a counting semaphore over in-flight records. A capacity of
+// 0 or less makes the gate counting-only: it never blocks or sheds but
+// still tracks in-flight and high-water marks for observability (the
+// admission-disabled arm of the overload experiment).
+type creditGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	inUse    int
+	maxInUse int
+	closed   bool
+	waits    uint64 // acquisitions that had to block
+	sheds    uint64 // records refused by tryAcquire
+}
+
+func newCreditGate(capacity int) *creditGate {
+	g := &creditGate{capacity: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until n credits are free (or the gate closes) and takes
+// them. Returns false only when the gate closed while waiting. A batch
+// larger than the whole capacity is admitted once the pipeline is empty —
+// oversized batches make progress instead of deadlocking.
+func (g *creditGate) acquire(n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	waited := false
+	for !g.closed && g.capacity > 0 && g.inUse > 0 && g.inUse+n > g.capacity {
+		if !waited {
+			waited = true
+			g.waits++
+		}
+		g.cond.Wait()
+	}
+	if g.closed {
+		return false
+	}
+	g.take(n)
+	return true
+}
+
+// tryAcquire takes n credits without blocking and reports whether it could.
+func (g *creditGate) tryAcquire(n int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	if g.capacity > 0 && g.inUse > 0 && g.inUse+n > g.capacity {
+		g.sheds += uint64(n)
+		return false
+	}
+	g.take(n)
+	return true
+}
+
+// take records n credits as in use. Caller holds mu.
+func (g *creditGate) take(n int) {
+	g.inUse += n
+	if g.inUse > g.maxInUse {
+		g.maxInUse = g.inUse
+	}
+}
+
+// release returns n credits and wakes waiting acquirers.
+func (g *creditGate) release(n int) {
+	g.mu.Lock()
+	g.inUse -= n
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// close wakes every blocked acquirer (shutdown); subsequent acquires fail.
+func (g *creditGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// snapshot returns the gate's counters for metrics and experiments.
+func (g *creditGate) snapshot() (inUse, maxInUse int, waits, sheds uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse, g.maxInUse, g.waits, g.sheds
+}
+
+// CreditStats is the observable state of the datacenter's credit gate.
+type CreditStats struct {
+	Capacity int    // 0 = unbounded (counting-only)
+	InUse    int    // records currently between ingress and apply
+	MaxInUse int    // high-water mark since start
+	Waits    uint64 // ingress calls that blocked for credits
+	Sheds    uint64 // records rejected under the shed policy
+}
+
+// CreditStats reports the pipeline credit gate's current state.
+func (dc *Datacenter) CreditStats() CreditStats {
+	g := dc.state.credits
+	if g == nil {
+		return CreditStats{}
+	}
+	inUse, maxInUse, waits, sheds := g.snapshot()
+	cap := dc.cfg.PipelineCredits
+	if cap < 0 {
+		cap = 0
+	}
+	return CreditStats{Capacity: cap, InUse: inUse, MaxInUse: maxInUse, Waits: waits, Sheds: sheds}
+}

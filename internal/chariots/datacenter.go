@@ -79,6 +79,20 @@ type Config struct {
 	// defaults to 8192.
 	ChannelDepth int
 
+	// PipelineCredits bounds the local records admitted at ingress but not
+	// yet applied to the log (credit-based flow control, DESIGN.md §8):
+	// when the pipeline holds this many in-flight records, Inject blocks —
+	// or sheds, per ShedOnSaturation — until the queues drain. Defaults to
+	// 32768; negative disables the bound (the gate still counts in-flight
+	// records for observability).
+	PipelineCredits int
+
+	// ShedOnSaturation selects the ingress policy at the credit bound:
+	// false (default) blocks the caller until credits free up
+	// (backpressure); true rejects immediately with a retryable
+	// SaturationError carrying a retry hint (admission control).
+	ShedOnSaturation bool
+
 	// Stores, when non-nil, supplies the maintainer backing stores
 	// (index-aligned); MemStores are used otherwise. Disk-backed
 	// deployments pass storage.OpenSegmentStore handles.
@@ -117,6 +131,9 @@ func (c *Config) setDefaults() error {
 		c.SendInterval = time.Millisecond
 	}
 	def(&c.ChannelDepth, 8192)
+	if c.PipelineCredits == 0 { // negative = explicitly unbounded
+		c.PipelineCredits = 32768
+	}
 	if c.Stores != nil && len(c.Stores) != c.Maintainers {
 		return fmt.Errorf("chariots: %d stores for %d maintainers", len(c.Stores), c.Maintainers)
 	}
@@ -161,6 +178,11 @@ func New(cfg Config) (*Datacenter, error) {
 	dc := &Datacenter{cfg: cfg, group: newStageGroup()}
 	dc.state = newDCState(cfg.Self, cfg.NumDCs, 0)
 	dc.state.feedEnabled = cfg.Senders > 0 && cfg.NumDCs > 1
+	creditCap := cfg.PipelineCredits
+	if creditCap < 0 {
+		creditCap = 0 // counting-only gate
+	}
+	dc.state.credits = newCreditGate(creditCap)
 
 	var err error
 	dc.routing, err = NewFilterRouting(cfg.NumDCs, cfg.Filters)
@@ -413,25 +435,61 @@ func (dc *Datacenter) Stop() {
 	for _, g := range dc.gossipers {
 		g.Stop()
 	}
+	dc.state.credits.close() // wake ingress calls blocked on credits
 	dc.group.halt()
 }
 
+// ingressShedHint is the retry hint attached to shed rejections: one flush
+// interval's worth of drain is the shortest wait after which the pipeline
+// can plausibly have freed credits.
+const ingressShedHint = time.Millisecond
+
 // Inject pushes a batch of records into a round-robin-selected batcher —
 // the entry point used by workload generators and the RPC ingestion
-// endpoint. It blocks when the pipeline is saturated (backpressure).
+// endpoint. It always uses the blocking policy: when the pipeline's credit
+// gate is exhausted it waits for the queues to drain (backpressure).
 func (dc *Datacenter) Inject(recs []*core.Record) {
+	_ = dc.inject(recs, false)
+}
+
+// TryInject is Inject under the shedding policy regardless of
+// Config.ShedOnSaturation: when the credit gate is exhausted it rejects
+// the whole batch with a retryable *SaturationError instead of blocking.
+func (dc *Datacenter) TryInject(recs []*core.Record) error {
+	return dc.inject(recs, true)
+}
+
+func (dc *Datacenter) inject(recs []*core.Record, shed bool) error {
+	g := dc.state.credits
+	if g != nil {
+		if shed {
+			if !g.tryAcquire(len(recs)) {
+				return &SaturationError{RetryAfter: ingressShedHint}
+			}
+		} else if !g.acquire(len(recs)) {
+			return ErrStopped
+		}
+	}
 	i := dc.rrBatcher.Add(1) - 1
 	b := dc.batchers[int(i%uint64(len(dc.batchers)))]
 	select {
 	case b.In() <- recs:
+		return nil
 	case <-dc.group.stop:
+		// The records never entered the pipeline; return their credits so
+		// concurrent acquirers racing shutdown are not wedged.
+		if g != nil {
+			g.release(len(recs))
+		}
+		return ErrStopped
 	}
 }
 
 // AppendAsync submits one record to the pipeline without waiting for its
-// ids. deps, when nil, defaults to the datacenter's current knowledge.
+// ids. Under the shed policy a saturated pipeline drops the record (the
+// gate's shed counter records it); the blocking policy waits for credits.
 func (dc *Datacenter) AppendAsync(body []byte, tags []core.Tag) {
-	dc.Inject([]*core.Record{dc.newLocalRecord(body, tags, nil)})
+	_ = dc.inject([]*core.Record{dc.newLocalRecord(body, tags, nil)}, dc.cfg.ShedOnSaturation)
 }
 
 // Append submits one record and waits until the pipeline applies it,
@@ -441,17 +499,21 @@ func (dc *Datacenter) Append(body []byte, tags []core.Tag) (AppendAck, error) {
 }
 
 // AppendDeps is Append with an explicit causal dependency vector (client
-// sessions use it to encode their reads).
+// sessions use it to encode their reads). Under the shed policy a
+// saturated pipeline returns a retryable *SaturationError immediately.
 func (dc *Datacenter) AppendDeps(body []byte, tags []core.Tag, deps []core.Dep) (AppendAck, error) {
 	rec := dc.newLocalRecord(body, tags, deps)
 	ch := make(chan AppendAck, 1)
 	dc.state.registerAck(rec, (chan<- AppendAck)(ch))
-	dc.Inject([]*core.Record{rec})
+	if err := dc.inject([]*core.Record{rec}, dc.cfg.ShedOnSaturation); err != nil {
+		dc.state.unregisterAck(rec)
+		return AppendAck{}, err
+	}
 	select {
 	case ack := <-ch:
 		return ack, nil
 	case <-dc.group.stop:
-		return AppendAck{}, errors.New("chariots: datacenter stopped")
+		return AppendAck{}, ErrStopped
 	}
 }
 

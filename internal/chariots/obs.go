@@ -128,6 +128,25 @@ func (dc *Datacenter) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("chariots_feed_records", func() float64 { return float64(len(dc.state.localFeed)) }, dcLbl)
 	reg.CounterFunc("chariots_applied_records_total", func() float64 { return float64(dc.AppliedCount()) }, dcLbl)
 
+	// Pipeline credit gate (DESIGN.md §8): capacity, records between
+	// ingress and apply, its high-water mark, and how often ingress blocked
+	// or shed.
+	reg.GaugeFunc("chariots_credit_capacity_records", func() float64 {
+		return float64(dc.CreditStats().Capacity)
+	}, dcLbl)
+	reg.GaugeFunc("chariots_credit_in_use_records", func() float64 {
+		return float64(dc.CreditStats().InUse)
+	}, dcLbl)
+	reg.GaugeFunc("chariots_credit_high_water_records", func() float64 {
+		return float64(dc.CreditStats().MaxInUse)
+	}, dcLbl)
+	reg.CounterFunc("chariots_credit_waits_total", func() float64 {
+		return float64(dc.CreditStats().Waits)
+	}, dcLbl)
+	reg.CounterFunc("chariots_credit_shed_total", func() float64 {
+		return float64(dc.CreditStats().Sheds)
+	}, dcLbl)
+
 	// Awareness: what this datacenter has applied of each host's records.
 	for host := 0; host < dc.cfg.NumDCs; host++ {
 		host := core.DCID(host)

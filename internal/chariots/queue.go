@@ -330,9 +330,11 @@ func (q *Queue) persist(recs []*core.Record, outs []chan []*core.Record, stop <-
 		}
 	}
 	ring := q.state.applyTimes.Load()
+	applied := 0
 	for _, rec := range recs {
 		q.state.atable.RecordApplied(rec.Host, rec.TOId)
 		if rec.Host == q.state.self {
+			applied++
 			if ring != nil {
 				ring.record(rec.TOId, time.Now().UnixNano())
 			}
@@ -348,5 +350,13 @@ func (q *Queue) persist(recs []*core.Record, outs []chan []*core.Record, stop <-
 				}
 			}
 		}
+	}
+	// Return pipeline credits for the local records now applied. Only local
+	// records acquire credits (Inject charges them; receivers do not), and
+	// every injected record reaches persist exactly once: filters pass
+	// fresh local records through unconditionally and the queue's duplicate
+	// drop only affects remote records — so the gate cannot leak.
+	if applied > 0 && q.state.credits != nil {
+		q.state.credits.release(applied)
 	}
 }

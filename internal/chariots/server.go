@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rpc"
@@ -108,7 +110,9 @@ func (rc *receiverClient) Deliver(snap Snapshot) error {
 // injected into the pipeline. The response carries no ids — over-the-wire
 // appends are fire-and-forget into the pipeline (§6.2's Application
 // clients "send it to any Batcher machine"); clients needing ids use the
-// in-process API or poll msgApplied.
+// in-process API or poll msgApplied. Under Config.ShedOnSaturation a
+// saturated pipeline rejects the batch with a SaturationError (the rpc
+// layer ships the retry hint; IngestClient reconstructs the type).
 func ServeIngest(srv *rpc.Server, dc *Datacenter) {
 	srv.Handle(msgIngest, func(p []byte) ([]byte, error) {
 		recs, _, err := core.DecodeRecordsShared(p)
@@ -121,8 +125,7 @@ func ServeIngest(srv *rpc.Server, dc *Datacenter) {
 			}
 			r.Host = dc.Self()
 		}
-		dc.Inject(recs)
-		return nil, nil
+		return nil, dc.inject(recs, dc.cfg.ShedOnSaturation)
 	})
 	srv.Handle(msgApplied, func(p []byte) ([]byte, error) {
 		return dc.Applied().AppendBinary(nil), nil
@@ -136,12 +139,36 @@ type IngestClient struct{ c rpc.Client }
 // NewIngestClient wraps an RPC client as an ingestion handle.
 func NewIngestClient(c rpc.Client) *IngestClient { return &IngestClient{c: c} }
 
-// Append ships fresh records into the remote pipeline.
+// Append ships fresh records into the remote pipeline. A saturated remote
+// under the shed policy returns a *SaturationError (retryable, with the
+// server's retry hint reconstructed from the wire).
 func (ic *IngestClient) Append(recs []*core.Record) error {
 	req := wire.GetBuf()
 	*req = core.AppendRecords(*req, recs)
 	_, err := ic.c.Call(msgIngest, *req)
 	wire.PutBuf(req)
+	return mapIngestError(err)
+}
+
+// mapIngestError reconstructs this package's typed errors from the flat
+// strings the rpc layer transports (same convention as flstore's
+// mapRemoteError).
+func mapIngestError(err error) error {
+	if err == nil || !rpc.IsRemote(err) {
+		return err
+	}
+	msg := err.Error()
+	if strings.Contains(msg, ErrPipelineSaturated.Error()) {
+		var h interface{ RetryAfterHint() time.Duration }
+		hint := time.Duration(0)
+		if errors.As(err, &h) {
+			hint = h.RetryAfterHint()
+		}
+		return &SaturationError{RetryAfter: hint}
+	}
+	if strings.Contains(msg, ErrStopped.Error()) {
+		return ErrStopped
+	}
 	return err
 }
 

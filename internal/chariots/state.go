@@ -41,6 +41,11 @@ type dcState struct {
 	// applyTimes, when set (EnableMetrics), records when each local TOId
 	// was applied, backing the wall-time replication-lag gauge.
 	applyTimes atomic.Pointer[applyTimeRing]
+
+	// credits bounds records between local ingress and apply (credit.go).
+	// Queues reach it through their state pointer to return credits at
+	// persist time.
+	credits *creditGate
 }
 
 func newDCState(self core.DCID, n int, feedDepth int) *dcState {
@@ -58,6 +63,12 @@ func newDCState(self core.DCID, n int, feedDepth int) *dcState {
 // registerAck arranges for ch to receive the record's ids once applied.
 func (s *dcState) registerAck(rec *core.Record, ch chan<- AppendAck) {
 	s.acks.Store(rec, ch)
+}
+
+// unregisterAck abandons a registration whose record was never admitted
+// (ingress shed), so the acks map does not accumulate dead entries.
+func (s *dcState) unregisterAck(rec *core.Record) {
+	s.acks.Delete(rec)
 }
 
 // fireAck delivers the ack for rec, if one is registered.

@@ -1,0 +1,200 @@
+package cluster
+
+// Overload experiment: the same 2×-saturating open-loop offered load is
+// driven into a datacenter whose maintainer stage is the bottleneck, once
+// with admission control on (a small pipeline credit bound and the shed
+// ingress policy) and once with it off (the credit gate in counting-only
+// mode — the seed's behaviour, where ingress queues everything the stage
+// channels can hold). The comparison behind the acceptance bars: with
+// admission on, both the records in flight inside the pipeline and the
+// latency of an admitted append stay bounded; with it off, the pipeline
+// fills every buffer and an append entering it waits behind all of them.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/workload"
+)
+
+// OverloadOptions configures the overload comparison.
+type OverloadOptions struct {
+	// MaintainerRate is the bottleneck stage's capacity (records/second).
+	MaintainerRate float64
+	// OverloadFactor scales the offered load relative to MaintainerRate
+	// (the acceptance scenario is 2×).
+	OverloadFactor float64
+	// Credits is the admission arm's pipeline credit bound (records).
+	Credits int
+	// Duration is the measured window per arm (after warmup).
+	Duration time.Duration
+	// RecordSize is the record body size.
+	RecordSize int
+}
+
+// OverloadArm is one measured arm of the comparison.
+type OverloadArm struct {
+	Admission bool `json:"admission"`
+	// Offered/Accepted/Shed count the open-loop generator's records.
+	Offered  uint64 `json:"offered"`
+	Accepted uint64 `json:"accepted"`
+	Shed     uint64 `json:"shed"`
+	// CreditHighWater is the most records the pipeline held between
+	// ingress and apply at any point.
+	CreditHighWater int `json:"credit_high_water"`
+	// Probe latencies are the time from an append being admitted at
+	// ingress to its AppendAck (shed rejections retry first and are
+	// counted in ProbeSheds, not in the latency).
+	ProbeCount int     `json:"probe_count"`
+	ProbeSheds uint64  `json:"probe_sheds"`
+	ProbeP50Ms float64 `json:"probe_p50_ms"`
+	ProbeP99Ms float64 `json:"probe_p99_ms"`
+	// AppliedPerSec is the log's achieved apply throughput.
+	AppliedPerSec float64 `json:"applied_per_sec"`
+}
+
+// OverloadResult is the two-arm comparison plus the derived ratios the
+// acceptance bars are stated over.
+type OverloadResult struct {
+	MaintainerRate float64     `json:"maintainer_rate"`
+	OfferedRate    float64     `json:"offered_rate"`
+	Credits        int         `json:"credits"`
+	On             OverloadArm `json:"admission_on"`
+	Off            OverloadArm `json:"admission_off"`
+	// HighWaterRatio is Off/On in-flight high water (bounding evidence).
+	HighWaterRatio float64 `json:"high_water_ratio"`
+	// P99Ratio is Off/On probe p99 (latency-bounding evidence).
+	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// runOverloadArm builds one single-DC pipeline with the maintainer stage
+// capped at opts.MaintainerRate, saturates it at OverloadFactor× with an
+// open-loop generator, and probes admitted-append latency closed-loop.
+func runOverloadArm(opts OverloadOptions, admission bool) (OverloadArm, error) {
+	arm := OverloadArm{Admission: admission}
+	cfg := chariots.Config{
+		Self:   0,
+		NumDCs: 1,
+		Rates:  chariots.StageRates{Maintainer: opts.MaintainerRate},
+	}
+	if admission {
+		cfg.PipelineCredits = opts.Credits
+		cfg.ShedOnSaturation = true
+	} else {
+		cfg.PipelineCredits = -1 // counting-only: the seed's unbounded ingress
+	}
+	dc, err := chariots.New(cfg)
+	if err != nil {
+		return arm, err
+	}
+	dc.Start()
+	defer dc.Stop()
+
+	// Open-loop offered load at OverloadFactor× the bottleneck capacity.
+	gen := &workload.OpenLoopGen{
+		TargetPerSec: opts.MaintainerRate * opts.OverloadFactor,
+		RecordSize:   opts.RecordSize,
+		BatchSize:    64,
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen.Run(func(recs []*core.Record) int {
+			if err := dc.TryInject(recs); err != nil {
+				return 0 // shed (or, admission off, never: credits unbounded)
+			}
+			return len(recs)
+		}, opts.Duration+opts.Duration/4)
+	}()
+
+	// Let the pipeline reach its saturated steady state before probing.
+	time.Sleep(opts.Duration / 4)
+
+	// Closed-loop probe: one append at a time, retrying shed rejections
+	// (paced by the server hint) until admitted, timing admission→ack.
+	var latencies []time.Duration
+	var probeSheds uint64
+	probeDeadline := time.Now().Add(opts.Duration)
+	for time.Now().Before(probeDeadline) {
+		start := time.Now()
+		_, err := dc.Append([]byte("probe"), nil)
+		if err != nil {
+			if flstore.IsRetryable(err) {
+				probeSheds++
+				d := flstore.RetryAfter(err)
+				if d <= 0 {
+					d = time.Millisecond
+				}
+				time.Sleep(d)
+				continue
+			}
+			wg.Wait()
+			return arm, err
+		}
+		latencies = append(latencies, time.Since(start))
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+
+	stats := dc.CreditStats()
+	arm.Offered = gen.Offered.Value()
+	arm.Accepted = gen.Accepted.Value()
+	arm.Shed = stats.Sheds
+	arm.CreditHighWater = stats.MaxInUse
+	arm.ProbeCount = len(latencies)
+	arm.ProbeSheds = probeSheds
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		arm.ProbeP50Ms = float64(latencies[len(latencies)/2]) / float64(time.Millisecond)
+		arm.ProbeP99Ms = float64(latencies[len(latencies)*99/100]) / float64(time.Millisecond)
+	}
+	arm.AppliedPerSec = float64(dc.AppliedCount()) / (opts.Duration + opts.Duration/4).Seconds()
+	// Drain what the pipeline still holds so Stop does not race the
+	// forwarders mid-batch (and the off arm's backlog empties).
+	dc.Quiesce(50*time.Millisecond, 30*time.Second)
+	return arm, nil
+}
+
+// RunOverload executes both arms and derives the comparison ratios.
+func RunOverload(opts OverloadOptions) (OverloadResult, error) {
+	if opts.MaintainerRate <= 0 {
+		opts.MaintainerRate = 20_000
+	}
+	if opts.OverloadFactor <= 0 {
+		opts.OverloadFactor = 2
+	}
+	if opts.Credits <= 0 {
+		opts.Credits = 2048
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	if opts.RecordSize <= 0 {
+		opts.RecordSize = 128
+	}
+	res := OverloadResult{
+		MaintainerRate: opts.MaintainerRate,
+		OfferedRate:    opts.MaintainerRate * opts.OverloadFactor,
+		Credits:        opts.Credits,
+	}
+	var err error
+	if res.On, err = runOverloadArm(opts, true); err != nil {
+		return res, fmt.Errorf("cluster: admission-on arm: %w", err)
+	}
+	if res.Off, err = runOverloadArm(opts, false); err != nil {
+		return res, fmt.Errorf("cluster: admission-off arm: %w", err)
+	}
+	if res.On.CreditHighWater > 0 {
+		res.HighWaterRatio = float64(res.Off.CreditHighWater) / float64(res.On.CreditHighWater)
+	}
+	if res.On.ProbeP99Ms > 0 {
+		res.P99Ratio = res.Off.ProbeP99Ms / res.On.ProbeP99Ms
+	}
+	return res, nil
+}

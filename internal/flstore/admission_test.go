@@ -1,0 +1,85 @@
+package flstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestBacklogAdmission fills the maintainer's out-of-order slot buffer past
+// MaxIngressBacklog and verifies client-facing appends are rejected with a
+// retryable, hint-carrying OverloadError — while the assigned-record path
+// (which drains holes) stays exempt, and draining reopens admission.
+func TestBacklogAdmission(t *testing.T) {
+	p := Placement{NumMaintainers: 1, BatchSize: 8}
+	m, err := NewMaintainer(MaintainerConfig{
+		Index:             0,
+		Placement:         p,
+		MaxIngressBacklog: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An assigned record for slot 2 with slots 0–1 empty parks as backlog —
+	// and must be admitted regardless of the bound (it is what fills holes).
+	if err := m.AppendAssigned([]*core.Record{{LId: 3, Body: []byte("c")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IngressBacklog(); got != 1 {
+		t.Fatalf("IngressBacklog = %d, want 1", got)
+	}
+
+	// A client append of 2 records would put the backlog at 3 > 2: rejected.
+	_, err = m.Append([]*core.Record{{Body: []byte("x")}, {Body: []byte("y")}})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("append over backlog bound = %v, want ErrOverloaded", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("backlog rejection %v not retryable", err)
+	}
+	if d := RetryAfter(err); d < time.Millisecond {
+		t.Fatalf("backlog rejection hint = %v, want >= 1ms", d)
+	}
+	if m.BacklogRejects.Value() == 0 {
+		t.Error("BacklogRejects counter not incremented")
+	}
+
+	// Filling the hole drains the buffered slot; admission reopens.
+	if err := m.AppendAssigned([]*core.Record{
+		{LId: 1, Body: []byte("a")}, {LId: 2, Body: []byte("b")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IngressBacklog(); got != 0 {
+		t.Fatalf("IngressBacklog after drain = %d, want 0", got)
+	}
+	if _, err := m.Append([]*core.Record{{Body: []byte("x")}, {Body: []byte("y")}}); err != nil {
+		t.Fatalf("append after drain = %v, want nil", err)
+	}
+}
+
+// TestBacklogDisabled pins the negative-bound escape hatch: admission never
+// rejects on backlog depth.
+func TestBacklogDisabled(t *testing.T) {
+	p := Placement{NumMaintainers: 1, BatchSize: 8}
+	m, err := NewMaintainer(MaintainerConfig{
+		Index:             0,
+		Placement:         p,
+		MaxIngressBacklog: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a deep backlog of out-of-order slots.
+	for lid := uint64(2); lid <= 6; lid++ {
+		if err := m.AppendAssigned([]*core.Record{{LId: lid, Body: []byte("z")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Append([]*core.Record{{Body: []byte("x")}}); err != nil {
+		t.Fatalf("append with backlog bound disabled = %v, want nil", err)
+	}
+}

@@ -41,13 +41,30 @@ type Client struct {
 	// DisableRangeRead forces the legacy read paths even when every
 	// maintainer supports batched reads — the comparison knob the
 	// read-path experiment and benchmarks flip.
+	//
+	// Deprecated: set at construction via NewClientWith and
+	// WithRangeReadDisabled instead of mutating the field.
 	DisableRangeRead bool
 
 	// ReadRetry configures how long reads wait for the head of the log
 	// to pass the requested position before giving up: up to ReadRetries
 	// attempts on a capped-exponential schedule seeded at RetryBackoff.
+	//
+	// Deprecated: set at construction via NewClientWith and
+	// WithReadRetries / WithRetryBackoff instead of mutating the fields.
 	ReadRetries  int
 	RetryBackoff time.Duration
+
+	// appendRetries/appendBackoff bound the overload-retry loop on the
+	// append path (0 retries = surface ErrOverloaded to the caller, the
+	// pre-admission-control behavior open-loop generators rely on);
+	// configured via WithAppendRetries / WithAppendBackoff.
+	appendRetries int
+	appendBackoff time.Duration
+	// pace is the AIMD governor honoring server retry-after hints; nil
+	// (the default) sends at the caller's rate. Enabled by
+	// WithAdaptivePacing.
+	pace *pacer
 }
 
 // readJitter is the shared jitter stream for read-retry backoff.
@@ -170,10 +187,11 @@ func (c *Client) initSession(r int, ack replica.AckPolicy) error {
 	}
 	p := c.placement
 	s, err := replica.NewSession(members, replica.SessionConfig{
-		Layout:  replica.Layout{N: p.NumMaintainers, R: r},
-		Ack:     ack,
-		Owner:   func(lid uint64) int { return p.Owner(lid) },
-		IsFatal: isLogicError,
+		Layout:      replica.Layout{N: p.NumMaintainers, R: r},
+		Ack:         ack,
+		Owner:       func(lid uint64) int { return p.Owner(lid) },
+		IsFatal:     isLogicError,
+		IsRetryable: IsRetryable,
 	})
 	if err != nil {
 		return err
@@ -201,8 +219,15 @@ func (c *Client) pickMaintainer() MaintainerAPI {
 // post-assigns the position (and, under replication, fans copies out to
 // the range's group before acknowledging per the ack policy).
 func (c *Client) Append(body []byte, tags []core.Tag) (uint64, error) {
+	return c.AppendCtx(context.Background(), body, tags)
+}
+
+// AppendCtx is Append with cancellation: ctx aborts pacing delays and the
+// overload-retry backoff between attempts (a request already in flight is
+// not interrupted — the RPC substrate has no cancel frame).
+func (c *Client) AppendCtx(ctx context.Context, body []byte, tags []core.Tag) (uint64, error) {
 	rec := &core.Record{Tags: tags, Body: body}
-	lids, err := c.AppendBatch([]*core.Record{rec})
+	lids, err := c.AppendBatchCtx(ctx, []*core.Record{rec})
 	if err != nil {
 		return 0, err
 	}
@@ -213,6 +238,55 @@ func (c *Client) Append(body []byte, tags []core.Tag) (uint64, error) {
 // their assigned LIds preserve the batch order (§5.4's same-maintainer
 // explicit ordering).
 func (c *Client) AppendBatch(recs []*core.Record) ([]uint64, error) {
+	return c.AppendBatchCtx(context.Background(), recs)
+}
+
+// AppendBatchCtx is AppendBatch with cancellation and admission handling:
+// when the maintainer rejects the batch with a retryable overload, the
+// client waits out the server's RetryAfter hint (or its own capped-jittered
+// backoff, whichever is longer) and retries up to WithAppendRetries times,
+// while the AIMD pacer (WithAdaptivePacing) spaces subsequent sends. With
+// the default options (no retries, no pacing) behavior is unchanged: one
+// attempt, errors surface to the caller.
+func (c *Client) AppendBatchCtx(ctx context.Context, recs []*core.Record) ([]uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := len(recs)
+	for attempt := 0; ; attempt++ {
+		if d := c.pace.delay(n); d > 0 {
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+		lids, err := c.appendOnce(recs)
+		if err == nil {
+			c.pace.onSuccess(n)
+			return lids, nil
+		}
+		if attempt >= c.appendRetries || !IsRetryable(err) {
+			return nil, err
+		}
+		hint := RetryAfter(err)
+		c.pace.onOverload(n, hint)
+		base := c.appendBackoff
+		if base <= 0 {
+			base = 2 * time.Millisecond
+		}
+		bo := rpc.Backoff{Base: base, Max: 16 * base, Factor: 2, Jitter: 0.2}
+		d := bo.Delay(attempt+1, jitterRnd)
+		if hint > d {
+			d = hint
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// appendOnce performs one append attempt over the session (replicated) or
+// the round-robin direct path.
+func (c *Client) appendOnce(recs []*core.Record) ([]uint64, error) {
 	if c.session != nil {
 		return c.session.Append(recs)
 	}
@@ -291,6 +365,12 @@ func (c *Client) ownerOf(lid uint64) (MaintainerAPI, error) {
 // the gossiped head (§5.4: a read at i must wait until no gap exists below
 // i). Under replication the read fails over across the owning group.
 func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
+	return c.ReadLIdCtx(context.Background(), lid)
+}
+
+// ReadLIdCtx is ReadLId with cancellation: ctx aborts the past-head retry
+// loop between attempts, returning ctx.Err().
+func (c *Client) ReadLIdCtx(ctx context.Context, lid uint64) (*core.Record, error) {
 	var read func() (*core.Record, error)
 	if c.session != nil {
 		p, err := PlacementAt(c.epochs, lid)
@@ -317,6 +397,9 @@ func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
 	bo := rpc.Backoff{Base: c.RetryBackoff, Max: 8 * c.RetryBackoff, Factor: 2, Jitter: 0.2}
 	var lastErr error
 	for attempt := 0; attempt <= c.ReadRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec, err := read()
 		if err == nil {
 			return rec, nil
@@ -326,7 +409,9 @@ func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
 			return nil, err
 		}
 		if c.RetryBackoff > 0 {
-			time.Sleep(bo.Delay(attempt+1, jitterRnd))
+			if err := sleepCtx(ctx, bo.Delay(attempt+1, jitterRnd)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return nil, lastErr
@@ -515,7 +600,7 @@ func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record)
 			if hi > head {
 				hi = head
 			}
-			window, err := c.readRange(cursor, hi)
+			window, err := c.readRange(ctx, cursor, hi)
 			if err != nil {
 				return err
 			}
@@ -550,7 +635,7 @@ func (c *Client) tailPoll(ctx context.Context, fromLId uint64, fn func(*core.Rec
 			return err
 		}
 		if head >= cursor {
-			window, err := c.readRange(cursor, head)
+			window, err := c.readRange(ctx, cursor, head)
 			if err != nil {
 				return err
 			}

@@ -53,6 +53,16 @@ func (c *Client) updateRangeCapable() {
 // guarantees positions at or below the head are gap-free, so the merged
 // window has no holes once every owner has answered.
 func (c *Client) ReadRange(lo, hi uint64) ([]*core.Record, error) {
+	return c.ReadRangeCtx(context.Background(), lo, hi)
+}
+
+// ReadRangeCtx is ReadRange with cancellation: ctx aborts the per-owner
+// continuation loops and the single-record safety net (including its
+// past-head backoff) between round trips, returning ctx.Err().
+func (c *Client) ReadRangeCtx(ctx context.Context, lo, hi uint64) ([]*core.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if lo == 0 {
 		lo = 1
 	}
@@ -66,19 +76,19 @@ func (c *Client) ReadRange(lo, hi uint64) ([]*core.Record, error) {
 	if hi < lo {
 		return nil, nil
 	}
-	return c.readRange(lo, hi)
+	return c.readRange(ctx, lo, hi)
 }
 
 // readRange is ReadRange after head clamping: hi must not exceed the head
 // of the log.
-func (c *Client) readRange(lo, hi uint64) ([]*core.Record, error) {
+func (c *Client) readRange(ctx context.Context, lo, hi uint64) ([]*core.Record, error) {
 	out := make([]*core.Record, hi-lo+1)
 	if c.rangeOK() {
 		owners := c.ownersIn(lo, hi)
 		if len(owners) == 1 {
 			// Single-owner windows (small ranges, per-partition readers)
 			// stay on the caller's goroutine.
-			if err := c.rangeFromOwner(owners[0], lo, hi, out); err != nil {
+			if err := c.rangeFromOwner(ctx, owners[0], lo, hi, out); err != nil {
 				return nil, err
 			}
 		} else {
@@ -90,10 +100,10 @@ func (c *Client) readRange(lo, hi uint64) ([]*core.Record, error) {
 				wg.Add(1)
 				go func(i, owner int) {
 					defer wg.Done()
-					errs[i] = c.rangeFromOwner(owner, lo, hi, out)
+					errs[i] = c.rangeFromOwner(ctx, owner, lo, hi, out)
 				}(i, owner)
 			}
-			err := c.rangeFromOwner(owners[0], lo, hi, out)
+			err := c.rangeFromOwner(ctx, owners[0], lo, hi, out)
 			wg.Wait()
 			if err != nil {
 				return nil, err
@@ -113,7 +123,7 @@ func (c *Client) readRange(lo, hi uint64) ([]*core.Record, error) {
 	// waiting. Positions ≤ head exist somewhere, so this terminates.
 	for i, r := range out {
 		if r == nil {
-			rec, err := c.ReadLId(lo + uint64(i))
+			rec, err := c.ReadLIdCtx(ctx, lo+uint64(i))
 			if err != nil {
 				return nil, err
 			}
@@ -161,9 +171,12 @@ func (c *Client) ownersIn(lo, hi uint64) []int {
 // owner's range) stops the worker and leaves the holes to readRange's
 // single-record safety net rather than reporting a healthy-but-behind
 // member as failed.
-func (c *Client) rangeFromOwner(owner int, lo, hi uint64, out []*core.Record) error {
+func (c *Client) rangeFromOwner(ctx context.Context, owner int, lo, hi uint64, out []*core.Record) error {
 	cursor := lo
 	for cursor <= hi {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		q := RangeQuery{Lo: cursor, Hi: hi, Range: owner}
 		var res RangeResult
 		if c.session != nil {
@@ -226,7 +239,7 @@ func (c *Client) ReadRangeOwned(owner int, lo, hi uint64) ([]*core.Record, error
 	}
 	window := make([]*core.Record, hi-lo+1)
 	if c.rangeOK() {
-		if err := c.rangeFromOwner(owner, lo, hi, window); err != nil {
+		if err := c.rangeFromOwner(context.Background(), owner, lo, hi, window); err != nil {
 			return nil, err
 		}
 	} else {
@@ -291,6 +304,16 @@ func (c *Client) readRangeScan(lo, hi uint64, out []*core.Record) error {
 // concurrently; anything an owner's response omits (not yet replicated at
 // the member that answered) falls back to the single-record path.
 func (c *Client) ReadLIds(lids []uint64) ([]*core.Record, error) {
+	return c.ReadLIdsCtx(context.Background(), lids)
+}
+
+// ReadLIdsCtx is ReadLIds with cancellation: ctx aborts the single-record
+// fallback loop (and its past-head backoff) between round trips, returning
+// ctx.Err().
+func (c *Client) ReadLIdsCtx(ctx context.Context, lids []uint64) ([]*core.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]*core.Record, len(lids))
 	if c.rangeOK() && len(lids) > 1 {
 		byOwner := make(map[int][]uint64)
@@ -325,7 +348,7 @@ func (c *Client) ReadLIds(lids []uint64) ([]*core.Record, error) {
 	}
 	for i, lid := range lids {
 		if out[i] == nil {
-			rec, err := c.ReadLId(lid)
+			rec, err := c.ReadLIdCtx(ctx, lid)
 			if err != nil {
 				return nil, err
 			}
@@ -450,7 +473,13 @@ func (c *Client) waitHead(ctx context.Context, cursor uint64, deadline time.Time
 		if poll > wait {
 			poll = wait
 		}
-		time.Sleep(poll)
+		if ctx != nil {
+			if err := sleepCtx(ctx, poll); err != nil {
+				return head, err
+			}
+		} else {
+			time.Sleep(poll)
+		}
 	}
 }
 
@@ -465,4 +494,15 @@ func (c *Client) WaitHead(lid uint64, timeout time.Duration) (uint64, error) {
 		deadline = time.Now().Add(timeout)
 	}
 	return c.waitHead(nil, lid, deadline)
+}
+
+// WaitHeadCtx is WaitHead with cancellation: ctx aborts the frontier
+// subscription loop between long-poll rounds, returning the last head
+// observed alongside ctx.Err().
+func (c *Client) WaitHeadCtx(ctx context.Context, lid uint64, timeout time.Duration) (uint64, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	return c.waitHead(ctx, lid, deadline)
 }

@@ -1,0 +1,132 @@
+package flstore
+
+// This file is the package's error taxonomy: every sentinel the append and
+// read paths can surface, the typed overload rejection carrying a pacing
+// hint, and the IsRetryable/RetryAfter helpers the client pacing layer and
+// the applications use instead of ad-hoc errors.Is chains.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// ErrOverloaded is returned when a maintainer's admission control rejects an
+// append — either the capacity limiter is out of tokens or the ingestion
+// backlog (explicit-order buffer + out-of-order slots) is at its bound.
+// Open-loop workload generators count these as dropped offered load (the
+// region past the saturation point in Figure 7); closed-loop clients honor
+// the attached RetryAfter hint (see OverloadError) and pace themselves.
+var ErrOverloaded = errors.New("flstore: maintainer overloaded")
+
+// ErrWrongMaintainer is returned when an operation names an LId owned by a
+// different maintainer; the client library routes by Placement, so seeing
+// this indicates a stale configuration.
+var ErrWrongMaintainer = errors.New("flstore: LId not owned by this maintainer")
+
+// ErrNotReplica is returned when a replica operation names a range this
+// maintainer neither owns nor follows under the configured replication
+// factor.
+var ErrNotReplica = errors.New("flstore: range not hosted by this maintainer")
+
+// ErrOrderBacklog is returned when the explicit-order buffer (§5.4) would
+// exceed its configured bound.
+var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
+
+// OverloadError is the typed form of ErrOverloaded: a rejection that also
+// tells the client when retrying is likely to succeed. It unwraps to
+// ErrOverloaded (so errors.Is keeps working) and implements the
+// RetryAfterHint interface the rpc layer encodes across the wire.
+type OverloadError struct {
+	// RetryAfter is the server's estimate of how long the client should
+	// wait before the rejected batch would be admitted: the limiter's
+	// token deficit, or a backlog-drain guess when the limiter is not the
+	// bottleneck. Zero means no estimate.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%s (retry after %v)", ErrOverloaded.Error(), e.RetryAfter)
+	}
+	return ErrOverloaded.Error()
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfterHint exposes the pacing hint; the rpc layer detects this
+// interface and carries the hint across the wire as an error-string suffix.
+func (e *OverloadError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// retryAfterHinter matches any error carrying a pacing hint — a local
+// *OverloadError, a *rpc.RemoteError whose message encodes one, or a
+// foreign package's typed rejection (e.g. chariots ingress shedding).
+type retryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// retryableMarker matches foreign typed errors that self-classify (e.g.
+// chariots' ingress-shed error) without this package importing them.
+type retryableMarker interface {
+	Retryable() bool
+}
+
+// IsRetryable reports whether err names a transient condition that a
+// client should retry (after pacing): maintainer overload, a read racing
+// the head of the log, a full explicit-order buffer, an under-acked
+// replicated append, or any error that marks itself retryable via a
+// `Retryable() bool` method. Configuration and logic errors (wrong
+// maintainer, duplicate LId, missing record) are not retryable.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrOrderBacklog) ||
+		errors.Is(err, core.ErrPastHead) ||
+		errors.Is(err, replica.ErrInsufficientAcks) {
+		return true
+	}
+	var r retryableMarker
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	return false
+}
+
+// RetryAfter extracts the server-provided pacing hint from err, or 0 when
+// none is attached. It sees through wrapping and through the rpc layer's
+// wire encoding, so callers can use it uniformly on local and remote
+// rejections.
+func RetryAfter(err error) time.Duration {
+	var h retryAfterHinter
+	if errors.As(err, &h) {
+		if d := h.RetryAfterHint(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Retry runs op up to 1+retries times, retrying only errors IsRetryable
+// classifies as transient and sleeping the server's RetryAfter hint (or
+// 1ms when none) between attempts. It is the uniform admission-rejection
+// handler for applications that want blocking semantics over a shedding
+// log (hyksos, streamproc, msgfutures); clients needing cancellation or
+// adaptive pacing use the Client's own retry loop instead.
+func Retry[T any](retries int, op func() (T, error)) (T, error) {
+	for attempt := 0; ; attempt++ {
+		v, err := op()
+		if err == nil || attempt >= retries || !IsRetryable(err) {
+			return v, err
+		}
+		d := RetryAfter(err)
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}

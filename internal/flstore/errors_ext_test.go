@@ -1,0 +1,134 @@
+package flstore_test
+
+// Taxonomy tests live outside the package so they can cover the
+// cross-package contract: chariots' ingress-shed error classifying through
+// flstore.IsRetryable / RetryAfter without an import cycle.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/ratelimit"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"overloaded sentinel", flstore.ErrOverloaded, true},
+		{"typed overload", &flstore.OverloadError{RetryAfter: time.Millisecond}, true},
+		{"wrapped overload", fmt.Errorf("append: %w", flstore.ErrOverloaded), true},
+		{"order backlog", flstore.ErrOrderBacklog, true},
+		{"past head", core.ErrPastHead, true},
+		{"insufficient acks", replica.ErrInsufficientAcks, true},
+		{"chariots saturation", &chariots.SaturationError{RetryAfter: time.Millisecond}, true},
+		{"wrong maintainer", flstore.ErrWrongMaintainer, false},
+		{"not replica", flstore.ErrNotReplica, false},
+		{"no such record", core.ErrNoSuchRecord, false},
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := flstore.IsRetryable(tc.err); got != tc.want {
+			t.Errorf("IsRetryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterExtraction(t *testing.T) {
+	if d := flstore.RetryAfter(&flstore.OverloadError{RetryAfter: 5 * time.Millisecond}); d != 5*time.Millisecond {
+		t.Errorf("typed hint = %v, want 5ms", d)
+	}
+	wrapped := fmt.Errorf("append: %w", &chariots.SaturationError{RetryAfter: 3 * time.Millisecond})
+	if d := flstore.RetryAfter(wrapped); d != 3*time.Millisecond {
+		t.Errorf("wrapped hint = %v, want 3ms", d)
+	}
+	if d := flstore.RetryAfter(flstore.ErrOverloaded); d != 0 {
+		t.Errorf("bare sentinel hint = %v, want 0", d)
+	}
+	if d := flstore.RetryAfter(nil); d != 0 {
+		t.Errorf("nil hint = %v, want 0", d)
+	}
+}
+
+// TestOverloadHintRoundTripRPC drives an overload rejection through the
+// real wire path: maintainer → rpc server → client stub. The typed error
+// must come back retryable with its hint intact.
+func TestOverloadHintRoundTripRPC(t *testing.T) {
+	p := flstore.Placement{NumMaintainers: 1, BatchSize: 100}
+	m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+		Index:     0,
+		Placement: p,
+		Limiter:   ratelimit.New(10, 1), // one-record budget, slow refill
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	flstore.ServeMaintainer(srv, m)
+	api := flstore.NewMaintainerClient(rpc.NewLocalClient(srv))
+
+	// Burst past the one-token budget until the limiter rejects.
+	var rejection error
+	for i := 0; i < 10; i++ {
+		if _, err := api.Append([]*core.Record{{Body: []byte("x")}}); err != nil {
+			rejection = err
+			break
+		}
+	}
+	if rejection == nil {
+		t.Fatal("no overload rejection after bursting a 1-token budget")
+	}
+	if !errors.Is(rejection, flstore.ErrOverloaded) {
+		t.Fatalf("rejection = %v, want ErrOverloaded", rejection)
+	}
+	if !flstore.IsRetryable(rejection) {
+		t.Fatalf("rejection %v not classified retryable", rejection)
+	}
+	if d := flstore.RetryAfter(rejection); d <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0 (hint lost across the wire)", d)
+	}
+}
+
+func TestRetryHelper(t *testing.T) {
+	attempts := 0
+	v, err := flstore.Retry(5, func() (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, &flstore.OverloadError{RetryAfter: time.Microsecond}
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 || attempts != 3 {
+		t.Fatalf("Retry = %d, %v after %d attempts; want 42, nil, 3", v, err, attempts)
+	}
+
+	// Non-retryable errors surface immediately.
+	attempts = 0
+	_, err = flstore.Retry(5, func() (int, error) {
+		attempts++
+		return 0, flstore.ErrWrongMaintainer
+	})
+	if !errors.Is(err, flstore.ErrWrongMaintainer) || attempts != 1 {
+		t.Fatalf("Retry on fatal = %v after %d attempts; want ErrWrongMaintainer, 1", err, attempts)
+	}
+
+	// Retries exhausted: the last error surfaces.
+	attempts = 0
+	_, err = flstore.Retry(2, func() (int, error) {
+		attempts++
+		return 0, &flstore.OverloadError{}
+	})
+	if !errors.Is(err, flstore.ErrOverloaded) || attempts != 3 {
+		t.Fatalf("Retry exhausted = %v after %d attempts; want ErrOverloaded, 3", err, attempts)
+	}
+}

@@ -16,24 +16,9 @@ import (
 	"repro/internal/storage"
 )
 
-// ErrOverloaded is returned when a maintainer's capacity limiter rejects an
-// append; open-loop workload generators count these as dropped offered load
-// (the region past the saturation point in Figure 7).
-var ErrOverloaded = errors.New("flstore: maintainer overloaded")
-
-// ErrWrongMaintainer is returned when an operation names an LId owned by a
-// different maintainer; the client library routes by Placement, so seeing
-// this indicates a stale configuration.
-var ErrWrongMaintainer = errors.New("flstore: LId not owned by this maintainer")
-
-// ErrNotReplica is returned when a replica operation names a range this
-// maintainer neither owns nor follows under the configured replication
-// factor.
-var ErrNotReplica = errors.New("flstore: range not hosted by this maintainer")
-
-// ErrOrderBacklog is returned when the explicit-order buffer (§5.4) would
-// exceed its configured bound.
-var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
+// The package's error sentinels (ErrOverloaded, ErrWrongMaintainer,
+// ErrNotReplica, ErrOrderBacklog) live in errors.go together with the
+// typed OverloadError and the IsRetryable/RetryAfter helpers.
 
 // MaintainerConfig configures one log maintainer.
 type MaintainerConfig struct {
@@ -67,6 +52,15 @@ type MaintainerConfig struct {
 	// MaxOrderBuffer bounds the records parked by AppendAfter; 0 uses a
 	// default of 4096.
 	MaxOrderBuffer int
+
+	// MaxIngressBacklog bounds the total ingestion backlog — explicit-order
+	// records plus out-of-order buffered slots across hosted ranges — above
+	// which client-facing appends (Append/AppendFor) are rejected with a
+	// retryable OverloadError instead of growing memory without bound. The
+	// replica and assigned-LId paths are exempt: rejecting them could
+	// deadlock the very drains that shrink the backlog. 0 uses a default of
+	// 65536 records; negative disables the bound.
+	MaxIngressBacklog int
 
 	// TailCacheSize is the capacity (records) of the tail ring serving
 	// range reads near the append frontier from memory. 0 uses a default
@@ -110,6 +104,10 @@ type Maintainer struct {
 	// orderBuf parks AppendAfter batches whose minimum-LId bound is not
 	// yet satisfiable.
 	orderBuf orderHeap
+	// pendingCount mirrors the number of records buffered ahead of the
+	// dense frontiers (Σ over hosted ranges of buffered slots) so the
+	// admission check reads the backlog in O(1) under mu.
+	pendingCount int
 
 	// tail caches recently appended records for the batched read path;
 	// nil when disabled.
@@ -125,6 +123,10 @@ type Maintainer struct {
 	Appended metrics.Counter
 	// Rejected counts records turned away by the capacity limiter.
 	Rejected metrics.Counter
+	// BacklogRejects counts records turned away because the ingestion
+	// backlog was at MaxIngressBacklog (the admission-control companion to
+	// the limiter-driven Rejected).
+	BacklogRejects metrics.Counter
 	// Read-path counters: range/multi-read calls and records served,
 	// tail long-polls, tail-ring hits/misses, ring-miss store scans, and
 	// full Scan calls (the legacy read path — a caught-up tail issues
@@ -159,6 +161,10 @@ func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label
 	m.readLatency = reg.Histogram("flstore_read_seconds", metrics.LatencyBuckets, lbls...)
 	reg.CounterFunc("flstore_appends_total", func() float64 { return float64(m.Appended.Value()) }, lbls...)
 	reg.CounterFunc("flstore_rejected_total", func() float64 { return float64(m.Rejected.Value()) }, lbls...)
+	reg.CounterFunc("flstore_admission_limiter_rejected_total", func() float64 { return float64(m.Rejected.Value()) }, lbls...)
+	reg.CounterFunc("flstore_admission_backlog_rejected_total", func() float64 { return float64(m.BacklogRejects.Value()) }, lbls...)
+	reg.GaugeFunc("flstore_admission_backlog_records", func() float64 { return float64(m.IngressBacklog()) }, lbls...)
+	reg.GaugeFunc("flstore_admission_backlog_budget_records", func() float64 { return float64(m.cfg.MaxIngressBacklog) }, lbls...)
 	reg.GaugeFunc("flstore_order_buffer_records", func() float64 { return float64(m.OrderBuffered()) }, lbls...)
 	reg.GaugeFunc("flstore_pending_assigned_slots", func() float64 { return float64(m.PendingAssigned()) }, lbls...)
 	reg.GaugeFunc("flstore_head_lid", func() float64 { return float64(m.currentHead()) }, lbls...)
@@ -201,6 +207,9 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	}
 	if cfg.MaxOrderBuffer == 0 {
 		cfg.MaxOrderBuffer = 4096
+	}
+	if cfg.MaxIngressBacklog == 0 {
+		cfg.MaxIngressBacklog = 65536
 	}
 	if cfg.TailCacheSize == 0 {
 		cfg.TailCacheSize = defaultTailCacheSize
@@ -266,14 +275,43 @@ func (m *Maintainer) advanceNextLocked(rangeIdx int, st *rangeState) {
 	}
 }
 
-// admit applies the capacity limiter to n records.
+// admit applies the capacity limiter to n records. The success path is
+// allocation-free; on rejection the error carries the limiter's token
+// deficit as the retry-after hint.
 func (m *Maintainer) admit(n int) error {
 	if m.cfg.Limiter.Allow(n) {
 		return nil
 	}
 	m.cfg.Limiter.Penalize(m.cfg.RejectPenalty * float64(n))
 	m.Rejected.Add(uint64(n))
-	return ErrOverloaded
+	return &OverloadError{RetryAfter: m.cfg.Limiter.Delay(n)}
+}
+
+// backlogOverloadLocked applies the ingestion-backlog budget to an n-record
+// client-facing append. Caller holds mu; returns nil when within budget.
+// The retry-after hint is the limiter's deficit when one is configured,
+// else a fixed drain guess — the backlog shrinks as replica/assigned
+// drains land, which admission cannot time precisely.
+func (m *Maintainer) backlogOverloadLocked(n int) error {
+	max := m.cfg.MaxIngressBacklog
+	if max <= 0 || m.orderBuf.size+m.pendingCount+n <= max {
+		return nil
+	}
+	m.BacklogRejects.Add(uint64(n))
+	hint := m.cfg.Limiter.Delay(n)
+	if hint <= 0 {
+		hint = time.Millisecond
+	}
+	return &OverloadError{RetryAfter: hint}
+}
+
+// IngressBacklog returns the current ingestion backlog the admission budget
+// is charged against: explicit-order records plus out-of-order buffered
+// slots.
+func (m *Maintainer) IngressBacklog() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.orderBuf.size + m.pendingCount
 }
 
 // Append implements MaintainerAPI: post-assignment of log positions in the
@@ -301,6 +339,10 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	if !ok {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	if err := m.backlogOverloadLocked(len(recs)); err != nil {
+		m.mu.Unlock()
+		return nil, err
 	}
 	for i, r := range recs {
 		if r.LId != 0 {
@@ -414,6 +456,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 			return fmt.Errorf("%w: %d", storage.ErrDuplicate, r.LId)
 		}
 		st.pending[slot] = append(st.pending[slot], r)
+		m.pendingCount++
 	}
 	// Drain the contiguous prefix.
 	var ready []*core.Record
@@ -428,6 +471,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		}
 		ready = append(ready, rs[0])
 		delete(st.pending, st.filled)
+		m.pendingCount--
 		st.filled++
 	}
 	m.advanceNextLocked(m.cfg.Index, st)
@@ -482,6 +526,7 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 			continue // duplicate of an in-flight copy
 		}
 		st.pending[slot] = []*core.Record{r}
+		m.pendingCount++
 		touched[rangeIdx] = st
 	}
 	var ready []*core.Record
@@ -493,6 +538,7 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 			}
 			ready = append(ready, rs[0])
 			delete(st.pending, st.filled)
+			m.pendingCount--
 			st.filled++
 		}
 		m.advanceNextLocked(rangeIdx, st)

@@ -609,7 +609,9 @@ func decodeLookup(buf []byte) (LookupQuery, error) {
 
 // mapRemoteError restores the identity of well-known sentinel errors that
 // crossed the wire as strings, so call sites can use errors.Is uniformly
-// whether the API is local or remote.
+// whether the API is local or remote. Overload rejections are rebuilt as
+// typed OverloadErrors carrying the retry-after hint the rpc layer decoded
+// from the message suffix.
 func mapRemoteError(err error) error {
 	if err == nil || !rpc.IsRemote(err) {
 		return err
@@ -621,7 +623,7 @@ func mapRemoteError(err error) error {
 	case strings.Contains(msg, core.ErrPastHead.Error()):
 		return fmt.Errorf("%w: %s", core.ErrPastHead, msg)
 	case strings.Contains(msg, ErrOverloaded.Error()):
-		return fmt.Errorf("%w (remote)", ErrOverloaded)
+		return &OverloadError{RetryAfter: RetryAfter(err)}
 	case strings.Contains(msg, storage.ErrDuplicate.Error()):
 		return fmt.Errorf("%w: %s", storage.ErrDuplicate, msg)
 	case strings.Contains(msg, ErrWrongMaintainer.Error()):

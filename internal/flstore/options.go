@@ -1,0 +1,98 @@
+package flstore
+
+// Functional options for Client construction. These supersede mutating the
+// exported knob fields (ReadRetries, RetryBackoff, DisableRangeRead) after
+// construction: options are applied once, before the client serves calls,
+// so there is no window where a concurrent reader sees a half-configured
+// client. The old fields keep working for existing callers.
+
+import (
+	"time"
+
+	"repro/internal/replica"
+)
+
+// ClientOption configures a Client at construction time.
+type ClientOption func(*Client)
+
+// WithReadRetries bounds how many attempts reads make while the requested
+// position is past the head of the log (default 50).
+func WithReadRetries(n int) ClientOption {
+	return func(c *Client) { c.ReadRetries = n }
+}
+
+// WithRetryBackoff sets the base of the capped-exponential schedule read
+// retries sleep on, and the legacy tail/poll tick (default 2ms; 0 disables
+// sleeping between read retries).
+func WithRetryBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.RetryBackoff = d }
+}
+
+// WithRangeReadDisabled forces the legacy single-record/scan read paths
+// even when every maintainer supports batched reads — the comparison knob
+// the read-path experiment and benchmarks flip.
+func WithRangeReadDisabled(v bool) ClientOption {
+	return func(c *Client) { c.DisableRangeRead = v }
+}
+
+// WithAppendRetries lets the append path retry a retryable rejection
+// (maintainer overload, insufficient acks) up to n times, honoring the
+// server's RetryAfter hint between attempts. Default 0: rejections surface
+// immediately, which is what open-loop load generators rely on to measure
+// dropped offered load.
+func WithAppendRetries(n int) ClientOption {
+	return func(c *Client) { c.appendRetries = n }
+}
+
+// WithAppendBackoff sets the base of the capped-jittered backoff between
+// append retries (default 2ms). The actual wait per attempt is the larger
+// of this schedule and the server's RetryAfter hint.
+func WithAppendBackoff(d time.Duration) ClientOption {
+	return func(c *Client) { c.appendBackoff = d }
+}
+
+// WithAdaptivePacing enables the AIMD send-rate governor: after the first
+// overload rejection the client spaces appends at the server's implied
+// admission rate, halving the allowance on each further rejection and
+// creeping it back up on success. Off by default.
+func WithAdaptivePacing() ClientOption {
+	return func(c *Client) { c.pace = &pacer{} }
+}
+
+// NewClientWith is NewClient plus construction-time options.
+func NewClientWith(ctrl ControllerAPI, opts ...ClientOption) (*Client, error) {
+	c, err := NewClient(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// NewDirectClientWith is NewDirectClient plus construction-time options —
+// the wiring simulations and tests use.
+func NewDirectClientWith(p Placement, maintainers []MaintainerAPI, indexers []IndexerAPI, opts ...ClientOption) (*Client, error) {
+	c, err := NewDirectClient(p, maintainers, indexers)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// NewReplicatedDirectClientWith is NewReplicatedDirectClient plus
+// construction-time options.
+func NewReplicatedDirectClientWith(p Placement, maintainers []MaintainerAPI, indexers []IndexerAPI, r int, ack replica.AckPolicy, opts ...ClientOption) (*Client, error) {
+	c, err := NewReplicatedDirectClient(p, maintainers, indexers, r, ack)
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}

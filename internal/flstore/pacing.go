@@ -1,0 +1,124 @@
+package flstore
+
+// Client-side adaptive pacing for the append path. A maintainer that
+// rejects a batch tells the client when to come back (OverloadError's
+// RetryAfter, carried across the wire by the rpc layer); the pacer turns
+// that per-rejection signal into a sustained send rate with AIMD dynamics:
+// halve the allowance on overload, creep it back up additively on success.
+// Until the first overload the pacer is inert — a client under a healthy
+// cluster pays one mutex acquisition per batch and no delays.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// pacer is a token-bucket rate governor whose rate is adapted by
+// overload/success feedback. A nil *pacer is valid and imposes no pacing.
+type pacer struct {
+	mu     sync.Mutex
+	rate   float64 // records/sec allowance; 0 until the first overload
+	tokens float64
+	last   time.Time
+}
+
+// paceFloor is the lowest allowance AIMD decrease can reach: even a
+// persistently saturated server is probed at least this often.
+const paceFloor = 1.0 // records/sec
+
+// paceIncrement is the additive-increase step (records/sec) applied per
+// successful batch: linear probing back toward the server's capacity after
+// a multiplicative cut.
+const paceIncrement = 16.0
+
+// delay returns how long the caller should wait before sending n records
+// under the current allowance (0 when unthrottled or within budget).
+func (p *pacer) delay(n int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rate <= 0 {
+		return 0
+	}
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() * p.rate
+	if burst := p.rate / 10; p.tokens > burst {
+		p.tokens = burst
+	}
+	p.last = now
+	p.tokens -= float64(n)
+	if p.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-p.tokens / p.rate * float64(time.Second))
+}
+
+// onSuccess applies additive increase after a batch was admitted.
+func (p *pacer) onSuccess(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.rate > 0 {
+		p.rate += paceIncrement
+	}
+	p.mu.Unlock()
+}
+
+// onOverload applies multiplicative decrease after a rejection. The first
+// overload seeds the allowance from the server's hint — n records were too
+// many for hint's worth of refill, so n/hint is the server's implied
+// admission rate.
+func (p *pacer) onOverload(n int, hint time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.rate <= 0 && hint > 0:
+		p.rate = float64(n) / hint.Seconds()
+	case p.rate <= 0:
+		p.rate = 1000 // no hint: start conservatively high and let AIMD find the level
+	default:
+		p.rate /= 2
+	}
+	if p.rate < paceFloor {
+		p.rate = paceFloor
+	}
+	p.tokens = 0
+	p.last = time.Now()
+}
+
+// currentRate reports the pacer's allowance (0 = unthrottled), for
+// instrumentation and tests.
+func (p *pacer) currentRate() float64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// PaceRate exposes the client's current AIMD allowance in records/sec
+// (0 when pacing is disabled or no overload has been observed yet).
+func (c *Client) PaceRate() float64 { return c.pace.currentRate() }
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,74 @@
+package flstore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerAIMD(t *testing.T) {
+	p := &pacer{}
+	if p.currentRate() != 0 {
+		t.Fatalf("fresh pacer rate = %v, want 0 (inert)", p.currentRate())
+	}
+	if d := p.delay(1000); d != 0 {
+		t.Fatalf("inert pacer delay = %v, want 0", d)
+	}
+
+	// First overload seeds from the server's implied admission rate:
+	// 100 records were too many for 100ms of refill → 1000 rec/s.
+	p.onOverload(100, 100*time.Millisecond)
+	if r := p.currentRate(); r != 1000 {
+		t.Fatalf("seeded rate = %v, want 1000", r)
+	}
+
+	// Further overloads halve (multiplicative decrease).
+	p.onOverload(100, 100*time.Millisecond)
+	if r := p.currentRate(); r != 500 {
+		t.Fatalf("halved rate = %v, want 500", r)
+	}
+
+	// Success creeps the allowance back up additively.
+	p.onSuccess(100)
+	if r := p.currentRate(); r != 500+paceIncrement {
+		t.Fatalf("increased rate = %v, want %v", r, 500+paceIncrement)
+	}
+
+	// Decrease is floored: a dead server is still probed.
+	for i := 0; i < 64; i++ {
+		p.onOverload(1, time.Millisecond)
+	}
+	if r := p.currentRate(); r != paceFloor {
+		t.Fatalf("floored rate = %v, want %v", r, paceFloor)
+	}
+}
+
+func TestPacerDelaysWhenOverBudget(t *testing.T) {
+	p := &pacer{}
+	p.onOverload(10, 10*time.Millisecond) // seed 1000 rec/s, tokens drained
+	d := p.delay(100)                     // 100 records at 1000/s ≈ 100ms owed
+	if d < 50*time.Millisecond || d > 200*time.Millisecond {
+		t.Fatalf("delay = %v, want ≈100ms", d)
+	}
+}
+
+func TestPacerNoOverloadNoDelay(t *testing.T) {
+	p := &pacer{}
+	for i := 0; i < 100; i++ {
+		if d := p.delay(1 << 20); d != 0 {
+			t.Fatalf("inert pacer delayed %v", d)
+		}
+		p.onSuccess(1 << 20)
+	}
+	if p.currentRate() != 0 {
+		t.Fatalf("success alone set a rate: %v", p.currentRate())
+	}
+}
+
+func TestPacerNilSafe(t *testing.T) {
+	var p *pacer
+	if p.delay(10) != 0 || p.currentRate() != 0 {
+		t.Fatal("nil pacer not inert")
+	}
+	p.onSuccess(1)
+	p.onOverload(1, time.Millisecond)
+}

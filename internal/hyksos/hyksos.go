@@ -13,8 +13,14 @@ import (
 
 	"repro/internal/chariots"
 	"repro/internal/core"
+	"repro/internal/flstore"
 	"repro/internal/vclock"
 )
+
+// putRetries bounds how many times a put is retried when the datacenter's
+// admission control sheds it (Config.ShedOnSaturation); waits between
+// attempts honor the server's retry hint via flstore.Retry.
+const putRetries = 8
 
 // keyTag namespaces the per-key index tag so each key gets its own posting
 // list at the indexers.
@@ -67,8 +73,10 @@ func (s *Store) NewSession() *Session {
 // dependencies, so everything the session has read happens-before this
 // put at every datacenter.
 func (s *Session) Put(key, value string) error {
-	ack, err := s.st.dc.AppendDeps([]byte(value),
-		[]core.Tag{{Key: keyTag(key), Value: value}}, s.observed.Deps())
+	ack, err := flstore.Retry(putRetries, func() (chariots.AppendAck, error) {
+		return s.st.dc.AppendDeps([]byte(value),
+			[]core.Tag{{Key: keyTag(key), Value: value}}, s.observed.Deps())
+	})
 	if err != nil {
 		return err
 	}
@@ -79,9 +87,11 @@ func (s *Session) Put(key, value string) error {
 
 // Delete writes a tombstone for key.
 func (s *Session) Delete(key string) error {
-	ack, err := s.st.dc.AppendDeps(nil,
-		[]core.Tag{{Key: keyTag(key), Value: ""}, {Key: "hyksos-tombstone", Value: "1"}},
-		s.observed.Deps())
+	ack, err := flstore.Retry(putRetries, func() (chariots.AppendAck, error) {
+		return s.st.dc.AppendDeps(nil,
+			[]core.Tag{{Key: keyTag(key), Value: ""}, {Key: "hyksos-tombstone", Value: "1"}},
+			s.observed.Deps())
+	})
 	if err != nil {
 		return err
 	}

@@ -24,10 +24,16 @@ import (
 
 	"repro/internal/chariots"
 	"repro/internal/core"
+	"repro/internal/flstore"
 	"repro/internal/metrics"
 )
 
 const txnTag = "msgfutures-txn"
+
+// commitRetries bounds how many shed rejections (the datacenter's
+// admission control under Config.ShedOnSaturation) Commit absorbs before
+// surfacing the error; waits honor the server's retry hint.
+const commitRetries = 8
 
 // ErrAborted is returned by Commit when the transaction lost a conflict.
 var ErrAborted = errors.New("msgfutures: transaction aborted")
@@ -384,7 +390,11 @@ func (t *Txn) Commit() error {
 		return nil // read-only transactions commit locally (snapshot reads)
 	}
 	body := encodeTxn(TxnRecord{Reads: t.reads, Writes: t.writes})
-	ack, err := t.m.dc.Append(body, []core.Tag{{Key: txnTag, Value: "1"}})
+	// A shed rejection (datacenter admission control) is not a verdict on
+	// the transaction — it never reached the log — so retry it paced.
+	ack, err := flstore.Retry(commitRetries, func() (chariots.AppendAck, error) {
+		return t.m.dc.Append(body, []core.Tag{{Key: txnTag, Value: "1"}})
+	})
 	if err != nil {
 		return err
 	}

@@ -121,6 +121,26 @@ func (l *Limiter) WaitN(n int) {
 	_ = l.Wait(context.Background(), n)
 }
 
+// Delay reports how long a caller should wait before n events are likely
+// to be admitted, without consuming any tokens. It is the admission-control
+// companion to Allow: a server that rejects a request can attach Delay(n)
+// as a retry-after hint so clients pace themselves to the configured rate
+// instead of hammering a saturated bucket. Returns 0 for a nil (unlimited)
+// limiter or when the bucket already holds n tokens.
+func (l *Limiter) Delay(n int) time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(time.Now())
+	deficit := float64(n) - l.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	return time.Duration(deficit / l.rate * float64(time.Second))
+}
+
 // Penalize unconditionally consumes frac tokens (which may drive the bucket
 // negative), modelling work wasted on requests that were ultimately
 // rejected: a saturated server still spends cycles reading and refusing

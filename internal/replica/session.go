@@ -56,6 +56,12 @@ type SessionConfig struct {
 	// rather than a member failure to fail over from (false). nil treats
 	// every error as a member failure.
 	IsFatal func(error) bool
+	// IsRetryable classifies an error as a transient admission rejection
+	// (e.g. maintainer overload) worth one paced retry during replica
+	// fan-out before the copy is counted as failed. nil disables the
+	// retry. A rejection is not a member failure: the member is healthy,
+	// just saturated, so it is never reported to the health tracker.
+	IsRetryable func(error) bool
 }
 
 // Session is the replication layer clients drive: it routes appends to an
@@ -77,6 +83,7 @@ type Session struct {
 	appendFailovers metrics.Counter
 	readFailovers   metrics.Counter
 	fanoutFailures  metrics.Counter
+	fanoutRetries   metrics.Counter
 	catchupRecords  metrics.Counter
 	ackLatency      *metrics.BucketHistogram
 }
@@ -112,6 +119,7 @@ func (s *Session) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
 	reg.CounterFunc("replica_append_failovers_total", func() float64 { return float64(s.appendFailovers.Value()) }, extra...)
 	reg.CounterFunc("replica_read_failovers_total", func() float64 { return float64(s.readFailovers.Value()) }, extra...)
 	reg.CounterFunc("replica_fanout_failures_total", func() float64 { return float64(s.fanoutFailures.Value()) }, extra...)
+	reg.CounterFunc("replica_fanout_retries_total", func() float64 { return float64(s.fanoutRetries.Value()) }, extra...)
 	reg.CounterFunc("replica_catchup_records_total", func() float64 { return float64(s.catchupRecords.Value()) }, extra...)
 	reg.CounterFunc("replica_evictions_total", func() float64 { return float64(s.health.Evictions.Value()) }, extra...)
 	reg.CounterFunc("replica_readmissions_total", func() float64 { return float64(s.health.Readmissions.Value()) }, extra...)
@@ -146,6 +154,39 @@ func (s *Session) SetMember(i int, m Member) {
 // fatal reports whether err should propagate rather than trigger failover.
 func (s *Session) fatal(err error) bool {
 	return s.cfg.IsFatal != nil && s.cfg.IsFatal(err)
+}
+
+// retryable reports whether err is a transient admission rejection.
+func (s *Session) retryable(err error) bool {
+	return s.cfg.IsRetryable != nil && s.cfg.IsRetryable(err)
+}
+
+// retryAfterHinter matches errors carrying a server pacing hint (flstore's
+// OverloadError locally, rpc.RemoteError across the wire) without this
+// package importing either.
+type retryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// maxFanoutRetryWait caps how long a fan-out goroutine honors a saturated
+// follower's hint — fan-out is synchronous with the append, so an
+// excessive hint must not stall the quorum wait.
+const maxFanoutRetryWait = 100 * time.Millisecond
+
+// fanoutRetryDelay converts a rejection into the pause before the single
+// fan-out retry.
+func fanoutRetryDelay(err error) time.Duration {
+	d := time.Millisecond
+	var h retryAfterHinter
+	if errors.As(err, &h) {
+		if hint := h.RetryAfterHint(); hint > d {
+			d = hint
+		}
+	}
+	if d > maxFanoutRetryWait {
+		d = maxFanoutRetryWait
+	}
+	return d
 }
 
 // ActingPrimary returns the member currently responsible for assigning
@@ -240,8 +281,17 @@ func (s *Session) fanOut(rangeIdx, actingPrimary int, recs []*core.Record) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.Member(mi).ReplicaAppend(recs); err != nil {
-				if !s.fatal(err) {
+			err := s.Member(mi).ReplicaAppend(recs)
+			if err != nil && s.retryable(err) {
+				// A saturated follower rejected the copy; wait out its
+				// pacing hint (capped) and try once more before giving the
+				// ack up — overload is load, not failure.
+				s.fanoutRetries.Inc()
+				time.Sleep(fanoutRetryDelay(err))
+				err = s.Member(mi).ReplicaAppend(recs)
+			}
+			if err != nil {
+				if !s.fatal(err) && !s.retryable(err) {
 					s.health.ReportFailure(mi)
 				}
 				s.fanoutFailures.Inc()

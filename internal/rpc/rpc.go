@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -108,7 +110,7 @@ func (s *Server) dispatch(f wire.Frame) (uint8, []byte) {
 	if m == nil {
 		resp, err := h(f.Payload)
 		if err != nil {
-			return msgError, []byte(err.Error())
+			return msgError, errorPayload(err)
 		}
 		return f.Type, resp
 	}
@@ -117,7 +119,7 @@ func (s *Server) dispatch(f wire.Frame) (uint8, []byte) {
 	resp, err := h(f.Payload)
 	respType := f.Type
 	if err != nil {
-		respType, resp = msgError, []byte(err.Error())
+		respType, resp = msgError, errorPayload(err)
 	}
 	m.observe(f.Type, len(f.Payload), len(resp), start, err != nil)
 	m.inflight.Dec()
@@ -355,6 +357,46 @@ func (e *RemoteError) Error() string { return e.Message }
 func IsRemote(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re)
+}
+
+// retryHinter is implemented by handler errors that carry an admission
+// retry-after hint (e.g. flstore's overload rejection). Errors stay string
+// frames on the wire, so the hint rides as a machine-readable suffix on the
+// error message and is recovered on the client side by RetryAfterHint.
+type retryHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// retryHintMark frames the hint suffix appended to msgError payloads:
+// "<message> [retry-after-ns=<int64>]".
+const retryHintMark = " [retry-after-ns="
+
+// errorPayload renders a handler error for the msgError frame, appending
+// the retry-after suffix when the error carries a hint.
+func errorPayload(err error) []byte {
+	msg := err.Error()
+	var h retryHinter
+	if errors.As(err, &h) {
+		if d := h.RetryAfterHint(); d > 0 {
+			return []byte(msg + retryHintMark + strconv.FormatInt(int64(d), 10) + "]")
+		}
+	}
+	return []byte(msg)
+}
+
+// RetryAfterHint implements the hint interface on the receiving side: it
+// parses the suffix errorPayload appended, so a RemoteError exposes the
+// same hint the handler's error carried. Returns 0 when none was encoded.
+func (e *RemoteError) RetryAfterHint() time.Duration {
+	i := strings.LastIndex(e.Message, retryHintMark)
+	if i < 0 || !strings.HasSuffix(e.Message, "]") {
+		return 0
+	}
+	ns, err := strconv.ParseInt(e.Message[i+len(retryHintMark):len(e.Message)-1], 10, 64)
+	if err != nil || ns <= 0 {
+		return 0
+	}
+	return time.Duration(ns)
 }
 
 // LocalClient is a Client that invokes a Server's handlers directly in

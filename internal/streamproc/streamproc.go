@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/chariots"
 	"repro/internal/core"
+	"repro/internal/flstore"
 	"repro/internal/metrics"
 )
 
@@ -48,9 +49,17 @@ func (p *Publisher) Publish(topic string, payload []byte) {
 	p.Published.Inc()
 }
 
-// PublishWait appends one event and returns its log ids.
+// publishRetries bounds how many shed rejections (the datacenter's
+// admission control under Config.ShedOnSaturation) PublishWait absorbs
+// before surfacing the error; waits honor the server's retry hint.
+const publishRetries = 8
+
+// PublishWait appends one event and returns its log ids, retrying paced
+// when the datacenter's admission control sheds the append.
 func (p *Publisher) PublishWait(topic string, payload []byte) (chariots.AppendAck, error) {
-	ack, err := p.dc.Append(payload, []core.Tag{{Key: topicTagKey, Value: topic}})
+	ack, err := flstore.Retry(publishRetries, func() (chariots.AppendAck, error) {
+		return p.dc.Append(payload, []core.Tag{{Key: topicTagKey, Value: topic}})
+	})
 	if err == nil {
 		p.Published.Inc()
 	}

@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read api-snapshot api-check
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read trace-smoke api-snapshot api-check
 
 # The public surface of the client-facing packages, as sorted declaration
 # lines from `go doc -all`. api-check fails when the surface drifts from
@@ -47,9 +47,17 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test api-check
+check: build vet test api-check trace-smoke
 	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject
 	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
+
+# trace-smoke proves the tracing layer end to end: the span trees of a
+# reduced tracelat run must cover client → pipeline → maintainer →
+# replica ack and attribute >= 90% of the measured append latency, and
+# the untraced append path must stay inside its allocation budgets.
+trace-smoke:
+	$(GO) test -run 'TraceSmoke' -count=1 ./internal/cluster
+	$(GO) test -run 'AllocBudget' -count=1 ./internal/flstore ./internal/chariots
 
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.

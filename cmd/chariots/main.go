@@ -29,12 +29,14 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/chariots"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obsrv"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 type peerFlag map[core.DCID]string
@@ -69,10 +71,15 @@ func main() {
 		credits   = flag.Int("credits", 0, "pipeline credit bound in records (0 = default 32768, negative = unbounded)")
 		shed      = flag.Bool("shed", false, "reject appends when the credit bound is hit instead of blocking")
 		metricsA  = flag.String("metrics", "", `metrics HTTP listen address ("" = ingest port + 100, "off" = disabled)`)
+		trSample  = flag.Uint("trace-sample", 1024, "record one in N operations into the flight recorder (0 = tracing off)")
+		trSlow    = flag.Duration("trace-slow", 50*time.Millisecond, "force-sample and log operations slower than this (0 = disabled)")
 		peers     = peerFlag{}
 	)
 	flag.Var(peers, "peer", "remote datacenter receiver endpoint, <dcid>=<host:port>; repeatable")
 	flag.Parse()
+	trace.SetSampling(uint32(*trSample))
+	trace.SetSlowOpThreshold(*trSlow)
+	trace.SetNodeName(fmt.Sprintf("dc%d@%s", *self, *listen))
 
 	if err := run(*self, *dcs, *listen, *batchers, *filters, *queues, *maints, *senders, *receivers, *indexers, *credits, *shed, *metricsA, peers); err != nil {
 		log.Fatal(err)
@@ -90,12 +97,12 @@ func run(self, dcs int, listen string, batchers, filters, queues, maints, sender
 	}
 
 	dc, err := chariots.New(chariots.Config{
-		Self:        core.DCID(self),
-		NumDCs:      dcs,
-		Batchers:    batchers,
-		Filters:     filters,
-		Queues:      queues,
-		Maintainers: maints,
+		Self:             core.DCID(self),
+		NumDCs:           dcs,
+		Batchers:         batchers,
+		Filters:          filters,
+		Queues:           queues,
+		Maintainers:      maints,
 		Senders:          senders,
 		Receivers:        receivers,
 		Indexers:         indexers,

@@ -41,6 +41,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -57,8 +58,13 @@ func main() {
 		admitRate    = flag.Float64("admit-rate", 0, "per-maintainer admission budget in records/sec (0 = unlimited)")
 		admitBurst   = flag.Int("admit-burst", 0, "admission token-bucket burst in records (0 = rate/10, min 64)")
 		backlog      = flag.Int("backlog", 0, "per-maintainer ingress backlog bound in records (0 = default 65536, negative = unbounded)")
+		traceSample  = flag.Uint("trace-sample", 1024, "record one in N operations into the flight recorder (0 = tracing off)")
+		traceSlow    = flag.Duration("trace-slow", 50*time.Millisecond, "force-sample and log operations slower than this (0 = disabled)")
 	)
 	flag.Parse()
+	trace.SetSampling(uint32(*traceSample))
+	trace.SetSlowOpThreshold(*traceSlow)
+	trace.SetNodeName("flstore@" + *listen)
 	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr, *replication, *ackPolicy, *admitRate, *admitBurst, *backlog); err != nil {
 		log.Fatal(err)
 	}

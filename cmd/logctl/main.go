@@ -9,13 +9,17 @@
 //	logctl -controller 127.0.0.1:7000 tail -from 1
 //	logctl -controller 127.0.0.1:7000 stats -interval 1s
 //	logctl -controller 127.0.0.1:7000 replicas
+//	logctl trace -nodes 127.0.0.1:7070,127.0.0.1:7071 -mindur 1ms
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -27,7 +31,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/flstore"
 	"repro/internal/metrics"
+	"repro/internal/obsrv"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,6 +43,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	// trace talks to the nodes' observability endpoints directly; it needs
+	// no controller session.
+	if args[0] == "trace" {
+		cmdTrace(args[1:])
+		return
+	}
+	// Operator operations are rare, so sample them all: the contexts
+	// propagate over the wire and the server-side spans land in the nodes'
+	// flight recorders, where `logctl trace` can find them afterwards.
+	trace.SetSampling(1)
 
 	conn, err := rpc.Dial(*controller)
 	if err != nil {
@@ -82,8 +98,84 @@ commands:
   tail [-from lid]                follow the log (ctrl-c to stop)
   stats [-interval d]             per-maintainer throughput and latency
   reads [-interval d]             per-maintainer read-path counters and cache hit ratio
-  replicas                        per-group replica membership, health, lag`)
+  replicas                        per-group replica membership, health, lag
+  trace -nodes a,b [-trace id] [-stage s] [-mindur d] [-budget]
+                                  join the nodes' flight recorders into span trees`)
 	os.Exit(2)
+}
+
+// cmdTrace fetches /debug/trace from every listed observability endpoint
+// and joins the dumps into cross-process span trees (or, with -budget, the
+// aggregated per-stage latency budget).
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	nodes := fs.String("nodes", "127.0.0.1:7070", "comma-separated obsrv addresses (host:port)")
+	traceID := fs.String("trace", "", "only spans of this trace id (hex)")
+	stage := fs.String("stage", "", "only spans of this stage")
+	mindur := fs.Duration("mindur", 0, "only spans at least this long")
+	limit := fs.Int("limit", 0, "most recent n spans per node (0 = all retained)")
+	budget := fs.Bool("budget", false, "print the per-stage latency budget instead of span trees")
+	fs.Parse(args)
+
+	q := url.Values{}
+	if *traceID != "" {
+		q.Set("trace", *traceID)
+	}
+	if *stage != "" {
+		q.Set("stage", *stage)
+	}
+	if *mindur > 0 {
+		q.Set("mindur", mindur.String())
+	}
+	if *limit > 0 {
+		q.Set("limit", strconv.Itoa(*limit))
+	}
+
+	var spans []trace.Span
+	for _, node := range strings.Split(*nodes, ",") {
+		node = strings.TrimSpace(node)
+		if node == "" {
+			continue
+		}
+		u := "http://" + node + "/debug/trace"
+		if enc := q.Encode(); enc != "" {
+			u += "?" + enc
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatalf("trace: fetching %s: %v", node, err)
+		}
+		var dump obsrv.TraceDump
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatalf("trace: decoding %s: %v", node, err)
+		}
+		spans = append(spans, dump.Spans...)
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans retained (is sampling enabled on the nodes?)")
+		return
+	}
+	if *budget {
+		b := trace.ComputeBudget(spans)
+		fmt.Printf("traces=%d coverage=%.1f%%\n", b.Traces, 100*b.Coverage())
+		stages := make([]string, 0, len(b.StageNs))
+		for s := range b.StageNs {
+			stages = append(stages, s)
+		}
+		sort.Slice(stages, func(i, j int) bool { return b.StageNs[stages[i]] > b.StageNs[stages[j]] })
+		tbl := metrics.Table{Header: []string{"stage", "time", "queue", "share"}}
+		for _, s := range stages {
+			tbl.AddRow(s,
+				time.Duration(b.StageNs[s]).Round(time.Microsecond).String(),
+				time.Duration(b.QueueNs[s]).Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1f%%", 100*float64(b.StageNs[s])/float64(b.CoveredNs)))
+		}
+		fmt.Print(tbl.String())
+		return
+	}
+	trace.RenderText(os.Stdout, spans)
 }
 
 // tagFlags parses repeated -tag k=v arguments out of args, returning the

@@ -8,7 +8,8 @@
 //
 // Experiments: fig7, fig8, table2, table3, table4, table5, fig9,
 // ablation-sequencer, ablation-batchsize, ablation-gossip,
-// ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover.
+// ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover,
+// readpath, overload, tracelat.
 package main
 
 import (
@@ -47,12 +48,13 @@ func main() {
 		"failover":            runFailover,
 		"readpath":            runReadPath,
 		"overload":            runOverload,
+		"tracelat":            runTraceLat,
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
-		"failover", "readpath", "overload",
+		"failover", "readpath", "overload", "tracelat",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -394,6 +396,56 @@ func runReadPath(dur time.Duration) error {
 	fmt.Println("wrote BENCH_readpath.json")
 	if res.TailSpeedup < 5 {
 		return fmt.Errorf("tail speedup %.1fx below the 5x acceptance bar", res.TailSpeedup)
+	}
+	return nil
+}
+
+func runTraceLat(dur time.Duration) error {
+	header("Extension — stage-latency attribution from the flight recorder",
+		"not in the paper's evaluation: force-sampled appends through the replicated FLStore and the Chariots pipeline; bar: recorded spans attribute >= 90% of the client-measured end-to-end append latency")
+	appends := int(dur / (5 * time.Millisecond))
+	if appends < 100 {
+		appends = 100
+	}
+	res, err := cluster.RunTraceLat(cluster.TraceLatOptions{
+		Maintainers: 3,
+		Replication: 2,
+		Appends:     appends,
+	})
+	if err != nil {
+		return err
+	}
+	meanE2E := time.Duration(0)
+	if res.Appends > 0 {
+		meanE2E = time.Duration(res.MeasuredNs / int64(res.Appends))
+	}
+	fmt.Printf("appends %d | mean e2e %v | traces %d | span coverage %.1f%% of measured latency (bar: >= 90%%)\n",
+		res.Appends, meanE2E.Round(time.Microsecond), res.Traces, 100*res.Coverage)
+	tb := &metrics.Table{Header: []string{"stage", "total", "queue", "share"}}
+	for _, row := range res.Stages {
+		tb.AddRow(row.Stage,
+			time.Duration(row.TotalNs).Round(time.Microsecond).String(),
+			time.Duration(row.QueueNs).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f%%", 100*row.Share))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("pipeline stages traced: %s\n", strings.Join(res.PipelineStages, ", "))
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_trace.json", append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_trace.json")
+	if res.Coverage < 0.90 {
+		return fmt.Errorf("span coverage %.1f%% below the 90%% acceptance bar", 100*res.Coverage)
+	}
+	if !cluster.HasStages(res.AppendStages, "client.append", "rpc.call", "maint.store", "replica.ack") {
+		return fmt.Errorf("append trace missing lifecycle stages: got %v", res.AppendStages)
+	}
+	if !cluster.HasStages(res.PipelineStages, "dc.append", "pipe.batch", "pipe.filter", "pipe.queue") {
+		return fmt.Errorf("pipeline trace missing stages: got %v", res.PipelineStages)
 	}
 	return nil
 }

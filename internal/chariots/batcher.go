@@ -140,6 +140,9 @@ func (b *Batcher) flush(f int) {
 	if len(batch) == 0 {
 		return
 	}
+	// Buffer wait plus batching shows up as the pipe.batch span: the hop
+	// covers ingress → flush for each sampled record.
+	hopRecords(batch, "pipe.batch")
 	// Transmit, then charge the destination filter's NIC: a transfer
 	// that blocks on a full inbox must not consume NIC tokens, or the
 	// filter's egress share starves while records sit undelivered.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/flstore"
 	"repro/internal/ratelimit"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -503,16 +504,30 @@ func (dc *Datacenter) Append(body []byte, tags []core.Tag) (AppendAck, error) {
 // saturated pipeline returns a retryable *SaturationError immediately.
 func (dc *Datacenter) AppendDeps(body []byte, tags []core.Tag, deps []core.Dep) (AppendAck, error) {
 	rec := dc.newLocalRecord(body, tags, deps)
+	// The root span covers submit → applied ack; the record carries the
+	// child context through every pipeline stage, so stage hops parent
+	// under this root.
+	root, rtc := trace.BeginRoot(trace.New(), "dc.append")
+	if root.Sampled() {
+		rec.Trace = rtc
+	}
 	ch := make(chan AppendAck, 1)
 	dc.state.registerAck(rec, (chan<- AppendAck)(ch))
 	if err := dc.inject([]*core.Record{rec}, dc.cfg.ShedOnSaturation); err != nil {
 		dc.state.unregisterAck(rec)
+		out := "error"
+		if errors.Is(err, ErrPipelineSaturated) {
+			out = "overload"
+		}
+		root.Finish(trace.Default(), out, 0, 1)
 		return AppendAck{}, err
 	}
 	select {
 	case ack := <-ch:
+		root.Finish(trace.Default(), "", ack.LId, 1)
 		return ack, nil
 	case <-dc.group.stop:
+		root.Finish(trace.Default(), "cancel", 0, 1)
 		return AppendAck{}, ErrStopped
 	}
 }

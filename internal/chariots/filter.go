@@ -169,6 +169,9 @@ func (f *Filter) forward(out []*core.Record) {
 	if len(out) == 0 {
 		return
 	}
+	// The pipe.filter span covers batcher→filter transit plus championing
+	// (including any reorder-buffer wait for early arrivals).
+	hopRecords(out, "pipe.filter")
 	f.queueMu.Lock()
 	q := f.queues[int(f.rrQueue%uint64(len(f.queues)))]
 	f.rrQueue++

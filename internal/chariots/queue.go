@@ -317,6 +317,10 @@ func (q *Queue) applyOne(tok *Token, rec *core.Record) {
 // the senders. Maintainers buffer slot gaps internally, so out-of-order
 // arrival across queues' forwarders is safe.
 func (q *Queue) persist(recs []*core.Record, outs []chan []*core.Record, stop <-chan struct{}) {
+	// The pipe.queue span covers filter→queue transit, token wait, and LId
+	// assignment. Hop before the forwarders and the sender feed see the
+	// records — after this point rec.Trace is read-only.
+	hopRecords(recs, "pipe.queue")
 	groups := make(map[int][]*core.Record)
 	for _, rec := range recs {
 		owner := q.placement.Owner(rec.LId)

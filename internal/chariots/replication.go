@@ -59,6 +59,9 @@ func (r *Receiver) Deliver(snap Snapshot) error {
 				out = append(out, c)
 			}
 		}
+		// The receiving datacenter owns out (clones or adopted copies), so
+		// its pipeline stages chain spans onto the originating trace.
+		hopRecords(out, "pipe.recv")
 		r.mu.Lock()
 		dst := r.batchers[int(r.rr%uint64(len(r.batchers)))]
 		r.rr++
@@ -200,6 +203,9 @@ func (s *Sender) ship(recs []*core.Record) {
 	if len(recs) > 0 {
 		shipped = make([]*core.Record, len(recs))
 		copy(shipped, recs)
+		// Applied records are immutable here, so the span is recorded off
+		// a context copy without advancing the records' chains.
+		spanRecords(shipped, "pipe.send")
 	}
 	snap := Snapshot{From: s.state.self, Records: shipped, ATable: table}
 	for _, t := range targets {

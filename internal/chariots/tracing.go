@@ -1,0 +1,32 @@
+package chariots
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// hopRecords records one stage span per sampled record in the batch and
+// advances each record's context, so the next stage's span starts where
+// this one ends. Records in a pipeline batch come from independent appends
+// and carry independent sampling decisions; under 1-in-N sampling the loop
+// is a flag test per record and touches almost none of them. Callers must
+// own the records (no concurrent reader of rec.Trace yet).
+func hopRecords(recs []*core.Record, stage string) {
+	for _, r := range recs {
+		if r.Trace.Sampled() {
+			r.Trace.Hop(trace.Default(), stage, 0, "", r.LId, 1)
+		}
+	}
+}
+
+// spanRecords records one stage span per sampled record without advancing
+// the records' contexts — for stages that borrow applied records read-only
+// (the sender ships pointers into the local log) and must not mutate them.
+func spanRecords(recs []*core.Record, stage string) {
+	for _, r := range recs {
+		if r.Trace.Sampled() {
+			tc := r.Trace
+			tc.Hop(trace.Default(), stage, 0, "", r.LId, 1)
+		}
+	}
+}

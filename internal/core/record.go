@@ -11,6 +11,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // DCID identifies a datacenter. Datacenters are numbered densely from 0 so
@@ -52,6 +54,15 @@ type Record struct {
 	Deps []Dep
 	Tags []Tag
 	Body []byte
+
+	// Trace is the record's in-process trace context — transient pipeline
+	// metadata, NOT part of the record's identity: the codec does not
+	// serialize it (cross-process propagation rides the RPC envelope, see
+	// internal/rpc), and it is zero for unsampled records. Stages that
+	// carry a record across an async boundary hop this context; handlers
+	// that decode records off the wire restamp it from the envelope's
+	// context before handing the batch onward.
+	Trace trace.Ctx
 }
 
 // ID returns the global identity of the record, which is shared by all of
@@ -95,7 +106,7 @@ func (r *Record) DepOn(dc DCID) uint64 {
 // example, assigning the local LId to an external copy) without aliasing
 // the sender's buffers.
 func (r *Record) Clone() *Record {
-	c := &Record{LId: r.LId, TOId: r.TOId, Host: r.Host}
+	c := &Record{LId: r.LId, TOId: r.TOId, Host: r.Host, Trace: r.Trace}
 	if len(r.Deps) > 0 {
 		c.Deps = append([]Dep(nil), r.Deps...)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // ErrDropped is returned for a call the schedule chose to drop. It is a
@@ -193,20 +194,51 @@ type client struct {
 func (f *client) Call(msgType uint8, payload []byte) ([]byte, error) {
 	act, severed := f.ctl.decide(f.link)
 	if severed {
+		f.annotate(ActionReject, msgType, payload).End(trace.Default(), "reject", 0, 0)
 		return nil, fmt.Errorf("%w: %s", ErrSevered, f.link)
 	}
 	switch act {
 	case ActionDrop:
+		f.annotate(ActionDrop, msgType, payload).End(trace.Default(), "drop", 0, 0)
 		return nil, fmt.Errorf("%w: %s", ErrDropped, f.link)
 	case ActionDelay:
+		// The span brackets the injected sleep, so the delay shows up as
+		// an explicit fault.delay hop rather than unexplained rpc.call time.
+		sp := f.annotate(ActionDelay, msgType, payload)
 		f.ctl.opts.Sleep(f.ctl.opts.Delay)
+		sp.End(trace.Default(), "delay", 0, 0)
 	case ActionDup:
 		// Deliver twice; the first response is discarded (the duplicate a
 		// retransmitting network would produce). Errors on the duplicate
 		// are ignored — only the final delivery's outcome is reported.
+		f.annotate(ActionDup, msgType, payload).End(trace.Default(), "dup", 0, 0)
 		f.inner.Call(msgType, payload)
 	}
 	return f.inner.Call(msgType, payload)
+}
+
+// annotate opens a fault span on the call's trace context when the request
+// carries a sampled envelope, so injected faults appear in the span tree of
+// the traces they hit. Plain (untraced) calls return an inert span.
+func (f *client) annotate(act Action, msgType uint8, payload []byte) trace.Started {
+	tc, ok := rpc.TracedContext(msgType, payload)
+	if !ok || !tc.Sampled() {
+		return trace.Started{}
+	}
+	var stage string
+	switch act {
+	case ActionDrop:
+		stage = "fault.drop"
+	case ActionDelay:
+		stage = "fault.delay"
+	case ActionDup:
+		stage = "fault.dup"
+	case ActionReject:
+		stage = "fault.reject"
+	default:
+		return trace.Started{}
+	}
+	return trace.Begin(tc, stage)
 }
 
 // Close implements rpc.Client (passes through; sever state is unaffected).

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // echoClient is a minimal rpc.Client that records calls and echoes the
@@ -191,5 +192,35 @@ func TestClosepassesThrough(t *testing.T) {
 	}
 	if !inner.closed {
 		t.Error("Close did not reach inner client")
+	}
+}
+
+// TestFaultAnnotatesSpans verifies that drops on a traced call leave a
+// fault.* span on the call's trace in the flight recorder, while untraced
+// calls leave nothing.
+func TestFaultAnnotatesSpans(t *testing.T) {
+	ctl := New(Options{Seed: 7, DropP: 1})
+	inner := &echoClient{}
+	c := ctl.Wrap("dc0->dc1", inner)
+
+	tc := trace.Forced()
+	if _, err := rpc.CallTraced(c, &tc, 9, []byte("payload")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("traced call = %v, want ErrDropped", err)
+	}
+	spans := trace.Default().Snapshot(trace.Filter{Trace: tc.T, Stage: "fault.drop"})
+	if len(spans) != 1 {
+		t.Fatalf("fault.drop spans for trace = %d, want 1", len(spans))
+	}
+	if spans[0].Outcome != "drop" {
+		t.Errorf("span outcome = %q, want drop", spans[0].Outcome)
+	}
+
+	// An untraced call through the same dropping link records nothing new.
+	before := trace.Default().Total()
+	if _, err := c.Call(9, []byte("plain")); !errors.Is(err, ErrDropped) {
+		t.Fatalf("plain call = %v, want ErrDropped", err)
+	}
+	if after := trace.Default().Total(); after != before {
+		t.Errorf("untraced drop recorded %d spans", after-before)
 	}
 }

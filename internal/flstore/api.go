@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // MaintainerAPI is the operation surface of one log maintainer. Components
@@ -83,6 +84,11 @@ type RangeQuery struct {
 	// server's defaults. The server may truncate below either bound.
 	MaxRecords int
 	MaxBytes   int
+	// Trace is the read's trace context — transient, not serialized by
+	// the wire codec (cross-process propagation rides the RPC envelope;
+	// the server-side handler restamps it); the zero Ctx for unsampled
+	// reads.
+	Trace trace.Ctx
 }
 
 // RangeResult is one maintainer's answer to a RangeQuery.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Client is the linked library application clients use to talk to FLStore
@@ -253,18 +254,51 @@ func (c *Client) AppendBatchCtx(ctx context.Context, recs []*core.Record) ([]uin
 		return nil, err
 	}
 	n := len(recs)
+	// The root span covers the whole client-visible append; its
+	// pre-allocated id parents every downstream hop via the records'
+	// trace contexts. Unsampled appends pay one branch here (plus the
+	// slow-op arm) and skip every stamping loop below.
+	root, rtc := trace.BeginRoot(trace.New(), "client.append")
+	if root.Sampled() {
+		for _, r := range recs {
+			r.Trace = rtc
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		if d := c.pace.delay(n); d > 0 {
 			if err := sleepCtx(ctx, d); err != nil {
+				root.Finish(trace.Default(), "cancel", 0, n)
 				return nil, err
+			}
+			if root.Sampled() {
+				rtc.Hop(trace.Default(), "client.pace", int64(d), "", 0, n)
+				for _, r := range recs {
+					r.Trace = rtc
+				}
 			}
 		}
 		lids, err := c.appendOnce(recs)
 		if err == nil {
 			c.pace.onSuccess(n)
+			var lid0 uint64
+			if len(lids) > 0 {
+				lid0 = lids[0]
+			}
+			if root.Sampled() {
+				// Restamp the records' contexts at completion: a caller
+				// chaining a visibility-wait hop from rec.Trace then
+				// covers [append done, visible], not the append again.
+				end := time.Now().UnixNano()
+				for _, r := range recs {
+					r.Trace = rtc
+					r.Trace.At = end
+				}
+			}
+			root.Finish(trace.Default(), "", lid0, n)
 			return lids, nil
 		}
 		if attempt >= c.appendRetries || !IsRetryable(err) {
+			root.Finish(trace.Default(), appendOutcome(err), 0, n)
 			return nil, err
 		}
 		hint := RetryAfter(err)
@@ -279,7 +313,14 @@ func (c *Client) AppendBatchCtx(ctx context.Context, recs []*core.Record) ([]uin
 			d = hint
 		}
 		if err := sleepCtx(ctx, d); err != nil {
+			root.Finish(trace.Default(), "cancel", 0, n)
 			return nil, err
+		}
+		if root.Sampled() {
+			rtc.Hop(trace.Default(), "client.backoff", int64(d), "overload", 0, n)
+			for _, r := range recs {
+				r.Trace = rtc
+			}
 		}
 	}
 }
@@ -600,7 +641,10 @@ func (c *Client) Tail(ctx context.Context, fromLId uint64, fn func(*core.Record)
 			if hi > head {
 				hi = head
 			}
-			window, err := c.readRange(ctx, cursor, hi)
+			// Each tail window gets its own sampling decision, so a
+			// long-lived subscription contributes traces at the sample
+			// rate rather than one trace at start.
+			window, err := c.readRange(ctx, trace.New(), cursor, hi)
 			if err != nil {
 				return err
 			}
@@ -635,7 +679,7 @@ func (c *Client) tailPoll(ctx context.Context, fromLId uint64, fn func(*core.Rec
 			return err
 		}
 		if head >= cursor {
-			window, err := c.readRange(ctx, cursor, head)
+			window, err := c.readRange(ctx, trace.Ctx{}, cursor, head)
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/replica"
+	"repro/internal/trace"
 )
 
 // tailChunk bounds one scatter-gather window a tailing reader requests per
@@ -66,29 +67,37 @@ func (c *Client) ReadRangeCtx(ctx context.Context, lo, hi uint64) ([]*core.Recor
 	if lo == 0 {
 		lo = 1
 	}
+	// The root span covers head resolution plus the scatter-gather fan-out;
+	// the child context rides each RangeQuery so maintainer-side spans
+	// parent to it.
+	root, rtc := trace.BeginRoot(trace.New(), "client.read")
 	head, err := c.HeadExact()
 	if err != nil {
+		root.Finish(trace.Default(), "error", 0, 0)
 		return nil, err
 	}
 	if hi == 0 || hi > head {
 		hi = head
 	}
 	if hi < lo {
+		root.Finish(trace.Default(), "", hi, 0)
 		return nil, nil
 	}
-	return c.readRange(ctx, lo, hi)
+	recs, err := c.readRange(ctx, rtc, lo, hi)
+	root.Finish(trace.Default(), trace.Outcome(err, "error"), hi, len(recs))
+	return recs, err
 }
 
 // readRange is ReadRange after head clamping: hi must not exceed the head
 // of the log.
-func (c *Client) readRange(ctx context.Context, lo, hi uint64) ([]*core.Record, error) {
+func (c *Client) readRange(ctx context.Context, tc trace.Ctx, lo, hi uint64) ([]*core.Record, error) {
 	out := make([]*core.Record, hi-lo+1)
 	if c.rangeOK() {
 		owners := c.ownersIn(lo, hi)
 		if len(owners) == 1 {
 			// Single-owner windows (small ranges, per-partition readers)
 			// stay on the caller's goroutine.
-			if err := c.rangeFromOwner(ctx, owners[0], lo, hi, out); err != nil {
+			if err := c.rangeFromOwner(ctx, tc, owners[0], lo, hi, out); err != nil {
 				return nil, err
 			}
 		} else {
@@ -100,10 +109,10 @@ func (c *Client) readRange(ctx context.Context, lo, hi uint64) ([]*core.Record, 
 				wg.Add(1)
 				go func(i, owner int) {
 					defer wg.Done()
-					errs[i] = c.rangeFromOwner(ctx, owner, lo, hi, out)
+					errs[i] = c.rangeFromOwner(ctx, tc, owner, lo, hi, out)
 				}(i, owner)
 			}
-			err := c.rangeFromOwner(ctx, owners[0], lo, hi, out)
+			err := c.rangeFromOwner(ctx, tc, owners[0], lo, hi, out)
 			wg.Wait()
 			if err != nil {
 				return nil, err
@@ -171,13 +180,13 @@ func (c *Client) ownersIn(lo, hi uint64) []int {
 // owner's range) stops the worker and leaves the holes to readRange's
 // single-record safety net rather than reporting a healthy-but-behind
 // member as failed.
-func (c *Client) rangeFromOwner(ctx context.Context, owner int, lo, hi uint64, out []*core.Record) error {
+func (c *Client) rangeFromOwner(ctx context.Context, tc trace.Ctx, owner int, lo, hi uint64, out []*core.Record) error {
 	cursor := lo
 	for cursor <= hi {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		q := RangeQuery{Lo: cursor, Hi: hi, Range: owner}
+		q := RangeQuery{Lo: cursor, Hi: hi, Range: owner, Trace: tc}
 		var res RangeResult
 		if c.session != nil {
 			err := c.session.ReadWith(owner, func(mem replica.Member) error {
@@ -239,7 +248,7 @@ func (c *Client) ReadRangeOwned(owner int, lo, hi uint64) ([]*core.Record, error
 	}
 	window := make([]*core.Record, hi-lo+1)
 	if c.rangeOK() {
-		if err := c.rangeFromOwner(context.Background(), owner, lo, hi, window); err != nil {
+		if err := c.rangeFromOwner(context.Background(), trace.Ctx{}, owner, lo, hi, window); err != nil {
 			return nil, err
 		}
 	} else {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/replica"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // The package's error sentinels (ErrOverloaded, ErrWrongMaintainer,
@@ -328,10 +329,12 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	if len(recs) == 0 {
 		return nil, nil
 	}
+	tc := batchTrace(recs)
 	if h := m.appendLatency; h != nil {
-		defer h.ObserveSince(time.Now())
+		defer h.ObserveSinceEx(time.Now(), uint64(tc.T))
 	}
 	if err := m.admit(len(recs)); err != nil {
+		tc.Hop(trace.Default(), "maint.admit", 0, "overload", 0, len(recs))
 		return nil, err
 	}
 	m.mu.Lock()
@@ -342,6 +345,7 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	}
 	if err := m.backlogOverloadLocked(len(recs)); err != nil {
 		m.mu.Unlock()
+		tc.Hop(trace.Default(), "maint.admit", 0, "overload", 0, len(recs))
 		return nil, err
 	}
 	for i, r := range recs {
@@ -372,9 +376,17 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	}
 	m.mu.Unlock()
 
+	// The assign hop covers arrival (transit restamped by the wire
+	// handler, or the in-process hand-off) through position assignment;
+	// the store span wraps persistence, with fsync nested inside it by
+	// the segment store.
+	tc.Hop(trace.Default(), "maint.assign", 0, "", lids[0], len(recs))
+	sw := trace.Begin(tc, "maint.store")
 	if err := m.store.AppendBatch(recs); err != nil {
+		sw.End(trace.Default(), "error", lids[0], len(recs))
 		return nil, err
 	}
+	sw.End(trace.Default(), "", lids[0], len(recs))
 	m.cacheAppended(recs)
 	m.Appended.Add(uint64(len(recs)))
 	if err := m.postTags(recs); err != nil {
@@ -433,10 +445,12 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	tc := batchTrace(recs)
 	if h := m.appendLatency; h != nil {
-		defer h.ObserveSince(time.Now())
+		defer h.ObserveSinceEx(time.Now(), uint64(tc.T))
 	}
 	if err := m.admit(len(recs)); err != nil {
+		tc.Hop(trace.Default(), "maint.admit", 0, "overload", 0, len(recs))
 		return err
 	}
 	m.mu.Lock()
@@ -478,11 +492,19 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 	m.mu.Unlock()
 
 	if len(ready) == 0 {
+		// Parked ahead of the dense frontier: the batch is buffered, not
+		// stored — its store span is recorded by whichever later batch
+		// drains it.
+		tc.Hop(trace.Default(), "maint.ingest", 0, "buffered", recs[0].LId, len(recs))
 		return nil
 	}
+	tc.Hop(trace.Default(), "maint.ingest", 0, "", recs[0].LId, len(ready))
+	sw := trace.Begin(tc, "maint.store")
 	if err := m.store.AppendBatch(ready); err != nil {
+		sw.End(trace.Default(), "error", recs[0].LId, len(ready))
 		return err
 	}
+	sw.End(trace.Default(), "", recs[0].LId, len(ready))
 	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return m.postTags(ready)
@@ -499,10 +521,12 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	tc := batchTrace(recs)
 	if h := m.appendLatency; h != nil {
-		defer h.ObserveSince(time.Now())
+		defer h.ObserveSinceEx(time.Now(), uint64(tc.T))
 	}
 	if err := m.admit(len(recs)); err != nil {
+		tc.Hop(trace.Default(), "maint.admit", 0, "overload", 0, len(recs))
 		return err
 	}
 	m.mu.Lock()
@@ -546,11 +570,16 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 	m.mu.Unlock()
 
 	if len(ready) == 0 {
+		tc.Hop(trace.Default(), "replica.ingest", 0, "buffered", recs[0].LId, len(recs))
 		return nil
 	}
+	tc.Hop(trace.Default(), "replica.ingest", 0, "", recs[0].LId, len(ready))
+	sw := trace.Begin(tc, "maint.store")
 	if err := m.store.AppendBatch(ready); err != nil {
+		sw.End(trace.Default(), "error", recs[0].LId, len(ready))
 		return err
 	}
+	sw.End(trace.Default(), "", recs[0].LId, len(ready))
 	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -282,26 +283,31 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 	// The append handlers decode with DecodeRecordsShared: the request
 	// payload is borrowed (it aliases the connection's read scratch), and
 	// the arena decode materializes retainable records in O(1) allocations
-	// per batch.
-	srv.Handle(msgAppend, func(p []byte) ([]byte, error) {
+	// per batch. They register traced: the RPC envelope's trace context is
+	// restamped onto the decoded records (the codec doesn't carry it), so
+	// the maintainer's hops join the caller's trace; untraced requests
+	// reach the same handlers with the zero context.
+	srv.HandleTraced(msgAppend, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
+		stampRecords(recs, tc)
 		lids, err := m.Append(recs)
 		if err != nil {
 			return nil, err
 		}
 		return appendLIds(nil, lids), nil
 	})
-	srv.Handle(msgAppendAssigned, func(p []byte) ([]byte, error) {
+	srv.HandleTraced(msgAppendAssigned, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
+		stampRecords(recs, tc)
 		return nil, m.AppendAssigned(recs)
 	})
-	srv.Handle(msgAppendAfter, func(p []byte) ([]byte, error) {
+	srv.HandleTraced(msgAppendAfter, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		if len(p) < 8 {
 			return nil, errors.New("flstore: short AppendAfter request")
 		}
@@ -310,6 +316,7 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 		if err != nil {
 			return nil, err
 		}
+		stampRecords(recs, tc)
 		lids, err := m.AppendAfter(minLId, recs)
 		if err != nil {
 			return nil, err
@@ -376,7 +383,7 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 // detached: a parked long-poll must not head-of-line-block the pipelined
 // requests behind it on a shared connection.
 func serveRangeReadOps(srv *rpc.Server, rr RangeReadAPI) {
-	srv.Handle(msgReadRange, func(p []byte) ([]byte, error) {
+	srv.HandleTraced(msgReadRange, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		if len(p) < 28 {
 			return nil, errors.New("flstore: short ReadRange request")
 		}
@@ -386,6 +393,7 @@ func serveRangeReadOps(srv *rpc.Server, rr RangeReadAPI) {
 			Range:      int(int32(binary.LittleEndian.Uint32(p[16:]))),
 			MaxRecords: int(binary.LittleEndian.Uint32(p[20:])),
 			MaxBytes:   int(binary.LittleEndian.Uint32(p[24:])),
+			Trace:      *tc,
 		}
 		res, err := rr.ReadRange(q)
 		if err != nil {
@@ -422,7 +430,7 @@ func serveRangeReadOps(srv *rpc.Server, rr RangeReadAPI) {
 // serveReplicaOps registers the replication handlers for maintainers that
 // implement ReplicaAPI.
 func serveReplicaOps(srv *rpc.Server, r ReplicaAPI) {
-	srv.Handle(msgAppendFor, func(p []byte) ([]byte, error) {
+	srv.HandleTraced(msgAppendFor, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		if len(p) < 4 {
 			return nil, errors.New("flstore: short AppendFor request")
 		}
@@ -431,17 +439,19 @@ func serveReplicaOps(srv *rpc.Server, r ReplicaAPI) {
 		if err != nil {
 			return nil, err
 		}
+		stampRecords(recs, tc)
 		lids, err := r.AppendFor(rangeIdx, recs)
 		if err != nil {
 			return nil, err
 		}
 		return appendLIds(nil, lids), nil
 	})
-	srv.Handle(msgReplicaAppend, func(p []byte) ([]byte, error) {
+	srv.HandleTraced(msgReplicaAppend, func(tc *trace.Ctx, p []byte) ([]byte, error) {
 		recs, _, err := core.DecodeRecordsShared(p)
 		if err != nil {
 			return nil, err
 		}
+		stampRecords(recs, tc)
 		return nil, r.ReplicaAppend(recs)
 	})
 	srv.Handle(msgRangeFrontier, func(p []byte) ([]byte, error) {
@@ -645,9 +655,12 @@ func NewMaintainerClient(c rpc.Client) MaintainerAPI { return &maintainerClient{
 func (mc *maintainerClient) Append(recs []*core.Record) ([]uint64, error) {
 	// Encode the batch into a pooled buffer: Call only borrows the request
 	// payload for the call's duration, so it can go back to the pool after.
+	// The batch's trace context (if any) rides the traced envelope —
+	// CallTraced degrades to a plain Call for untraced batches.
+	tc := batchTrace(recs)
 	req := wire.GetBuf()
 	*req = core.AppendRecords(*req, recs)
-	resp, err := mc.c.Call(msgAppend, *req)
+	resp, err := rpc.CallTraced(mc.c, &tc, msgAppend, *req)
 	wire.PutBuf(req)
 	if err != nil {
 		return nil, mapRemoteError(err)
@@ -667,18 +680,20 @@ func (mc *maintainerClient) Append(recs []*core.Record) ([]uint64, error) {
 }
 
 func (mc *maintainerClient) AppendAssigned(recs []*core.Record) error {
+	tc := batchTrace(recs)
 	req := wire.GetBuf()
 	*req = core.AppendRecords(*req, recs)
-	_, err := mc.c.Call(msgAppendAssigned, *req)
+	_, err := rpc.CallTraced(mc.c, &tc, msgAppendAssigned, *req)
 	wire.PutBuf(req)
 	return mapRemoteError(err)
 }
 
 func (mc *maintainerClient) AppendAfter(minLId uint64, recs []*core.Record) ([]uint64, error) {
+	tc := batchTrace(recs)
 	req := wire.GetBuf()
 	*req = binary.LittleEndian.AppendUint64(*req, minLId)
 	*req = core.AppendRecords(*req, recs)
-	resp, err := mc.c.Call(msgAppendAfter, *req)
+	resp, err := rpc.CallTraced(mc.c, &tc, msgAppendAfter, *req)
 	wire.PutBuf(req)
 	if err != nil {
 		return nil, mapRemoteError(err)
@@ -752,10 +767,11 @@ func (mc *maintainerClient) Gossip(from int, next uint64) (uint64, error) {
 }
 
 func (mc *maintainerClient) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, error) {
+	tc := batchTrace(recs)
 	req := wire.GetBuf()
 	*req = binary.LittleEndian.AppendUint32(*req, uint32(rangeIdx))
 	*req = core.AppendRecords(*req, recs)
-	resp, err := mc.c.Call(msgAppendFor, *req)
+	resp, err := rpc.CallTraced(mc.c, &tc, msgAppendFor, *req)
 	wire.PutBuf(req)
 	if err != nil {
 		return nil, mapRemoteError(err)
@@ -773,9 +789,10 @@ func (mc *maintainerClient) AppendFor(rangeIdx int, recs []*core.Record) ([]uint
 }
 
 func (mc *maintainerClient) ReplicaAppend(recs []*core.Record) error {
+	tc := batchTrace(recs)
 	req := wire.GetBuf()
 	*req = core.AppendRecords(*req, recs)
-	_, err := mc.c.Call(msgReplicaAppend, *req)
+	_, err := rpc.CallTraced(mc.c, &tc, msgReplicaAppend, *req)
 	wire.PutBuf(req)
 	return mapRemoteError(err)
 }
@@ -813,7 +830,8 @@ func (mc *maintainerClient) ReadRange(q RangeQuery) (RangeResult, error) {
 	*req = binary.LittleEndian.AppendUint32(*req, uint32(int32(q.Range)))
 	*req = binary.LittleEndian.AppendUint32(*req, uint32(q.MaxRecords))
 	*req = binary.LittleEndian.AppendUint32(*req, uint32(q.MaxBytes))
-	resp, err := mc.c.Call(msgReadRange, *req)
+	tc := q.Trace
+	resp, err := rpc.CallTraced(mc.c, &tc, msgReadRange, *req)
 	wire.PutBuf(req)
 	if err != nil {
 		return RangeResult{}, mapRemoteError(err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Server-side defaults bounding one range-read response. A response the
@@ -151,7 +152,11 @@ func (m *Maintainer) ReadRange(q RangeQuery) (RangeResult, error) {
 		h.Observe(float64(len(res.Records)))
 	}
 	if h := m.readLatency; h != nil {
-		h.ObserveSince(start)
+		h.ObserveSinceEx(start, uint64(q.Trace.T))
+	}
+	if q.Trace.Sampled() {
+		tc := q.Trace
+		tc.Hop(trace.Default(), "read.range", 0, trace.Outcome(err, "error"), res.CoveredHi, len(res.Records))
 	}
 	return res, err
 }

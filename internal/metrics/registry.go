@@ -83,7 +83,22 @@ type BucketHistogram struct {
 	counts  []atomic.Uint64
 	total   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+
+	// Exemplar state: the slowest ObserveEx observation of the current
+	// window, with the trace id that produced it — the link from a
+	// histogram's tail to the flight recorder. Guarded by exMu; only the
+	// ObserveEx path touches it, so plain Observe stays lock-free.
+	exMu    sync.Mutex
+	exTrace uint64
+	exValue float64
+	exAt    int64 // unix nanos the current exemplar was installed
 }
+
+// exemplarWindow bounds how long an exemplar survives without being
+// beaten: after it, the next traced observation replaces it even if
+// faster, so the exposed trace id stays recent enough to still be in the
+// flight recorder's ring.
+const exemplarWindow = int64(time.Minute)
 
 // NewBucketHistogram returns a histogram with the given ascending upper
 // bounds (LatencyBuckets when nil).
@@ -121,6 +136,38 @@ func (h *BucketHistogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds
 
 // ObserveSince records the seconds elapsed since start.
 func (h *BucketHistogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveEx is Observe plus an exemplar: when traceID is non-zero and the
+// observation is the slowest of the current window (or the window
+// expired), the (value, traceID) pair is retained and exposed in the JSON
+// snapshot — the pointer from "this histogram has a slow tail" to "this
+// trace shows why". traceID 0 degrades to plain Observe.
+func (h *BucketHistogram) ObserveEx(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	h.exMu.Lock()
+	if v >= h.exValue || now-h.exAt > exemplarWindow {
+		h.exTrace, h.exValue, h.exAt = traceID, v, now
+	}
+	h.exMu.Unlock()
+}
+
+// ObserveSinceEx records the seconds elapsed since start with an
+// exemplar trace id (0 degrades to ObserveSince).
+func (h *BucketHistogram) ObserveSinceEx(start time.Time, traceID uint64) {
+	h.ObserveEx(time.Since(start).Seconds(), traceID)
+}
+
+// Exemplar returns the current exemplar (traceID 0 when none was ever
+// recorded).
+func (h *BucketHistogram) Exemplar() (traceID uint64, v float64) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exTrace, h.exValue
+}
 
 // Count returns the number of observations.
 func (h *BucketHistogram) Count() uint64 { return h.total.Load() }
@@ -455,6 +502,11 @@ type SeriesSnapshot struct {
 	Sum    float64   `json:"sum,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []uint64  `json:"counts,omitempty"`
+	// ExemplarTrace/ExemplarValue link the histogram to the flight
+	// recorder: the hex trace id of the slowest recent traced observation
+	// and its value (absent when no exemplar was recorded).
+	ExemplarTrace string  `json:"exemplar_trace,omitempty"`
+	ExemplarValue float64 `json:"exemplar_value,omitempty"`
 }
 
 // Quantile estimates the q-quantile of a histogram snapshot (0 for scalar
@@ -513,6 +565,10 @@ func (r *Registry) Snapshot() Snapshot {
 			ss.Sum = s.h.Sum()
 			ss.Bounds = append([]float64(nil), s.h.bounds...)
 			ss.Counts = s.h.bucketCounts()
+			if t, v := s.h.Exemplar(); t != 0 {
+				ss.ExemplarTrace = strconv.FormatUint(t, 16)
+				ss.ExemplarValue = v
+			}
 		}
 		out.Series = append(out.Series, ss)
 	}

@@ -1,9 +1,10 @@
 // Package obsrv is the operator-facing observability surface of a running
 // Chariots/FLStore process: one HTTP server exposing the process's metrics
 // registry (Prometheus text at /metrics, JSON at /metrics.json), liveness
-// and readiness at /healthz, and the Go runtime profiler under
-// /debug/pprof/. Every long-running binary (cmd/flstore, cmd/chariots)
-// mounts one of these next to its RPC endpoints.
+// and readiness at /healthz, the flight recorder at /debug/trace, and the
+// Go runtime profiler under /debug/pprof/. Every long-running binary
+// (cmd/flstore, cmd/chariots) mounts one of these next to its RPC
+// endpoints.
 package obsrv
 
 import (
@@ -13,10 +14,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Check is one named health probe. It returns nil when healthy; the error
@@ -26,6 +29,7 @@ type Check func() error
 // Server serves the observability endpoints for one process.
 type Server struct {
 	reg *metrics.Registry
+	rec *trace.Recorder
 	mux *http.ServeMux
 
 	mu     sync.Mutex
@@ -35,13 +39,15 @@ type Server struct {
 }
 
 // New returns a server over reg with no health checks registered (an empty
-// check set reports healthy).
+// check set reports healthy) serving the process-wide flight recorder at
+// /debug/trace.
 func New(reg *metrics.Registry) *Server {
-	s := &Server{reg: reg, checks: make(map[string]Check)}
+	s := &Server{reg: reg, rec: trace.Default(), checks: make(map[string]Check)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -50,6 +56,10 @@ func New(reg *metrics.Registry) *Server {
 	s.mux = mux
 	return s
 }
+
+// SetRecorder replaces the flight recorder /debug/trace serves (tests and
+// multi-recorder processes). Call before Start.
+func (s *Server) SetRecorder(r *trace.Recorder) { s.rec = r }
 
 // AddCheck registers (or replaces) a named health probe.
 func (s *Server) AddCheck(name string, c Check) {
@@ -108,6 +118,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(report)
+}
+
+// TraceDump is the /debug/trace response body: one node's retained spans
+// after filtering. logctl trace joins dumps from every node of a
+// deployment into one cross-process span tree.
+type TraceDump struct {
+	// Node names the process the dump came from.
+	Node string `json:"node"`
+	// Total counts spans ever recorded here, including ones the ring has
+	// since evicted.
+	Total uint64 `json:"total"`
+	// Spans are the retained matching spans, oldest first.
+	Spans []trace.Span `json:"spans"`
+}
+
+// handleTrace serves the flight recorder as JSON. Query parameters:
+// trace (hex trace id), stage (exact stage name), mindur (Go duration,
+// e.g. 50ms), limit (most recent N spans).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var f trace.Filter
+	q := r.URL.Query()
+	if v := q.Get("trace"); v != "" {
+		t, err := trace.ParseTraceID(v)
+		if err != nil {
+			http.Error(w, "bad trace id: "+v, http.StatusBadRequest)
+			return
+		}
+		f.Trace = t
+	}
+	f.Stage = q.Get("stage")
+	if v := q.Get("mindur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, "bad mindur: "+v, http.StatusBadRequest)
+			return
+		}
+		f.MinDur = int64(d)
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit: "+v, http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	dump := TraceDump{Node: s.rec.Node(), Total: s.rec.Total(), Spans: s.rec.Snapshot(f)}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(dump)
 }
 
 // Start binds addr (":0" for ephemeral) and serves in a background

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func startTestServer(t *testing.T) (*Server, string) {
@@ -56,16 +58,90 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsJSONEndpoint(t *testing.T) {
 	_, base := startTestServer(t)
-	code, body := get(t, base+"/metrics.json")
-	if code != http.StatusOK {
-		t.Fatalf("/metrics.json status = %d", code)
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
 	var snap metrics.Snapshot
-	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
 	if s := snap.Find("test_events_total", map[string]string{"kind": "a"}); s == nil || s.Value != 5 {
 		t.Errorf("snapshot counter = %+v", s)
+	}
+	if s := snap.Find("test_depth", nil); s == nil || s.Value != 3 || s.Kind != "gauge" {
+		t.Errorf("snapshot gauge = %+v", s)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(reg)
+	rec := trace.NewRecorder(128, "node-a")
+	s.SetRecorder(rec)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	base := "http://" + addr.String()
+
+	now := time.Now().UnixNano()
+	rec.Record(trace.Span{Trace: 0xabc, ID: 1, Stage: "client.append", Start: now, Dur: int64(20 * time.Millisecond)})
+	rec.Record(trace.Span{Trace: 0xabc, ID: 2, Parent: 1, Stage: "maint.store", Start: now + 1, Dur: int64(time.Millisecond)})
+	rec.Record(trace.Span{Trace: 0xdef, ID: 3, Stage: "client.append", Start: now + 2, Dur: int64(2 * time.Millisecond)})
+
+	dump := func(query string) TraceDump {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/trace" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/trace%s status = %d", query, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("/debug/trace Content-Type = %q", ct)
+		}
+		var d TraceDump
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return d
+	}
+
+	all := dump("")
+	if all.Node != "node-a" || all.Total != 3 || len(all.Spans) != 3 {
+		t.Fatalf("unfiltered dump = node %q total %d spans %d", all.Node, all.Total, len(all.Spans))
+	}
+	if byTrace := dump("?trace=abc"); len(byTrace.Spans) != 2 {
+		t.Errorf("trace filter returned %d spans", len(byTrace.Spans))
+	}
+	if byStage := dump("?stage=maint.store"); len(byStage.Spans) != 1 || byStage.Spans[0].ID != 2 {
+		t.Errorf("stage filter = %+v", byStage.Spans)
+	}
+	if slow := dump("?mindur=10ms"); len(slow.Spans) != 1 || slow.Spans[0].ID != 1 {
+		t.Errorf("mindur filter = %+v", slow.Spans)
+	}
+	if limited := dump("?limit=1"); len(limited.Spans) != 1 || limited.Spans[0].ID != 3 {
+		t.Errorf("limit filter = %+v", limited.Spans)
+	}
+	for _, q := range []string{"?trace=zzz", "?mindur=bogus", "?limit=-1"} {
+		if code, _ := get(t, base+"/debug/trace"+q); code != http.StatusBadRequest {
+			t.Errorf("/debug/trace%s status = %d, want 400", q, code)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrInsufficientAcks is returned when an append reached the acting
@@ -212,6 +213,7 @@ func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
 		return nil, nil
 	}
 	start := time.Now()
+	tc := batchCtx(recs)
 	n := s.cfg.Layout.N
 	// Up to N ranges × R members worth of retargets before giving up: a
 	// kill mid-append costs a few failed calls, never a failed append.
@@ -238,14 +240,20 @@ func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
 			continue
 		}
 		s.health.ReportOK(ap)
+		// The ack span covers the synchronous fan-out wait — the
+		// replication cost a client-visible append pays beyond the
+		// primary's assignment and store.
+		fo := trace.Begin(tc, "replica.ack")
 		acks := 1 + s.fanOut(rangeIdx, ap, recs)
 		if acks < s.cfg.Ack.Required(s.cfg.Layout.R) {
+			fo.End(trace.Default(), "acks", lids[0], len(recs))
 			return lids, fmt.Errorf("%w: %d of %d (range %d)", ErrInsufficientAcks,
 				acks, s.cfg.Ack.Required(s.cfg.Layout.R), rangeIdx)
 		}
+		fo.End(trace.Default(), "", lids[0], len(recs))
 		s.appends.Inc()
 		if h := s.ackLatency; h != nil {
-			h.ObserveSince(start)
+			h.ObserveSinceEx(start, uint64(tc.T))
 		}
 		return lids, nil
 	}
@@ -253,6 +261,18 @@ func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
 		return nil, fmt.Errorf("%w: last error: %v", ErrNoUsableGroup, lastErr)
 	}
 	return nil, ErrNoUsableGroup
+}
+
+// batchCtx returns the first sampled record's trace context (the zero
+// Ctx for an untraced batch) — one flag test per record, no allocation.
+// A batch shares its pipeline cost, so one context stands for all.
+func batchCtx(recs []*core.Record) trace.Ctx {
+	for _, r := range recs {
+		if r.Trace.Sampled() {
+			return r.Trace
+		}
+	}
+	return trace.Ctx{}
 }
 
 // primaryAppend routes the position-assigning append to member ap for

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -53,6 +54,7 @@ type Client interface {
 type Server struct {
 	mu       sync.Mutex
 	handlers map[uint8]Handler
+	traced   map[uint8]TracedHandler
 	detached map[uint8]bool
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -65,6 +67,7 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		handlers: make(map[uint8]Handler),
+		traced:   make(map[uint8]TracedHandler),
 		detached: make(map[uint8]bool),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -73,8 +76,8 @@ func NewServer() *Server {
 // Handle registers h for msgType. Registration must complete before the
 // server starts serving; re-registering a type replaces the handler.
 func (s *Server) Handle(msgType uint8, h Handler) {
-	if msgType == msgError {
-		panic("rpc: message type 0xFF is reserved")
+	if msgType == msgError || msgType == msgTraced {
+		panic("rpc: message types 0xFE and 0xFF are reserved")
 	}
 	s.mu.Lock()
 	s.handlers[msgType] = h
@@ -98,30 +101,55 @@ func (s *Server) HandleDetached(msgType uint8, h Handler) {
 }
 
 // dispatch runs the handler for one frame and returns the response frame's
-// type and payload.
+// type and payload. Traced envelope frames are unwrapped here: metrics and
+// handler lookup use the inner type, and the decoded context reaches
+// handlers registered with HandleTraced.
 func (s *Server) dispatch(f wire.Frame) (uint8, []byte) {
+	var tc trace.Ctx
+	innerType, payload := f.Type, f.Payload
+	if f.Type == msgTraced {
+		var err error
+		tc, innerType, payload, err = decodeTraced(f.Payload)
+		if err != nil {
+			return msgError, []byte("rpc: " + err.Error())
+		}
+	}
 	s.mu.Lock()
-	h, ok := s.handlers[f.Type]
+	h, ok := s.handlers[innerType]
+	th := s.traced[innerType]
 	m := s.metrics
 	s.mu.Unlock()
 	if !ok {
-		return msgError, []byte(fmt.Sprintf("rpc: no handler for message type %d", f.Type))
+		return msgError, []byte(fmt.Sprintf("rpc: no handler for message type %d", innerType))
 	}
+	invoke := func() ([]byte, error) {
+		if th != nil {
+			return th(&tc, payload)
+		}
+		return h(payload)
+	}
+	// The server-side rpc.serve span covers queueing plus handler time for
+	// sampled requests; handler-recorded hops nest inside it on the
+	// timeline, so budget attribution charges rpc.serve only for time the
+	// handler didn't itself account for.
+	sp := trace.Begin(tc, "rpc.serve")
 	if m == nil {
-		resp, err := h(f.Payload)
+		resp, err := invoke()
+		sp.End(trace.Default(), trace.Outcome(err, "error"), 0, 0)
 		if err != nil {
 			return msgError, errorPayload(err)
 		}
-		return f.Type, resp
+		return innerType, resp
 	}
 	m.inflight.Inc()
 	start := time.Now()
-	resp, err := h(f.Payload)
-	respType := f.Type
+	resp, err := invoke()
+	sp.End(trace.Default(), trace.Outcome(err, "error"), 0, 0)
+	respType := innerType
 	if err != nil {
 		respType, resp = msgError, errorPayload(err)
 	}
-	m.observe(f.Type, len(f.Payload), len(resp), start, err != nil)
+	m.observe(innerType, len(payload), len(resp), start, err != nil)
 	m.inflight.Dec()
 	return respType, resp
 }
@@ -186,8 +214,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		// Detachment is a property of the inner message type, so a traced
+		// envelope around a long-poll must be peeked before dispatch.
+		dtype, _ := TracedInnerType(f.Type, f.Payload)
 		s.mu.Lock()
-		detached := s.detached[f.Type]
+		detached := s.detached[dtype]
 		s.mu.Unlock()
 		if detached {
 			// The read scratch is reused by the next Next(), so the

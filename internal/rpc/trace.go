@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Trace propagation over the wire: a sampled call is wrapped in a
+// reserved envelope frame (msgTraced) whose payload prefixes the inner
+// message with the 17-byte trace header, so the framed protocol itself
+// is unchanged and unsampled traffic never pays for the header. The
+// server unwraps the envelope, reconstructs the trace context, and hands
+// it to the handler when one was registered with HandleTraced (plain
+// handlers still work — they just can't record spans).
+//
+// Envelope payload layout (little-endian):
+//
+//	u64 traceID | u64 spanID | u8 flags | u8 innerType | inner payload
+//
+// Only (T, S, F) cross the wire. The receiver restamps the context's At
+// at arrival, so network transit shows up as the queue component of the
+// first server-side hop rather than being misattributed to the sender.
+
+// msgTraced is the reserved envelope type for trace-carrying requests.
+const msgTraced uint8 = 0xFE
+
+// tracedHeaderLen is the envelope prefix: trace id, span id, flags,
+// inner message type.
+const tracedHeaderLen = 8 + 8 + 1 + 1
+
+var errShortTraced = errors.New("rpc: traced frame shorter than header")
+
+// appendTracedHeader prefixes dst with the envelope header for tc/inner.
+func appendTracedHeader(dst []byte, tc trace.Ctx, inner uint8) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.T))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.S))
+	dst = append(dst, tc.F, inner)
+	return dst
+}
+
+// decodeTraced unwraps an envelope payload into the trace context
+// (restamped at now), the inner message type, and the inner payload
+// (aliasing p).
+func decodeTraced(p []byte) (trace.Ctx, uint8, []byte, error) {
+	if len(p) < tracedHeaderLen {
+		return trace.Ctx{}, 0, nil, errShortTraced
+	}
+	tc := trace.Ctx{
+		T:  trace.TraceID(binary.LittleEndian.Uint64(p)),
+		S:  trace.SpanID(binary.LittleEndian.Uint64(p[8:])),
+		F:  p[16],
+		At: time.Now().UnixNano(),
+	}
+	return tc, p[17], p[tracedHeaderLen:], nil
+}
+
+// TracedHandler is a Handler that also receives the caller's trace
+// context. The context is the zero Ctx (unsampled) when the request
+// arrived without an envelope; handlers record spans only through it, so
+// the unsampled path stays branch-and-return. Handlers may advance the
+// context (Hop) freely — it is private to the request.
+type TracedHandler func(tc *trace.Ctx, payload []byte) ([]byte, error)
+
+// HandleTraced registers h for msgType for both plain and traced
+// requests: envelope frames reach it with the decoded context, plain
+// frames with the zero context.
+func (s *Server) HandleTraced(msgType uint8, h TracedHandler) {
+	s.Handle(msgType, func(p []byte) ([]byte, error) {
+		tc := trace.Ctx{}
+		return h(&tc, p)
+	})
+	s.mu.Lock()
+	s.traced[msgType] = h
+	s.mu.Unlock()
+}
+
+// HandleTracedDetached is HandleTraced plus the detached (own-goroutine)
+// serving of HandleDetached.
+func (s *Server) HandleTracedDetached(msgType uint8, h TracedHandler) {
+	s.HandleTraced(msgType, h)
+	s.mu.Lock()
+	s.detached[msgType] = true
+	s.mu.Unlock()
+}
+
+// CallTraced issues a call carrying tc's trace context to the server.
+// Unsampled contexts (or nil) degrade to a plain c.Call — one branch, no
+// envelope, no allocation. Sampled calls record an "rpc.call" span
+// around the exchange and advance tc's hop timestamp past it, so the
+// caller's next hop doesn't re-cover the server's time.
+//
+// Works over any Client (TCP, local, reconnecting, fault-injecting
+// wrappers) since the envelope is ordinary payload bytes to them.
+func CallTraced(c Client, tc *trace.Ctx, msgType uint8, payload []byte) ([]byte, error) {
+	if tc == nil || !tc.Sampled() {
+		return c.Call(msgType, payload)
+	}
+	st := trace.Begin(*tc, "rpc.call")
+	buf := wire.GetBuf()
+	*buf = appendTracedHeader(*buf, *tc, msgType)
+	*buf = append(*buf, payload...)
+	resp, err := c.Call(msgTraced, *buf)
+	wire.PutBuf(buf)
+	st.End(trace.Default(), trace.Outcome(err, "error"), 0, 0)
+	tc.At = time.Now().UnixNano()
+	return resp, err
+}
+
+// TracedInnerType peeks the inner message type of a traced envelope
+// payload (fault injectors use it to apply per-type fault rules to the
+// wrapped request). Returns (msgType, false) unchanged for plain frames.
+func TracedInnerType(msgType uint8, payload []byte) (uint8, bool) {
+	if msgType != msgTraced || len(payload) < tracedHeaderLen {
+		return msgType, false
+	}
+	return payload[tracedHeaderLen-1], true
+}
+
+// TracedContext peeks the trace context of a traced envelope payload
+// without consuming it; ok is false for plain frames.
+func TracedContext(msgType uint8, payload []byte) (trace.Ctx, bool) {
+	if msgType != msgTraced || len(payload) < tracedHeaderLen {
+		return trace.Ctx{}, false
+	}
+	tc, _, _, err := decodeTraced(payload)
+	return tc, err == nil
+}

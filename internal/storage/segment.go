@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Segment file format: a sequence of entries, each
@@ -300,12 +301,18 @@ func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 	if s.closed {
 		return ErrClosed
 	}
+	// One trace context covers the whole batch: the first sampled record's
+	// (batches are stored together, so their durability cost is shared).
+	var tc trace.Ctx
 	for _, r := range rs {
 		if r.LId == 0 {
 			return errors.New("storage: record has no LId")
 		}
 		if _, ok := s.index[r.LId]; ok {
 			return fmt.Errorf("%w: %d", ErrDuplicate, r.LId)
+		}
+		if !tc.Sampled() && r.Trace.Sampled() {
+			tc = r.Trace
 		}
 	}
 	if s.active == nil || s.actSeg.size >= s.opts.MaxSegmentBytes {
@@ -340,16 +347,20 @@ func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 		off += entryHeaderSize + int64(len(payload))
 	}
 	s.encScratch, s.placeScratch = buf, placements
+	wr := trace.Begin(tc, "store.write")
 	if _, err := s.active.Write(buf); err != nil {
 		return fmt.Errorf("storage: writing batch: %w", err)
 	}
+	wr.End(trace.Default(), "", rs[0].LId, len(rs))
 	if s.opts.Sync == SyncEachBatch {
+		fs := trace.Begin(tc, "store.fsync")
 		start := time.Now()
 		if err := s.active.Sync(); err != nil {
 			return fmt.Errorf("storage: fsync: %w", err)
 		}
+		fs.End(trace.Default(), "", rs[0].LId, len(rs))
 		if s.fsyncLatency != nil {
-			s.fsyncLatency.ObserveSince(start)
+			s.fsyncLatency.ObserveSinceEx(start, uint64(tc.T))
 		}
 	}
 	s.actSeg.size = off

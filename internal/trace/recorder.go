@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Recorder is the per-process flight recorder: a striped ring buffer of
+// recently recorded spans. Writers hash their span's trace id onto one
+// of a small number of shards and take only that shard's mutex for a
+// copy of one fixed-size struct — cheap enough for every sampled hop on
+// the append path, with no allocation per record.
+//
+// The ring overwrites oldest-first per shard; Snapshot reassembles a
+// time-ordered view. Spans of one trace always land on the same shard,
+// so a trace is either wholly present or wholly evicted per shard ring.
+type Recorder struct {
+	node   string
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int  // next write index
+	wrap  bool // ring has wrapped at least once
+	total uint64
+}
+
+const defaultShards = 8
+
+// NewRecorder returns a flight recorder retaining roughly `capacity`
+// spans (rounded up to a multiple of the shard count), tagged with the
+// process/node name stamped onto every span it serves.
+func NewRecorder(capacity int, node string) *Recorder {
+	if capacity < defaultShards {
+		capacity = defaultShards
+	}
+	per := (capacity + defaultShards - 1) / defaultShards
+	r := &Recorder{node: node, shards: make([]shard, defaultShards), mask: defaultShards - 1}
+	for i := range r.shards {
+		r.shards[i].ring = make([]Span, per)
+	}
+	return r
+}
+
+// Node returns the node name stamped on spans.
+func (r *Recorder) Node() string { return r.node }
+
+// SetNode renames the recorder (used by binaries once the listen address
+// is known, before traffic starts).
+func (r *Recorder) SetNode(node string) { r.node = node }
+
+// Record stores one span. The span's Node field is stamped from the
+// recorder. Safe for concurrent use.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	s.Node = r.node
+	sh := &r.shards[uint64(s.Trace)&r.mask]
+	sh.mu.Lock()
+	sh.ring[sh.next] = s
+	sh.next++
+	sh.total++
+	if sh.next == len(sh.ring) {
+		sh.next = 0
+		sh.wrap = true
+	}
+	sh.mu.Unlock()
+}
+
+// Filter selects spans from a snapshot. Zero values match everything.
+type Filter struct {
+	// Trace, when non-zero, keeps only spans of that trace.
+	Trace TraceID
+	// Stage, when non-empty, keeps only spans of that stage.
+	Stage string
+	// MinDur (nanoseconds), when positive, keeps only spans at least that long.
+	MinDur int64
+	// Limit, when positive, caps the result to the most recent N spans.
+	Limit int
+}
+
+// Match reports whether the span passes the filter.
+func (f Filter) Match(s Span) bool {
+	if f.Trace != 0 && s.Trace != f.Trace {
+		return false
+	}
+	if f.Stage != "" && s.Stage != f.Stage {
+		return false
+	}
+	if f.MinDur > 0 && s.Dur < f.MinDur {
+		return false
+	}
+	return true
+}
+
+// Snapshot copies the matching retained spans, oldest first by start
+// time. The result is freshly allocated and safe to retain.
+func (r *Recorder) Snapshot(f Filter) []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n := sh.next
+		if sh.wrap {
+			for _, s := range sh.ring[n:] {
+				if f.Match(s) {
+					out = append(out, s)
+				}
+			}
+		}
+		for _, s := range sh.ring[:n] {
+			if f.Match(s) {
+				out = append(out, s)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Total returns the number of spans ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	var t uint64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		t += sh.total
+		sh.mu.Unlock()
+	}
+	return t
+}
+
+// Reset drops all retained spans (tests and benchmarks).
+func (r *Recorder) Reset() {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for j := range sh.ring {
+			sh.ring[j] = Span{}
+		}
+		sh.next = 0
+		sh.wrap = false
+		sh.total = 0
+		sh.mu.Unlock()
+	}
+}
+
+// defaultRecorder is the process-wide flight recorder used by every
+// instrumentation site that does not plumb its own.
+var defaultRecorder = NewRecorder(4096, "")
+
+// Default returns the process-wide flight recorder.
+func Default() *Recorder { return defaultRecorder }
+
+// SetNodeName renames the process-wide recorder (one call at startup).
+func SetNodeName(node string) { defaultRecorder.SetNode(node) }

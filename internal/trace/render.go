@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file joins flight-recorder snapshots — possibly from several
+// processes — into per-trace span trees, renders them for operators
+// (logctl trace), and computes the per-stage latency budget used by
+// repro -exp tracelat and the trace smoke test.
+
+// Node is one span plus its children in a joined trace tree.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// BuildTree joins spans (any order, any number of nodes) into trees
+// keyed by trace id. Within a trace, spans whose parent is absent from
+// the set become roots; children sort by start time. Duplicate span ids
+// (a span fetched from two snapshots) are collapsed.
+func BuildTree(spans []Span) map[TraceID][]*Node {
+	byID := make(map[SpanID]*Node, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			continue
+		}
+		if _, dup := byID[s.ID]; dup {
+			continue
+		}
+		byID[s.ID] = &Node{Span: s}
+	}
+	out := make(map[TraceID][]*Node)
+	for _, n := range byID {
+		if p, ok := byID[n.Parent]; ok && n.Parent != n.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			out[n.Trace] = append(out[n.Trace], n)
+		}
+	}
+	sortNodes := func(ns []*Node) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Start != ns[j].Start {
+				return ns[i].Start < ns[j].Start
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	for _, roots := range out {
+		sortNodes(roots)
+	}
+	for _, n := range byID {
+		sortNodes(n.Children)
+	}
+	return out
+}
+
+// Walk visits the node and its descendants depth-first in start order.
+func (n *Node) Walk(fn func(depth int, n *Node)) { n.walk(0, fn) }
+
+func (n *Node) walk(depth int, fn func(int, *Node)) {
+	fn(depth, n)
+	for _, c := range n.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Stages returns the distinct stage names reached by the tree rooted at
+// n, in visit order — the smoke test asserts the append pipeline's
+// stages all appear.
+func (n *Node) Stages() []string {
+	seen := make(map[string]bool)
+	var out []string
+	n.Walk(func(_ int, nd *Node) {
+		if !seen[nd.Stage] {
+			seen[nd.Stage] = true
+			out = append(out, nd.Stage)
+		}
+	})
+	return out
+}
+
+// RenderText writes an indented per-trace span-tree listing, the output
+// of `logctl trace`. Times are relative to the trace's first span.
+func RenderText(w io.Writer, spans []Span) {
+	trees := BuildTree(spans)
+	ids := make([]TraceID, 0, len(trees))
+	for id := range trees {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return traceStart(trees[ids[i]]) < traceStart(trees[ids[j]])
+	})
+	for _, id := range ids {
+		roots := trees[id]
+		t0 := traceStart(roots)
+		fmt.Fprintf(w, "trace %s\n", id)
+		for _, root := range roots {
+			root.Walk(func(depth int, n *Node) {
+				pad := ""
+				for i := 0; i < depth; i++ {
+					pad += "  "
+				}
+				fmt.Fprintf(w, "  %s%-24s +%-10s dur=%-10s", pad, n.Stage,
+					time.Duration(n.Start-t0), time.Duration(n.Dur))
+				if n.Queue > 0 {
+					fmt.Fprintf(w, " queue=%s", time.Duration(n.Queue))
+				}
+				if n.Outcome != "" {
+					fmt.Fprintf(w, " outcome=%s", n.Outcome)
+				}
+				if n.LId != 0 {
+					fmt.Fprintf(w, " lid=%d", n.LId)
+				}
+				if n.Count > 1 {
+					fmt.Fprintf(w, " n=%d", n.Count)
+				}
+				if n.Span.Node != "" {
+					fmt.Fprintf(w, " node=%s", n.Span.Node)
+				}
+				if n.Forced {
+					fmt.Fprintf(w, " forced")
+				}
+				fmt.Fprintln(w)
+			})
+		}
+	}
+}
+
+func traceStart(roots []*Node) int64 {
+	if len(roots) == 0 {
+		return 0
+	}
+	return roots[0].Start
+}
+
+// Budget is the per-stage latency attribution for a set of traces: for
+// each trace's timeline, every covered instant is attributed to exactly
+// one stage (the innermost — latest-starting — span open at that
+// instant), so stage sums never double-count nested or chained spans.
+type Budget struct {
+	// StageNs sums attributed nanoseconds per stage across the traces.
+	StageNs map[string]int64 `json:"stage_ns"`
+	// QueueNs sums the reported queue-wait portion per stage.
+	QueueNs map[string]int64 `json:"queue_ns"`
+	// CoveredNs is total attributed time; SpanNs the total trace
+	// wall-time (last span end − first span start, summed per trace).
+	CoveredNs int64 `json:"covered_ns"`
+	SpanNs    int64 `json:"span_ns"`
+	// Traces is the number of traces aggregated.
+	Traces int `json:"traces"`
+}
+
+// Coverage returns CoveredNs/SpanNs in [0,1] — the fraction of observed
+// end-to-end latency the recorded spans account for.
+func (b Budget) Coverage() float64 {
+	if b.SpanNs <= 0 {
+		return 0
+	}
+	return float64(b.CoveredNs) / float64(b.SpanNs)
+}
+
+// ComputeBudget aggregates the per-stage latency budget across all
+// traces present in spans.
+func ComputeBudget(spans []Span) Budget {
+	b := Budget{StageNs: make(map[string]int64), QueueNs: make(map[string]int64)}
+	byTrace := make(map[TraceID][]Span)
+	for _, s := range spans {
+		if s.Trace == 0 || s.Dur < 0 {
+			continue
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	for _, ts := range byTrace {
+		attributeTrace(ts, &b)
+		b.Traces++
+	}
+	return b
+}
+
+// attributeTrace sweeps one trace's timeline attributing each covered
+// instant to the innermost open span. O(n²) in spans-per-trace, which
+// is tens at most.
+func attributeTrace(ts []Span, b *Budget) {
+	var lo, hi int64
+	for i, s := range ts {
+		if i == 0 || s.Start < lo {
+			lo = s.Start
+		}
+		if e := s.End(); i == 0 || e > hi {
+			hi = e
+		}
+		b.QueueNs[s.Stage] += s.Queue
+	}
+	b.SpanNs += hi - lo
+
+	// Boundary points: every span start and end.
+	pts := make([]int64, 0, 2*len(ts))
+	for _, s := range ts {
+		pts = append(pts, s.Start, s.End())
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	for i := 0; i+1 < len(pts); i++ {
+		a, z := pts[i], pts[i+1]
+		if z <= a {
+			continue
+		}
+		// Innermost open span over (a, z): latest start wins, ties to
+		// shortest duration (more specific).
+		best := -1
+		for j, s := range ts {
+			if s.Start <= a && s.End() >= z {
+				if best == -1 || s.Start > ts[best].Start ||
+					(s.Start == ts[best].Start && s.Dur < ts[best].Dur) {
+					best = j
+				}
+			}
+		}
+		if best >= 0 {
+			b.StageNs[ts[best].Stage] += z - a
+			b.CoveredNs += z - a
+		}
+	}
+}

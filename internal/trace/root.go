@@ -1,0 +1,83 @@
+package trace
+
+import "time"
+
+// Root is the top-level span of one client-visible operation (an append,
+// a range read, a tail wait). Unlike Hop spans — which are recorded at
+// hand-off time, after the fact — the root span's id must exist *before*
+// the operation runs so that every downstream hop can parent to it; the
+// span itself is only recorded when the operation finishes. BeginRoot
+// pre-allocates the id and returns the child context to propagate.
+//
+// Root is a value kept on the caller's stack: the traced path allocates
+// nothing for it. On the unsampled path Root still notes the start time
+// when the slow-op log is armed, so a stalled unsampled operation is
+// force-sampled at Finish.
+type Root struct {
+	c     Ctx // T/S/F of the pre-allocated root span; zero when unsampled
+	stage string
+	start time.Time
+}
+
+// BeginRoot opens the root span of an operation under tc. When tc is
+// sampled it returns the Root and the child context downstream hops
+// should carry (parented at the root's pre-allocated span id). When tc
+// is unsampled it returns a zero child context; the Root still arms
+// slow-op detection if a threshold is set, and is otherwise inert.
+func BeginRoot(tc Ctx, stage string) (Root, Ctx) {
+	if !tc.Sampled() {
+		if slowThreshold.Load() <= 0 {
+			return Root{}, Ctx{}
+		}
+		return Root{stage: stage, start: time.Now()}, Ctx{}
+	}
+	start := time.Now()
+	id := SpanID(nextID())
+	root := Root{
+		c:     Ctx{T: tc.T, S: id, F: tc.F},
+		stage: stage,
+		start: start,
+	}
+	child := Ctx{T: tc.T, S: id, F: tc.F, At: start.UnixNano()}
+	return root, child
+}
+
+// Active reports whether Finish will do anything (sampled, or slow-op
+// armed).
+func (r Root) Active() bool { return r.stage != "" }
+
+// Sampled reports whether the root belongs to a sampled trace.
+func (r Root) Sampled() bool { return r.c.Sampled() }
+
+// Trace returns the root's trace id (0 when unsampled).
+func (r Root) Trace() TraceID { return r.c.T }
+
+// Finish closes the root span. Sampled roots are recorded into rec under
+// their pre-allocated id (and logged if they crossed the slow-op
+// threshold); unsampled roots run the slow-op check, force-sampling the
+// operation when it stalled. No-op on an inert Root.
+func (r Root) Finish(rec *Recorder, outcome string, lid uint64, count int) {
+	if r.stage == "" {
+		return
+	}
+	if !r.c.Sampled() {
+		SlowCheck(rec, Ctx{}, r.stage, r.start, 0, outcome, lid, count)
+		return
+	}
+	dur := time.Since(r.start)
+	sp := Span{
+		Trace:   r.c.T,
+		ID:      r.c.S,
+		Stage:   r.stage,
+		Start:   r.start.UnixNano(),
+		Dur:     int64(dur),
+		Outcome: outcome,
+		LId:     lid,
+		Count:   int32(count),
+		Forced:  r.c.F&FlagForced != 0,
+	}
+	rec.Record(sp)
+	if thr := slowThreshold.Load(); thr > 0 && int64(dur) >= thr {
+		maybeLogSlow(sp, dur)
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slow-op log: operations whose span exceeds a process-wide threshold
+// are force-sampled (recorded into the flight recorder with the forced
+// flag even if the originating context was unsampled) and logged once
+// with their breakdown, rate-limited per stage so a systemic stall does
+// not flood the log.
+
+var (
+	// slowThreshold in nanoseconds; 0 disables the slow-op log.
+	slowThreshold atomic.Int64
+
+	slowMu   sync.Mutex
+	slowLast map[string]time.Time
+)
+
+// slowLogInterval is the minimum gap between slow-op log lines per stage.
+const slowLogInterval = time.Second
+
+func init() {
+	slowThreshold.Store(int64(50 * time.Millisecond))
+	slowLast = make(map[string]time.Time)
+}
+
+// SetSlowOpThreshold sets the duration past which an operation is
+// force-sampled and logged. Zero or negative disables the slow-op log.
+func SetSlowOpThreshold(d time.Duration) { slowThreshold.Store(int64(d)) }
+
+// SlowOpThreshold returns the current threshold (0 = disabled).
+func SlowOpThreshold() time.Duration { return time.Duration(slowThreshold.Load()) }
+
+// SlowCheck inspects a finished operation: if it ran at least the
+// slow-op threshold, the span is recorded into r with the forced flag
+// (even when the context was unsampled — tc may be the zero Ctx) and,
+// subject to per-stage rate limiting, logged with its breakdown. The
+// fast path for a sub-threshold operation is one atomic load and one
+// comparison. Returns true when the operation was classified slow.
+func SlowCheck(r *Recorder, tc Ctx, stage string, start time.Time, queueNs int64, outcome string, lid uint64, count int) bool {
+	thr := slowThreshold.Load()
+	if thr <= 0 {
+		return false
+	}
+	dur := time.Since(start)
+	if int64(dur) < thr {
+		return false
+	}
+	// Force-sample: slow operations are always worth a flight-recorder
+	// entry, sampled or not.
+	if tc.T == 0 {
+		tc.T = TraceID(nextID())
+	}
+	sp := Span{
+		Trace:   tc.T,
+		ID:      SpanID(nextID()),
+		Parent:  tc.S,
+		Stage:   stage,
+		Start:   start.UnixNano(),
+		Dur:     int64(dur),
+		Queue:   queueNs,
+		Outcome: outcome,
+		LId:     lid,
+		Count:   int32(count),
+		Forced:  true,
+	}
+	r.Record(sp)
+	maybeLogSlow(sp, dur)
+	return true
+}
+
+// maybeLogSlow emits one rate-limited log line for a slow span — at most
+// one per stage per slowLogInterval, so a systemic stall produces a
+// heartbeat rather than a flood.
+func maybeLogSlow(sp Span, dur time.Duration) {
+	slowMu.Lock()
+	last := slowLast[sp.Stage]
+	now := time.Now()
+	allowed := now.Sub(last) >= slowLogInterval
+	if allowed {
+		slowLast[sp.Stage] = now
+	}
+	slowMu.Unlock()
+	if allowed {
+		log.Printf("trace: slow op stage=%s trace=%s dur=%s queue=%s outcome=%q lid=%d n=%d",
+			sp.Stage, sp.Trace, dur, time.Duration(sp.Queue), sp.Outcome, sp.LId, sp.Count)
+	}
+}
+
+// resetSlowLog clears the per-stage rate-limit state (tests).
+func resetSlowLog() {
+	slowMu.Lock()
+	slowLast = make(map[string]time.Time)
+	slowMu.Unlock()
+}

@@ -1,0 +1,341 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplingRates(t *testing.T) {
+	defer SetSampling(0)
+
+	SetSampling(0)
+	for i := 0; i < 100; i++ {
+		if New().Sampled() {
+			t.Fatal("sampling disabled but New returned a sampled ctx")
+		}
+	}
+
+	SetSampling(1)
+	for i := 0; i < 100; i++ {
+		c := New()
+		if !c.Sampled() {
+			t.Fatal("1-in-1 sampling but New returned an unsampled ctx")
+		}
+		if c.T == 0 || c.At == 0 {
+			t.Fatal("sampled ctx missing trace id or timestamp")
+		}
+	}
+
+	SetSampling(4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if New().Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling over 400 ops: got %d sampled, want 100", sampled)
+	}
+}
+
+func TestHopChainAndTree(t *testing.T) {
+	r := NewRecorder(128, "n1")
+	tc := Forced()
+	root := tc.S // zero: first hop has no parent
+
+	id1 := tc.Hop(r, "stage.a", 0, "", 0, 1)
+	time.Sleep(time.Millisecond)
+	id2 := tc.Hop(r, "stage.b", int64(time.Millisecond)/2, "", 7, 1)
+	if id1 == 0 || id2 == 0 || id1 == id2 {
+		t.Fatalf("hop ids: %d, %d", id1, id2)
+	}
+	if tc.S != id2 {
+		t.Fatal("ctx did not advance to last hop span")
+	}
+
+	spans := r.Snapshot(Filter{Trace: tc.T})
+	if len(spans) != 2 {
+		t.Fatalf("snapshot: got %d spans, want 2", len(spans))
+	}
+	if spans[0].Parent != root || spans[1].Parent != id1 {
+		t.Fatalf("parent chain broken: %+v", spans)
+	}
+	if spans[1].Queue <= 0 || spans[1].Queue > spans[1].Dur {
+		t.Fatalf("queue attribution out of range: queue=%d dur=%d", spans[1].Queue, spans[1].Dur)
+	}
+	if spans[0].Node != "n1" {
+		t.Fatalf("node not stamped: %+v", spans[0])
+	}
+
+	trees := BuildTree(spans)
+	roots := trees[tc.T]
+	if len(roots) != 1 || roots[0].Stage != "stage.a" {
+		t.Fatalf("tree roots: %+v", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Stage != "stage.b" {
+		t.Fatalf("tree children: %+v", roots[0].Children)
+	}
+	got := roots[0].Stages()
+	if strings.Join(got, ",") != "stage.a,stage.b" {
+		t.Fatalf("stages: %v", got)
+	}
+}
+
+func TestUnsampledIsNoOp(t *testing.T) {
+	r := NewRecorder(64, "n")
+	var tc Ctx
+	if id := tc.Hop(r, "x", 0, "", 0, 0); id != 0 {
+		t.Fatal("unsampled hop recorded a span")
+	}
+	st := Begin(tc, "y")
+	if st.Active() {
+		t.Fatal("unsampled Begin returned an active span")
+	}
+	if id := st.End(r, "", 0, 0); id != 0 {
+		t.Fatal("unsampled End recorded a span")
+	}
+	if n := len(r.Snapshot(Filter{})); n != 0 {
+		t.Fatalf("recorder holds %d spans after unsampled ops", n)
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	r := NewRecorder(64, "n")
+	tc := Forced()
+	anchor := tc.Hop(r, "outer", 0, "", 0, 1)
+	st := Begin(tc, "inner.call")
+	time.Sleep(time.Millisecond)
+	id := st.End(r, "error", 42, 3)
+	if id == 0 {
+		t.Fatal("sampled End recorded nothing")
+	}
+	spans := r.Snapshot(Filter{Stage: "inner.call"})
+	if len(spans) != 1 {
+		t.Fatalf("got %d inner.call spans", len(spans))
+	}
+	s := spans[0]
+	if s.Parent != anchor || s.Outcome != "error" || s.LId != 42 || s.Count != 3 {
+		t.Fatalf("span fields: %+v", s)
+	}
+	if s.Dur < int64(time.Millisecond) {
+		t.Fatalf("duration too short: %d", s.Dur)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(16, "n") // 8 shards × 2 per ring
+	// All spans on one trace land on one shard; ring per shard is 2.
+	tc := Forced()
+	for i := 0; i < 10; i++ {
+		tc.Hop(r, "s", 0, "", uint64(i+1), 1)
+	}
+	spans := r.Snapshot(Filter{Trace: tc.T})
+	if len(spans) != 2 {
+		t.Fatalf("ring retained %d spans, want 2", len(spans))
+	}
+	if spans[0].LId != 9 || spans[1].LId != 10 {
+		t.Fatalf("ring did not keep newest spans: %+v", spans)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total: %d", r.Total())
+	}
+	r.Reset()
+	if len(r.Snapshot(Filter{})) != 0 || r.Total() != 0 {
+		t.Fatal("reset did not clear recorder")
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	r := NewRecorder(256, "n")
+	a := Forced()
+	a.Hop(r, "fast", 0, "", 0, 1)
+	time.Sleep(2 * time.Millisecond)
+	a.Hop(r, "slow", 0, "", 0, 1)
+	b := Forced()
+	b.Hop(r, "fast", 0, "", 0, 1)
+
+	if got := len(r.Snapshot(Filter{Trace: a.T})); got != 2 {
+		t.Fatalf("trace filter: %d", got)
+	}
+	if got := len(r.Snapshot(Filter{Stage: "fast"})); got != 2 {
+		t.Fatalf("stage filter: %d", got)
+	}
+	if got := len(r.Snapshot(Filter{MinDur: int64(time.Millisecond)})); got != 1 {
+		t.Fatalf("mindur filter: %d", got)
+	}
+	if got := len(r.Snapshot(Filter{Limit: 1})); got != 1 {
+		t.Fatalf("limit: %d", got)
+	}
+}
+
+func TestRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(1024, "n")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc := Forced()
+			for i := 0; i < 200; i++ {
+				tc.Hop(r, "concurrent", 0, "", 0, 1)
+				r.Snapshot(Filter{Limit: 4})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8*200 {
+		t.Fatalf("total: %d", r.Total())
+	}
+}
+
+func TestSlowCheck(t *testing.T) {
+	r := NewRecorder(64, "n")
+	resetSlowLog()
+	old := SlowOpThreshold()
+	defer SetSlowOpThreshold(old)
+
+	SetSlowOpThreshold(time.Millisecond)
+	start := time.Now().Add(-5 * time.Millisecond)
+	// Unsampled ctx: slow op must still be force-recorded.
+	if !SlowCheck(r, Ctx{}, "slow.stage", start, 0, "timeout", 3, 2) {
+		t.Fatal("slow op not classified slow")
+	}
+	spans := r.Snapshot(Filter{Stage: "slow.stage"})
+	if len(spans) != 1 || !spans[0].Forced || spans[0].Trace == 0 {
+		t.Fatalf("forced span: %+v", spans)
+	}
+	if spans[0].Outcome != "timeout" || spans[0].LId != 3 {
+		t.Fatalf("span fields: %+v", spans[0])
+	}
+
+	// Fast op: no record.
+	if SlowCheck(r, Ctx{}, "fast.stage", time.Now(), 0, "", 0, 1) {
+		t.Fatal("fast op classified slow")
+	}
+	if len(r.Snapshot(Filter{Stage: "fast.stage"})) != 0 {
+		t.Fatal("fast op recorded a span")
+	}
+
+	// Disabled: nothing happens regardless of duration.
+	SetSlowOpThreshold(0)
+	if SlowCheck(r, Ctx{}, "slow.stage", start, 0, "", 0, 1) {
+		t.Fatal("slow-op log disabled but op classified slow")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := NewRecorder(64, "node-a")
+	tc := Forced()
+	tc.Hop(r, "client.append", 0, "", 0, 1)
+	tc.Hop(r, "maint.store", int64(time.Microsecond), "", 12, 1)
+	var sb strings.Builder
+	RenderText(&sb, r.Snapshot(Filter{}))
+	out := sb.String()
+	for _, want := range []string{"trace " + tc.T.String(), "client.append", "maint.store", "lid=12", "node=node-a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeBudget(t *testing.T) {
+	// Hand-built trace: root covers [0,100]; child "store" covers
+	// [40,70] nested inside. Innermost-wins attribution: root gets 70,
+	// store gets 30, coverage 100%.
+	spans := []Span{
+		{Trace: 1, ID: 10, Stage: "append", Start: 0, Dur: 100, Queue: 20},
+		{Trace: 1, ID: 11, Parent: 10, Stage: "store", Start: 40, Dur: 30},
+	}
+	b := ComputeBudget(spans)
+	if b.Traces != 1 {
+		t.Fatalf("traces: %d", b.Traces)
+	}
+	if b.StageNs["append"] != 70 || b.StageNs["store"] != 30 {
+		t.Fatalf("attribution: %+v", b.StageNs)
+	}
+	if b.QueueNs["append"] != 20 {
+		t.Fatalf("queue: %+v", b.QueueNs)
+	}
+	if b.Coverage() < 0.999 {
+		t.Fatalf("coverage: %v", b.Coverage())
+	}
+
+	// A gap: spans [0,40] and [60,100] → coverage 0.8.
+	gap := []Span{
+		{Trace: 2, ID: 20, Stage: "a", Start: 0, Dur: 40},
+		{Trace: 2, ID: 21, Parent: 20, Stage: "b", Start: 60, Dur: 40},
+	}
+	g := ComputeBudget(gap)
+	if c := g.Coverage(); c < 0.79 || c > 0.81 {
+		t.Fatalf("gap coverage: %v", c)
+	}
+}
+
+func TestHopChainBudgetCoversEndToEnd(t *testing.T) {
+	// A realistic chain of contiguous hops must attribute ~100% of the
+	// trace wall time — this property is what the tracelat acceptance
+	// bar (≥90% coverage) rests on.
+	r := NewRecorder(64, "n")
+	tc := Forced()
+	stages := []string{"client.append", "batcher.flush", "queue.assign", "maint.store", "client.ack"}
+	for _, st := range stages {
+		time.Sleep(time.Millisecond)
+		tc.Hop(r, st, 0, "", 0, 1)
+	}
+	b := ComputeBudget(r.Snapshot(Filter{Trace: tc.T}))
+	if c := b.Coverage(); c < 0.99 {
+		t.Fatalf("contiguous hop chain coverage %v < 0.99", c)
+	}
+	for _, st := range stages {
+		if b.StageNs[st] <= 0 {
+			t.Fatalf("stage %s got no attribution: %+v", st, b.StageNs)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := TraceID(0xdeadbeef)
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("roundtrip: %v %v", got, err)
+	}
+	if _, err := ParseTraceID("zzz"); err == nil {
+		t.Fatal("parse of garbage succeeded")
+	}
+}
+
+func TestOutcomeHelper(t *testing.T) {
+	if Outcome(nil, "x") != "" {
+		t.Fatal("nil error produced outcome")
+	}
+	if Outcome(errFake{}, "overload") != "overload" {
+		t.Fatal("error did not produce class")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func BenchmarkNewUnsampled(b *testing.B) {
+	SetSampling(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New()
+		if c.Sampled() {
+			b.Fatal("sampled")
+		}
+	}
+}
+
+func BenchmarkHopSampled(b *testing.B) {
+	r := NewRecorder(4096, "bench")
+	tc := Forced()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Hop(r, "bench.stage", 0, "", 0, 1)
+	}
+}

@@ -75,5 +75,9 @@ bench-smoke:
 # bench-read runs the read-path benchmarks: batched range read vs single
 # reads, cached tail reads, and push vs poll tailing. The corresponding
 # budgets are enforced by TestReadRangeAllocBudget / TestTailCachedReadAllocBudget.
+# The read-scaling smoke drives a miniature replica-count sweep (R=1 and
+# R=3 over real TCP) end to end; the ≥2× throughput bar itself is enforced
+# by `repro -exp readpath` with full budgets.
 bench-read:
 	$(GO) test -run='^$$' -bench='ReadRange|SingleReads|TailCached|TailPushVsPoll' -benchmem -benchtime=100x ./internal/flstore
+	$(GO) test -run 'TestReadScalingSweepSmoke' -count=1 ./internal/cluster

@@ -216,6 +216,8 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 	flstore.ServeReplicas(ctrlSrv, func() (*replica.ClusterStatus, error) {
 		return flstore.BuildClusterStatus(placement, layout, ack, func(mi, ri int) (uint64, error) {
 			return maintainers[mi].RangeFrontier(ri)
+		}, func(mi, ri int) (uint64, uint64, error) {
+			return maintainers[mi].ValidityWatermark(ri)
 		}), nil
 	})
 	if _, err := ctrlSrv.Listen(listen); err != nil {

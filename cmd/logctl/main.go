@@ -410,15 +410,17 @@ func cmdReads(conn rpc.Client, args []string) {
 }
 
 // cmdReplicas renders the controller's replica-group status: one row per
-// group member with its role, reachability, per-range frontier, and
-// catch-up lag in log positions.
+// group member with its role, reachability, per-range frontier, catch-up
+// lag in log positions, validity watermark (positions below it are served
+// from the member's local store), and invalidation backlog (announced but
+// unresolved positions, where reads block or fail over).
 func cmdReplicas(conn rpc.Client) {
 	st, err := flstore.FetchReplicas(conn)
 	if err != nil {
 		log.Fatalf("replicas: %v (is the node set running with -replication?)", err)
 	}
 	fmt.Printf("replication=%d ack=%s\n", st.Replication, st.Ack)
-	tbl := metrics.Table{Header: []string{"range", "member", "role", "health", "frontier", "lag LIds"}}
+	tbl := metrics.Table{Header: []string{"range", "member", "role", "health", "frontier", "lag LIds", "valid wm", "inval backlog"}}
 	for _, g := range st.Groups {
 		for _, m := range g.Members {
 			health := "ok"
@@ -431,7 +433,9 @@ func cmdReplicas(conn rpc.Client) {
 				m.Role,
 				health,
 				strconv.FormatUint(m.Frontier, 10),
-				strconv.FormatUint(m.LagLIds, 10))
+				strconv.FormatUint(m.LagLIds, 10),
+				strconv.FormatUint(m.ValidWatermark, 10),
+				strconv.FormatUint(m.InvalBacklog, 10))
 		}
 	}
 	fmt.Print(tbl.String())

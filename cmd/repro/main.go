@@ -386,6 +386,29 @@ func runReadPath(dur time.Duration) error {
 		res.TailPushPerSec, res.TailPushRecords, res.TailPollPerSec, res.TailPollRecords, res.TailSpeedup)
 	fmt.Printf("read  range %6.0f recs/s | single %6.0f recs/s | speedup %.1fx\n",
 		res.RangeReadPerSec, res.SingleReadPerSec, res.RangeSpeedup)
+
+	// Replica read-scaling sweep: the same hot range read with R=1..3
+	// group members, every valid replica answering locally under the
+	// invalidation protocol. Real TCP with one connection per maintainer
+	// models fixed per-member serving capacity.
+	points, err := cluster.RunReadScaling(cluster.ReadScalingOptions{
+		Maintainers: 3,
+		Budget:      dur / 2,
+	})
+	if err != nil {
+		return err
+	}
+	res.ReadScaling = points
+	for _, pt := range points {
+		fmt.Printf("scale R=%d %7.0f reads/s (%d hot records)\n",
+			pt.Replication, pt.ReadsPerSec, pt.Records)
+	}
+	if first, last := points[0], points[len(points)-1]; first.ReadsPerSec > 0 {
+		res.ReadScalingX = last.ReadsPerSec / first.ReadsPerSec
+	}
+	fmt.Printf("scale R=%d -> R=%d aggregate read throughput %.1fx (bar: >= 2x)\n",
+		points[0].Replication, points[len(points)-1].Replication, res.ReadScalingX)
+
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -396,6 +419,9 @@ func runReadPath(dur time.Duration) error {
 	fmt.Println("wrote BENCH_readpath.json")
 	if res.TailSpeedup < 5 {
 		return fmt.Errorf("tail speedup %.1fx below the 5x acceptance bar", res.TailSpeedup)
+	}
+	if res.ReadScalingX < 2 {
+		return fmt.Errorf("read scaling %.1fx below the 2x acceptance bar", res.ReadScalingX)
 	}
 	return nil
 }

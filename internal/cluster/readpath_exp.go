@@ -39,6 +39,21 @@ type ReadPathResult struct {
 	RangeReadPerSec  float64 `json:"range_read_recs_per_sec"`
 	SingleReadPerSec float64 `json:"single_read_recs_per_sec"`
 	RangeSpeedup     float64 `json:"range_speedup"`
+	// ReadScaling is the replica-count sweep: aggregate hot-range read
+	// throughput as the group size R grows, every replica serving valid
+	// reads locally under the invalidation protocol. Filled by the repro
+	// driver from RunReadScaling, not by RunReadPath.
+	ReadScaling []ReadScalingPoint `json:"read_scaling,omitempty"`
+	// ReadScalingX is the largest-R/smallest-R aggregate throughput ratio
+	// — the acceptance bar is ≥ 2× for R 1→3.
+	ReadScalingX float64 `json:"read_scaling_x,omitempty"`
+}
+
+// ReadScalingPoint is one point of the replica read-scaling sweep.
+type ReadScalingPoint struct {
+	Replication int     `json:"replication"`
+	Records     int     `json:"records"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
 }
 
 // newReadPathStack wires client→rpc→maintainers in-process: real dispatch

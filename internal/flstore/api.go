@@ -71,6 +71,26 @@ type ReplicaAPI interface {
 	GossipVec(vec []uint64) ([]uint64, error)
 }
 
+// InvalidationAPI is the Hermes-style invalidation surface of a
+// replication-aware maintainer. Like ReplicaAPI it is kept separate so
+// unreplicated deployments and older fakes keep compiling: callers
+// type-assert (the replica session probes for replica.Invalidator /
+// replica.WatermarkReporter, which this satisfies), and ServeMaintainer
+// registers the handlers only when the implementation provides them.
+type InvalidationAPI interface {
+	// Invalidate announces that every position of rangeIdx strictly below
+	// upTo has been assigned by the range's acting primary; positions
+	// between the local frontier and the bound become locally invalid
+	// (reads block or fail over instead of reporting them absent).
+	// Idempotent and monotone.
+	Invalidate(rangeIdx int, upTo uint64) error
+	// ValidityWatermark returns a hosted range's validity watermark (the
+	// dense-prefix frontier LId: reads below it are served locally) and
+	// its announced assignment bound; the span between them is the
+	// invalidation backlog.
+	ValidityWatermark(rangeIdx int) (watermark, announced uint64, err error)
+}
+
 // RangeQuery asks a maintainer for its hosted records in an LId interval.
 type RangeQuery struct {
 	// Lo and Hi bound the interval, inclusive. Lo 0 is treated as 1.

@@ -434,7 +434,10 @@ func (c *Client) ReadLIdCtx(ctx context.Context, lid uint64) (*core.Record, erro
 	// Past-head waits resolve as soon as the gap below the position fills,
 	// so retry on a capped-exponential schedule with jitter (the PR-3
 	// redial schedule): early attempts are cheap and tight, later ones
-	// back off instead of hammering a stalled head.
+	// back off instead of hammering a stalled head. Reads blocked on an
+	// unresolved invalidation (every group member knows the position is
+	// assigned but none has the payload yet — e.g. mid-failover) retry on
+	// the same schedule, stretched to the server's pacing hint.
 	bo := rpc.Backoff{Base: c.RetryBackoff, Max: 8 * c.RetryBackoff, Factor: 2, Jitter: 0.2}
 	var lastErr error
 	for attempt := 0; attempt <= c.ReadRetries; attempt++ {
@@ -446,11 +449,15 @@ func (c *Client) ReadLIdCtx(ctx context.Context, lid uint64) (*core.Record, erro
 			return rec, nil
 		}
 		lastErr = err
-		if !errors.Is(err, core.ErrPastHead) {
+		if !errors.Is(err, core.ErrPastHead) && !errors.Is(err, ErrReadBlocked) {
 			return nil, err
 		}
 		if c.RetryBackoff > 0 {
-			if err := sleepCtx(ctx, bo.Delay(attempt+1, jitterRnd)); err != nil {
+			d := bo.Delay(attempt+1, jitterRnd)
+			if hint := RetryAfter(err); hint > d {
+				d = hint
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return nil, err
 			}
 		}

@@ -36,6 +36,38 @@ var ErrNotReplica = errors.New("flstore: range not hosted by this maintainer")
 // exceed its configured bound.
 var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
 
+// ErrReadBlocked is returned when a read names a position this member
+// knows is assigned (an invalidation or gossip announced it) but whose
+// payload has not yet resolved locally — the position is invalid here,
+// not absent. The maintainer waits ReadBlockWait for the in-flight copy
+// before surfacing this; the record is durably readable at a fresher
+// group member, so the session fails the read over (with no health
+// penalty) and clients retry with the attached pacing hint.
+var ErrReadBlocked = errors.New("flstore: read blocked on invalidated range")
+
+// ReadBlockedError is the typed form of ErrReadBlocked: it names the
+// position, unwraps to the sentinel for errors.Is, self-classifies as
+// retryable, and carries the pacing hint the rpc layer encodes across
+// the wire.
+type ReadBlockedError struct {
+	LId uint64
+	// RetryAfter estimates when the local copy should have resolved.
+	RetryAfter time.Duration
+}
+
+func (e *ReadBlockedError) Error() string {
+	return fmt.Sprintf("%s: LId %d (retry after %v)", ErrReadBlocked.Error(), e.LId, e.RetryAfter)
+}
+
+func (e *ReadBlockedError) Unwrap() error { return ErrReadBlocked }
+
+// Retryable marks the condition transient: the record exists and will be
+// served here once the payload lands, or by a group peer immediately.
+func (e *ReadBlockedError) Retryable() bool { return true }
+
+// RetryAfterHint exposes the pacing hint for RetryAfter / the rpc layer.
+func (e *ReadBlockedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
 // OverloadError is the typed form of ErrOverloaded: a rejection that also
 // tells the client when retrying is likely to succeed. It unwraps to
 // ErrOverloaded (so errors.Is keeps working) and implements the
@@ -76,10 +108,11 @@ type retryableMarker interface {
 
 // IsRetryable reports whether err names a transient condition that a
 // client should retry (after pacing): maintainer overload, a read racing
-// the head of the log, a full explicit-order buffer, an under-acked
-// replicated append, or any error that marks itself retryable via a
-// `Retryable() bool` method. Configuration and logic errors (wrong
-// maintainer, duplicate LId, missing record) are not retryable.
+// the head of the log, a read blocked on an unresolved invalidation, a
+// full explicit-order buffer, an under-acked replicated append, or any
+// error that marks itself retryable via a `Retryable() bool` method.
+// Configuration and logic errors (wrong maintainer, duplicate LId,
+// missing record) are not retryable.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false
@@ -87,6 +120,7 @@ func IsRetryable(err error) bool {
 	if errors.Is(err, ErrOverloaded) ||
 		errors.Is(err, ErrOrderBacklog) ||
 		errors.Is(err, core.ErrPastHead) ||
+		errors.Is(err, ErrReadBlocked) ||
 		errors.Is(err, replica.ErrInsufficientAcks) {
 		return true
 	}

@@ -67,6 +67,16 @@ type MaintainerConfig struct {
 	// range reads near the append frontier from memory. 0 uses a default
 	// of 4096; negative disables the cache.
 	TailCacheSize int
+
+	// ReadBlockWait bounds how long Read parks on a locally-invalid
+	// position — one an invalidation announced but whose payload has not
+	// resolved here — before returning a retryable ReadBlockedError so
+	// the session fails over to a fresher replica. The fan-out payload
+	// normally lands within a round trip, so the default (2ms) resolves
+	// the common race in place without stalling the serving goroutine.
+	// 0 uses the default; negative disables blocking (immediate
+	// ReadBlockedError).
+	ReadBlockWait time.Duration
 }
 
 // rangeState is the per-hosted-range ingestion state: the dense slot
@@ -140,6 +150,12 @@ type Maintainer struct {
 	TailCacheMisses metrics.Counter
 	StoreScans      metrics.Counter
 	ScanCalls       metrics.Counter
+	// LocalReadHits counts single reads served from the local store (the
+	// invalidation protocol's payoff: any valid replica answers without
+	// an owner round trip); LocalReadBlocks counts reads that parked on a
+	// locally-invalid position (announced, payload not yet resolved).
+	LocalReadHits   metrics.Counter
+	LocalReadBlocks metrics.Counter
 
 	// appendLatency/readLatency are set by EnableMetrics (nil until then;
 	// the serving paths skip observation when unset). EnableMetrics must
@@ -186,6 +202,24 @@ func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label
 	reg.CounterFunc("flstore_tail_cache_misses_total", func() float64 { return float64(m.TailCacheMisses.Value()) }, lbls...)
 	reg.CounterFunc("flstore_store_scans_total", func() float64 { return float64(m.StoreScans.Value()) }, lbls...)
 	reg.CounterFunc("flstore_scan_calls_total", func() float64 { return float64(m.ScanCalls.Value()) }, lbls...)
+	reg.CounterFunc("replica_local_read_hits_total", func() float64 { return float64(m.LocalReadHits.Value()) }, lbls...)
+	reg.CounterFunc("replica_local_read_blocks_total", func() float64 { return float64(m.LocalReadBlocks.Value()) }, lbls...)
+	// Per hosted range: the validity watermark (dense-prefix frontier LId
+	// below which reads are served locally) and the invalidation backlog
+	// (positions announced as assigned but not yet resolved here).
+	for r := range m.hosted {
+		r := r
+		rl := append([]metrics.Label{metrics.L("range", strconv.Itoa(r))}, lbls...)
+		reg.GaugeFunc("replica_valid_watermark", func() float64 {
+			wm, _, _ := m.ValidityWatermark(r)
+			return float64(wm)
+		}, rl...)
+		reg.GaugeFunc("replica_invalidation_backlog", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.invalBacklogLocked(r))
+		}, rl...)
+	}
 }
 
 // NewMaintainer returns a ready maintainer.
@@ -214,6 +248,9 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	}
 	if cfg.TailCacheSize == 0 {
 		cfg.TailCacheSize = defaultTailCacheSize
+	}
+	if cfg.ReadBlockWait == 0 {
+		cfg.ReadBlockWait = defaultReadBlockWait
 	}
 	m := &Maintainer{
 		cfg:     cfg,
@@ -653,8 +690,101 @@ func IndexerFor(key string, numIndexers int) int {
 	return int(h.Sum32() % uint32(numIndexers))
 }
 
-// Read implements MaintainerAPI. It serves every hosted range — a follower
-// copy answers reads while the range owner is down.
+// defaultReadBlockWait bounds Read's park on a locally-invalid position;
+// readBlockHint is the pacing hint attached when the wait expires (the
+// payload is one fan-out round trip behind the announcement, so a
+// millisecond is normally enough for a retry to land after it).
+const (
+	defaultReadBlockWait = 2 * time.Millisecond
+	readBlockHint        = time.Millisecond
+)
+
+// Invalidate implements the Hermes-style announcement: every position of
+// rangeIdx strictly below upTo has been assigned by the range's acting
+// primary. The bound folds into nextVec — the same vector gossip and
+// replica ingestion advance — so the head of the log sees the assignment
+// immediately while the positions between the local frontier and the
+// bound become locally *invalid*: Read blocks or fails over for them
+// instead of reporting them absent. Idempotent and monotone; stale
+// announcements are no-ops.
+func (m *Maintainer) Invalidate(rangeIdx int, upTo uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.hosted[rangeIdx]; !ok {
+		return fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	// Normalize the bound to frontier form (the next-unfilled LId of the
+	// range given the announced slot count) so nextVec stays comparable
+	// with the values local fills and gossip write.
+	bound := m.cfg.Placement.LIdOfSlot(rangeIdx, m.slotsBelow(rangeIdx, upTo))
+	if bound > m.nextVec[rangeIdx] {
+		m.nextVec[rangeIdx] = bound
+		m.notifyProgressLocked()
+	}
+	return nil
+}
+
+// slotsBelow counts how many of rangeIdx's positions lie strictly below
+// bound — the slot-space form of an announced LId bound.
+func (m *Maintainer) slotsBelow(rangeIdx int, bound uint64) uint64 {
+	if bound <= 1 {
+		return 0
+	}
+	p := m.cfg.Placement
+	lid := bound - 1 // last position the bound covers
+	chunk := (lid - 1) / p.BatchSize
+	round := chunk / uint64(p.NumMaintainers)
+	switch cpos := int(chunk % uint64(p.NumMaintainers)); {
+	case cpos > rangeIdx:
+		return (round + 1) * p.BatchSize
+	case cpos < rangeIdx:
+		return round * p.BatchSize
+	default:
+		return round*p.BatchSize + (lid-1)%p.BatchSize + 1
+	}
+}
+
+// ValidityWatermark implements InvalidationAPI: a hosted range's validity
+// watermark (the dense-prefix frontier LId — every position below it is
+// resolved and served locally) and its announced assignment bound (every
+// position below it is assigned somewhere in the group). The span between
+// the two is this member's invalidation backlog.
+func (m *Maintainer) ValidityWatermark(rangeIdx int) (watermark, announced uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	watermark = m.cfg.Placement.LIdOfSlot(rangeIdx, st.filled)
+	announced = m.nextVec[rangeIdx]
+	if announced < watermark {
+		announced = watermark
+	}
+	return watermark, announced, nil
+}
+
+// invalBacklogLocked returns how many of rangeIdx's positions are
+// announced but unresolved here. Caller holds mu.
+func (m *Maintainer) invalBacklogLocked(rangeIdx int) uint64 {
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		return 0
+	}
+	if ann := m.slotsBelow(rangeIdx, m.nextVec[rangeIdx]); ann > st.filled {
+		return ann - st.filled
+	}
+	return 0
+}
+
+// Read implements MaintainerAPI. It serves every hosted range: below the
+// range's validity watermark the record comes straight from the local
+// store (any valid replica answers, no owner round trip); between the
+// watermark and the announced assignment bound the position is invalid
+// here — Read parks up to ReadBlockWait for the in-flight payload, then
+// returns a retryable ReadBlockedError so the caller fails over to a
+// fresher replica; above the announced bound the position does not exist
+// yet and the legacy core.ErrNoSuchRecord semantics apply.
 func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 	if h := m.readLatency; h != nil {
 		defer h.ObserveSince(time.Now())
@@ -670,7 +800,63 @@ func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 			return nil, fmt.Errorf("%w: LId %d > head %d", core.ErrPastHead, lid, head)
 		}
 	}
-	return m.store.Get(lid)
+	rec, err := m.store.Get(lid)
+	if err == nil {
+		m.LocalReadHits.Inc()
+		return rec, nil
+	}
+	if !errors.Is(err, core.ErrNoSuchRecord) {
+		return nil, err
+	}
+	return m.blockedRead(lid)
+}
+
+// blockedRead resolves a store miss against the invalidation state: a
+// position below the announced bound is assigned — locally invalid, not
+// absent — so the read parks on the progress channel for the in-flight
+// payload (bounded by ReadBlockWait) rather than serving a stale
+// no-such-record. Positions at or above the bound keep the legacy absent
+// semantics.
+func (m *Maintainer) blockedRead(lid uint64) (*core.Record, error) {
+	rangeIdx := m.cfg.Placement.Owner(lid)
+	var deadline time.Time
+	blocked := false
+	for {
+		// Grab the channel before checking state: progress between the
+		// check and the select closes this channel, so no wakeup is lost.
+		ch := m.waitChan()
+		m.mu.Lock()
+		announced := m.nextVec[rangeIdx]
+		m.mu.Unlock()
+		if lid >= announced {
+			return nil, core.ErrNoSuchRecord
+		}
+		// Assigned but missed above: either the payload is still in
+		// flight, or it resolved (frontier advance → store write) between
+		// the miss and now — re-check the store each pass.
+		if rec, err := m.store.Get(lid); err == nil {
+			m.LocalReadHits.Inc()
+			return rec, nil
+		}
+		if !blocked {
+			blocked = true
+			m.LocalReadBlocks.Inc()
+			if m.cfg.ReadBlockWait < 0 {
+				return nil, &ReadBlockedError{LId: lid, RetryAfter: readBlockHint}
+			}
+			deadline = time.Now().Add(m.cfg.ReadBlockWait)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, &ReadBlockedError{LId: lid, RetryAfter: readBlockHint}
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
 }
 
 // Scan implements MaintainerAPI. It serves only this maintainer's stored

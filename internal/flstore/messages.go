@@ -40,6 +40,8 @@ const (
 	msgReadRange
 	msgMultiRead
 	msgTailWait
+	msgInvalidate
+	msgWatermark
 )
 
 // --- encoding helpers ---
@@ -376,6 +378,33 @@ func ServeMaintainer(srv *rpc.Server, m MaintainerAPI) {
 	if rr, ok := m.(RangeReadAPI); ok {
 		serveRangeReadOps(srv, rr)
 	}
+	if iv, ok := m.(InvalidationAPI); ok {
+		serveInvalidationOps(srv, iv)
+	}
+}
+
+// serveInvalidationOps registers the Hermes-style invalidation handlers
+// for maintainers that implement InvalidationAPI. msgInvalidate is the
+// fast-path control frame riding ahead of every fan-out payload: two
+// fixed words, no response body, decoded in place.
+func serveInvalidationOps(srv *rpc.Server, iv InvalidationAPI) {
+	srv.Handle(msgInvalidate, func(p []byte) ([]byte, error) {
+		if len(p) < 16 {
+			return nil, errors.New("flstore: short Invalidate request")
+		}
+		return nil, iv.Invalidate(int(binary.LittleEndian.Uint64(p)), binary.LittleEndian.Uint64(p[8:]))
+	})
+	srv.Handle(msgWatermark, func(p []byte) ([]byte, error) {
+		if len(p) < 8 {
+			return nil, errors.New("flstore: short Watermark request")
+		}
+		wm, ann, err := iv.ValidityWatermark(int(binary.LittleEndian.Uint64(p)))
+		if err != nil {
+			return nil, err
+		}
+		resp := binary.LittleEndian.AppendUint64(make([]byte, 0, 16), wm)
+		return binary.LittleEndian.AppendUint64(resp, ann), nil
+	})
 }
 
 // serveRangeReadOps registers the batched read-path handlers for
@@ -642,6 +671,12 @@ func mapRemoteError(err error) error {
 		return fmt.Errorf("%w: %s", ErrNotReplica, msg)
 	case strings.Contains(msg, ErrOrderBacklog.Error()):
 		return fmt.Errorf("%w (remote)", ErrOrderBacklog)
+	case strings.Contains(msg, ErrReadBlocked.Error()):
+		hint := RetryAfter(err)
+		if hint <= 0 {
+			hint = readBlockHint
+		}
+		return &ReadBlockedError{RetryAfter: hint}
 	}
 	return err
 }
@@ -864,6 +899,25 @@ func (mc *maintainerClient) TailWait(rangeIdx int, cursor uint64, maxWait time.D
 		return 0, errors.New("flstore: short TailWait response")
 	}
 	return binary.LittleEndian.Uint64(resp), nil
+}
+
+func (mc *maintainerClient) Invalidate(rangeIdx int, upTo uint64) error {
+	// The invalidation frame rides ahead of every fan-out payload, so it
+	// shares the append hot path's allocation discipline: two fixed words
+	// through the pooled-buffer fast path, no response body.
+	_, err := rpc.CallU64s(mc.c, msgInvalidate, uint64(rangeIdx), upTo)
+	return mapRemoteError(err)
+}
+
+func (mc *maintainerClient) ValidityWatermark(rangeIdx int) (uint64, uint64, error) {
+	resp, err := rpc.CallU64s(mc.c, msgWatermark, uint64(rangeIdx))
+	if err != nil {
+		return 0, 0, mapRemoteError(err)
+	}
+	if len(resp) < 16 {
+		return 0, 0, errors.New("flstore: short Watermark response")
+	}
+	return binary.LittleEndian.Uint64(resp), binary.LittleEndian.Uint64(resp[8:]), nil
 }
 
 func (mc *maintainerClient) GossipVec(vec []uint64) ([]uint64, error) {

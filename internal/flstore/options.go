@@ -59,6 +59,18 @@ func WithAdaptivePacing() ClientOption {
 	return func(c *Client) { c.pace = &pacer{} }
 }
 
+// WithReadPolicy sets the replica read-placement policy on a replicated
+// client (replica.OwnerFirst, replica.SpreadReads, replica.NearestFirst).
+// Reads still fail over across the group in policy order when the picked
+// member is down or behind. No-op on unreplicated clients.
+func WithReadPolicy(p replica.ReadPolicy) ClientOption {
+	return func(c *Client) {
+		if c.session != nil {
+			c.session.SetReadPolicy(p)
+		}
+	}
+}
+
 // NewClientWith is NewClient plus construction-time options.
 func NewClientWith(ctrl ControllerAPI, opts ...ClientOption) (*Client, error) {
 	c, err := NewClient(ctrl)

@@ -53,17 +53,23 @@ func (t *tailRing) get(lid uint64) *core.Record {
 	return r
 }
 
-// cacheAppended inserts freshly persisted records into the tail ring.
+// cacheAppended inserts freshly persisted records into the tail ring and
+// wakes parked readers: the frontier advanced (under mu) before the store
+// write, so a watermark-covered read that raced the persistence window is
+// parked on the progress channel waiting for exactly this moment.
 func (m *Maintainer) cacheAppended(recs []*core.Record) {
 	if m.tail != nil {
 		m.tail.put(recs)
 	}
+	m.notifyProgressLocked()
 }
 
-// notifyProgressLocked wakes parked TailWait calls after a next-unfilled
-// entry advanced (local fills, replica ingestion, or gossip). Waiters
-// re-check their own range's frontier, so a broadcast that doesn't concern
-// them is just a spurious wakeup. Caller holds mu.
+// notifyProgressLocked wakes parked TailWait calls and blocked reads after
+// a next-unfilled entry advanced (local fills, replica ingestion, gossip,
+// or an invalidation announcement) or a batch persisted. Waiters re-check
+// their own condition, so a broadcast that doesn't concern them is just a
+// spurious wakeup. Safe with or without mu held (it takes only waitMu,
+// which is ordered after mu).
 func (m *Maintainer) notifyProgressLocked() {
 	m.waitMu.Lock()
 	if m.waitCh != nil {

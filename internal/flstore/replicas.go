@@ -7,15 +7,21 @@ import (
 // BuildClusterStatus assembles the replica-group standing that
 // ServeReplicas ships to `logctl replicas`: for every range's group, each
 // member's role, whether the frontier poll reached it, its frontier for the
-// range, and its catch-up lag in log positions relative to the most
-// advanced group member. frontier performs the poll (an in-process
-// maintainer handle or an RPC client); an error marks the member
+// range, its catch-up lag in log positions relative to the most advanced
+// group member, and — when a watermark probe is supplied — its validity
+// watermark and invalidation backlog. frontier performs the poll (an
+// in-process maintainer handle or an RPC client); an error marks the member
 // unreachable, whose lag then reads as the whole replicated prefix — the
-// worst case the catch-up protocol would have to transfer.
+// worst case the catch-up protocol would have to transfer. watermark may be
+// nil (pre-invalidation deployments): members then report their frontier as
+// the watermark and an empty backlog.
 func BuildClusterStatus(p Placement, layout replica.Layout, ack replica.AckPolicy,
-	frontier func(member, rangeIdx int) (uint64, error)) *replica.ClusterStatus {
+	frontier func(member, rangeIdx int) (uint64, error),
+	watermark func(member, rangeIdx int) (wm, announced uint64, err error)) *replica.ClusterStatus {
 	// A frontier is the range's next-unfilled LId, so its slot index is
-	// exactly how many of the range's positions the member holds.
+	// exactly how many of the range's positions the member holds. The
+	// announced bound is kept in the same frontier form by Invalidate, so
+	// the backlog is the slot-index difference.
 	slotOf := func(f uint64) uint64 {
 		if f == 0 {
 			return 0
@@ -35,8 +41,17 @@ func BuildClusterStatus(p Placement, layout replica.Layout, ack replica.AckPolic
 			if f, err := frontier(mi, ri); err == nil {
 				ms.Healthy = true
 				ms.Frontier = f
+				ms.ValidWatermark = f
 				if s := slotOf(f); s > maxSlot {
 					maxSlot = s
+				}
+			}
+			if watermark != nil && ms.Healthy {
+				if wm, ann, err := watermark(mi, ri); err == nil {
+					ms.ValidWatermark = wm
+					if a, w := slotOf(ann), slotOf(wm); a > w {
+						ms.InvalBacklog = a - w
+					}
 				}
 			}
 			gs.Members = append(gs.Members, ms)

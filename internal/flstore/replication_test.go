@@ -174,6 +174,11 @@ func TestReplicaStatusRPCRoundTrip(t *testing.T) {
 				return 0, errors.New("maintainer 2 unreachable")
 			}
 			return ms[mi].RangeFrontier(ri)
+		}, func(mi, ri int) (uint64, uint64, error) {
+			if mi == 2 {
+				return 0, 0, errors.New("maintainer 2 unreachable")
+			}
+			return ms[mi].ValidityWatermark(ri)
 		}), nil
 	})
 	st, err := FetchReplicas(rpc.NewLocalClient(srv))

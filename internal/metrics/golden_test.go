@@ -69,9 +69,14 @@ var goldenFamilies = []string{
 	"replica_evictions_total",
 	"replica_fanout_failures_total",
 	"replica_fanout_retries_total",
+	"replica_invalidation_backlog",
+	"replica_invalidations_total",
+	"replica_local_read_blocks_total",
+	"replica_local_read_hits_total",
 	"replica_member_state",
 	"replica_read_failovers_total",
 	"replica_readmissions_total",
+	"replica_valid_watermark",
 	"rpc_client_backoff_seconds",
 	"rpc_client_dial_failures_total",
 	"rpc_client_dials_total",

@@ -29,6 +29,7 @@ func CatchUpRange(target, peer Member, rangeIdx int, batchLimit int) (int, error
 			return total, fmt.Errorf("replica: catch-up peer frontier (range %d): %w", rangeIdx, err)
 		}
 		if have >= want {
+			replayInvalidations(target, peer, rangeIdx)
 			return total, nil
 		}
 		recs, err := peer.PullRange(rangeIdx, have, batchLimit)
@@ -46,6 +47,27 @@ func CatchUpRange(target, peer Member, rangeIdx int, batchLimit int) (int, error
 			return total, fmt.Errorf("replica: ingesting catch-up batch (range %d): %w", rangeIdx, err)
 		}
 		total += len(recs)
+	}
+}
+
+// replayInvalidations forwards the peer's announced-assignment bound to a
+// freshly caught-up target. The peer may know of assignments it has not
+// resolved itself (announcements outrun payloads by design); without the
+// replay, a rejoined member would treat those positions as nonexistent
+// and could serve a stale no-such-record the moment it is readmitted.
+// Best-effort by construction: members that predate the invalidation
+// protocol simply skip it, and the next live fan-out re-announces.
+func replayInvalidations(target, peer Member, rangeIdx int) {
+	inv, ok := target.(Invalidator)
+	if !ok {
+		return
+	}
+	wr, ok := peer.(WatermarkReporter)
+	if !ok {
+		return
+	}
+	if _, announced, err := wr.ValidityWatermark(rangeIdx); err == nil && announced > 0 {
+		_ = inv.Invalidate(rangeIdx, announced)
 	}
 }
 

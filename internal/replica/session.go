@@ -61,8 +61,13 @@ type SessionConfig struct {
 	// (e.g. maintainer overload) worth one paced retry during replica
 	// fan-out before the copy is counted as failed. nil disables the
 	// retry. A rejection is not a member failure: the member is healthy,
-	// just saturated, so it is never reported to the health tracker.
+	// just saturated, so it is never reported to the health tracker. On
+	// the read side a retryable error (a member blocked on an unresolved
+	// invalidation, or saturated) fails over to the next member without a
+	// health penalty.
 	IsRetryable func(error) bool
+	// ReadPolicy orders group members for reads (nil = OwnerFirst).
+	ReadPolicy ReadPolicy
 }
 
 // Session is the replication layer clients drive: it routes appends to an
@@ -75,8 +80,10 @@ type Session struct {
 
 	mu      sync.RWMutex
 	members []Member
+	policy  ReadPolicy // guarded by mu; never nil
 
-	rr atomic.Uint64 // round-robin range cursor for appends
+	rr        atomic.Uint64 // round-robin range cursor for appends
+	readToken atomic.Uint64 // per-read draw for load-spreading policies
 
 	// Counters are always maintained; EnableMetrics additionally exports
 	// them (plus the ack-latency histogram) to a registry.
@@ -86,6 +93,7 @@ type Session struct {
 	fanoutFailures  metrics.Counter
 	fanoutRetries   metrics.Counter
 	catchupRecords  metrics.Counter
+	invalidations   metrics.Counter
 	ackLatency      *metrics.BucketHistogram
 }
 
@@ -102,12 +110,40 @@ func NewSession(members []Member, cfg SessionConfig) (*Session, error) {
 	}
 	ms := make([]Member, len(members))
 	copy(ms, members)
+	pol := cfg.ReadPolicy
+	if pol == nil {
+		pol = OwnerFirst()
+	}
 	return &Session{
 		cfg:     cfg,
 		health:  NewHealth(cfg.Layout.N, cfg.EvictAfter),
 		members: ms,
+		policy:  pol,
 	}, nil
 }
+
+// SetReadPolicy swaps the policy ordering group members for reads.
+// Intended for configuration before the session sees traffic; concurrent
+// reads pick up the new policy on their next attempt sequence.
+func (s *Session) SetReadPolicy(p ReadPolicy) {
+	if p == nil {
+		p = OwnerFirst()
+	}
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
+// ReadPolicy returns the active read policy.
+func (s *Session) ReadPolicy() ReadPolicy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.policy
+}
+
+// Invalidations returns how many invalidation announcements the session
+// has delivered ahead of fan-out payloads.
+func (s *Session) Invalidations() uint64 { return s.invalidations.Value() }
 
 // EnableMetrics exports the session's replication instrumentation: append
 // ack latency (observed per successful quorum), append/read failovers,
@@ -121,6 +157,7 @@ func (s *Session) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
 	reg.CounterFunc("replica_read_failovers_total", func() float64 { return float64(s.readFailovers.Value()) }, extra...)
 	reg.CounterFunc("replica_fanout_failures_total", func() float64 { return float64(s.fanoutFailures.Value()) }, extra...)
 	reg.CounterFunc("replica_fanout_retries_total", func() float64 { return float64(s.fanoutRetries.Value()) }, extra...)
+	reg.CounterFunc("replica_invalidations_total", func() float64 { return float64(s.invalidations.Value()) }, extra...)
 	reg.CounterFunc("replica_catchup_records_total", func() float64 { return float64(s.catchupRecords.Value()) }, extra...)
 	reg.CounterFunc("replica_evictions_total", func() float64 { return float64(s.health.Evictions.Value()) }, extra...)
 	reg.CounterFunc("replica_readmissions_total", func() float64 { return float64(s.health.Readmissions.Value()) }, extra...)
@@ -244,11 +281,11 @@ func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
 		// replication cost a client-visible append pays beyond the
 		// primary's assignment and store.
 		fo := trace.Begin(tc, "replica.ack")
-		acks := 1 + s.fanOut(rangeIdx, ap, recs)
+		acks := 1 + s.fanOut(rangeIdx, ap, lids[len(lids)-1]+1, recs)
 		if acks < s.cfg.Ack.Required(s.cfg.Layout.R) {
 			fo.End(trace.Default(), "acks", lids[0], len(recs))
-			return lids, fmt.Errorf("%w: %d of %d (range %d)", ErrInsufficientAcks,
-				acks, s.cfg.Ack.Required(s.cfg.Layout.R), rangeIdx)
+			return lids, &AckError{Acked: acks, Required: s.cfg.Ack.Required(s.cfg.Layout.R),
+				Range: rangeIdx, RetryAfter: ackRetryHint}
 		}
 		fo.End(trace.Default(), "", lids[0], len(recs))
 		s.appends.Inc()
@@ -288,8 +325,12 @@ func (s *Session) primaryAppend(ap, rangeIdx int, recs []*core.Record) ([]uint64
 // fanOut sends copies to every usable group member except the acting
 // primary and returns how many succeeded. Fan-out waits for all members
 // (R is small), which keeps failure sequences deterministic under a seeded
-// fault schedule and reports precise ack counts.
-func (s *Session) fanOut(rangeIdx, actingPrimary int, recs []*core.Record) int {
+// fault schedule and reports precise ack counts. Members that implement
+// Invalidator first receive the batch's assignment announcement (upTo is
+// the exclusive LId bound: one past the batch's last assigned position),
+// so a follower knows the positions exist — and stops serving stale
+// no-such-record for them — before the payload lands.
+func (s *Session) fanOut(rangeIdx, actingPrimary int, upTo uint64, recs []*core.Record) int {
 	g := s.cfg.Layout.Group(rangeIdx)
 	var wg sync.WaitGroup
 	var acked atomic.Int64
@@ -301,7 +342,16 @@ func (s *Session) fanOut(rangeIdx, actingPrimary int, recs []*core.Record) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			err := s.Member(mi).ReplicaAppend(recs)
+			m := s.Member(mi)
+			if inv, ok := m.(Invalidator); ok && upTo > 0 {
+				// Best-effort: the copy that follows carries the same
+				// information; a dropped invalidation only delays local
+				// readability, never correctness.
+				if err := inv.Invalidate(rangeIdx, upTo); err == nil {
+					s.invalidations.Inc()
+				}
+			}
+			err := m.ReplicaAppend(recs)
 			if err != nil && s.retryable(err) {
 				// A saturated follower rejected the copy; wait out its
 				// pacing hint (capped) and try once more before giving the
@@ -343,19 +393,24 @@ func (s *Session) Read(lid uint64) (*core.Record, error) {
 }
 
 // ReadWith runs a read-side operation against rangeIdx's group with the
-// same failover discipline as Read: members in acting-primary order,
-// evicted members skipped, logic errors propagated, transport errors
-// reported to the health tracker before moving to the next member. fn
-// returns its result through its closure. This is the hook the batched
-// read path (range reads, tail waits) shares with single-record reads.
+// session's failover discipline: members in read-policy order (OwnerFirst
+// unless configured otherwise), evicted members skipped, logic errors
+// propagated, transport errors reported to the health tracker before
+// moving to the next member. Retryable errors — a member blocked on an
+// unresolved invalidation, or one shedding load — also fail over, but
+// without a health penalty: the member is healthy, just momentarily
+// behind or saturated. fn returns its result through its closure. This is
+// the hook the batched read path (range reads, tail waits) shares with
+// single-record reads.
 func (s *Session) ReadWith(rangeIdx int, fn func(m Member) error) error {
 	var lastErr error
 	tried := 0
-	// Group membership inline (owner, then the R−1 followers): ReadWith is
-	// the per-RPC failover wrapper on the batched read path, so the members
-	// slice Layout.Group builds would be a per-call allocation.
+	pol := s.ReadPolicy()
+	// One token per read: a spreading policy rotates the starting member
+	// across reads but keeps the failover order stable within this one.
+	token := s.readToken.Add(1)
 	for k := 0; k < s.cfg.Layout.R; k++ {
-		mi := (rangeIdx + k) % s.cfg.Layout.N
+		mi := pol.Pick(s.cfg.Layout, rangeIdx, k, token)
 		if !s.health.Usable(mi) {
 			continue
 		}
@@ -369,6 +424,11 @@ func (s *Session) ReadWith(rangeIdx int, fn func(m Member) error) error {
 		}
 		if s.fatal(err) {
 			return err
+		}
+		if s.retryable(err) {
+			lastErr = err
+			tried++
+			continue
 		}
 		s.health.ReportFailure(mi)
 		lastErr = err

@@ -19,6 +19,14 @@ type MemberStatus struct {
 	// LagLIds is how many of the range's positions the member is missing
 	// relative to the most advanced group member — the catch-up debt.
 	LagLIds uint64 `json:"lag_lids"`
+	// ValidWatermark is the member's validity watermark for the range:
+	// the dense-prefix frontier LId below which every position is
+	// resolved locally and served without an owner round trip.
+	ValidWatermark uint64 `json:"valid_watermark"`
+	// InvalBacklog is how many of the range's positions the member knows
+	// are assigned (announced by invalidation or gossip) but has not yet
+	// resolved — reads there block or fail over until the payload lands.
+	InvalBacklog uint64 `json:"inval_backlog"`
 }
 
 // GroupStatus is one range's replica group.

@@ -1,0 +1,24 @@
+package rpc
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+// CallU64s issues a fixed-word control call: the words are encoded
+// little-endian into a pooled wire buffer, the call is made, and the
+// buffer is returned to the pool. This is the allocation-free fast path
+// for tiny control frames that ride the append hot path — replica
+// invalidation announcements, frontier/watermark probes — where an
+// encode-side allocation per append would show up in the alloc budgets.
+// The response (if any) is owned by the caller, as with Client.Call.
+func CallU64s(c Client, msgType uint8, words ...uint64) ([]byte, error) {
+	req := wire.GetBuf()
+	for _, w := range words {
+		*req = binary.LittleEndian.AppendUint64(*req, w)
+	}
+	resp, err := c.Call(msgType, *req)
+	wire.PutBuf(req)
+	return resp, err
+}

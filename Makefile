@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read trace-smoke api-snapshot api-check
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read bench-scale trace-smoke api-snapshot api-check
 
 # The public surface of the client-facing packages, as sorted declaration
 # lines from `go doc -all`. api-check fails when the surface drifts from
@@ -47,8 +47,8 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test api-check trace-smoke
-	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject
+check: build vet test api-check trace-smoke bench-scale
+	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject ./internal/scale
 	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
 
 # trace-smoke proves the tracing layer end to end: the span trees of a
@@ -58,6 +58,13 @@ check: build vet test api-check trace-smoke
 trace-smoke:
 	$(GO) test -run 'TraceSmoke' -count=1 ./internal/cluster
 	$(GO) test -run 'AllocBudget' -count=1 ./internal/flstore ./internal/chariots
+
+# bench-scale is the scale-harness smoke: a reduced steady run over the
+# emulated 2-DC WAN plus the partition/heal replay (two same-seed runs
+# must produce byte-identical event logs and converge after heal). The
+# full-size scenarios (>= 10K sessions) run via `repro -exp scale`.
+bench-scale:
+	$(GO) test -run 'TestScaleSteadySmoke|TestScalePartitionHealReplay' -count=1 ./internal/scale
 
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.

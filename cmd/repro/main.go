@@ -9,11 +9,16 @@
 // Experiments: fig7, fig8, table2, table3, table4, table5, fig9,
 // ablation-sequencer, ablation-batchsize, ablation-gossip,
 // ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover,
-// readpath, overload, tracelat.
+// readpath, overload, tracelat, scale.
+//
+// The scale experiment runs entries of the internal/scale scenario matrix
+// at full acceptance size (>= 10000 open-loop sessions); select one with
+// -scenario, or leave it empty for the steady + partition pair:
+//
+//	go run ./cmd/repro -exp scale -scenario herd
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +28,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/replica"
+	"repro/internal/scale"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig7, fig8, table2..table5, fig9, ablation-*)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig7, fig8, table2..table5, fig9, ablation-*, scale)")
 	dur := flag.Duration("dur", 2*time.Second, "steady-state measurement window per point")
+	scenario := flag.String("scenario", "", "scale scenario to run (steady, diurnal, hotkey, herd, partition; empty = steady + partition)")
 	flag.Parse()
 
 	runners := map[string]func(time.Duration) error{
@@ -49,12 +56,13 @@ func main() {
 		"readpath":            runReadPath,
 		"overload":            runOverload,
 		"tracelat":            runTraceLat,
+		"scale":               func(d time.Duration) error { return runScale(*scenario, d) },
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
-		"failover", "readpath", "overload", "tracelat",
+		"failover", "readpath", "overload", "tracelat", "scale",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -409,11 +417,7 @@ func runReadPath(dur time.Duration) error {
 	fmt.Printf("scale R=%d -> R=%d aggregate read throughput %.1fx (bar: >= 2x)\n",
 		points[0].Replication, points[len(points)-1].Replication, res.ReadScalingX)
 
-	buf, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_readpath.json", append(buf, '\n'), 0o644); err != nil {
+	if err := cluster.WriteBench("BENCH_readpath.json", "readpath", res); err != nil {
 		return err
 	}
 	fmt.Println("wrote BENCH_readpath.json")
@@ -456,11 +460,7 @@ func runTraceLat(dur time.Duration) error {
 	}
 	fmt.Print(tb.String())
 	fmt.Printf("pipeline stages traced: %s\n", strings.Join(res.PipelineStages, ", "))
-	buf, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_trace.json", append(buf, '\n'), 0o644); err != nil {
+	if err := cluster.WriteBench("BENCH_trace.json", "trace", res); err != nil {
 		return err
 	}
 	fmt.Println("wrote BENCH_trace.json")
@@ -488,16 +488,13 @@ func runOverload(dur time.Duration) error {
 		if arm.Admission {
 			mode = "on "
 		}
-		fmt.Printf("admission %s  offered %7d accepted %7d shed %7d | in-flight high water %6d | probe p50 %7.1fms p99 %7.1fms (%d probes, %d shed) | applied %7.0f recs/s\n",
+		fmt.Printf("admission %s  offered %7d accepted %7d shed %7d | in-flight high water %6d | probe p50 %7.1fms p99 %7.1fms (%d probes, %d shed) | accept p50 %7.1fms p99 %7.1fms | applied %7.0f recs/s\n",
 			mode, arm.Offered, arm.Accepted, arm.Shed, arm.CreditHighWater,
-			arm.ProbeP50Ms, arm.ProbeP99Ms, arm.ProbeCount, arm.ProbeSheds, arm.AppliedPerSec)
+			arm.ProbeP50Ms, arm.ProbeP99Ms, arm.ProbeCount, arm.ProbeSheds,
+			arm.AcceptP50Ms, arm.AcceptP99Ms, arm.AppliedPerSec)
 	}
 	fmt.Printf("high-water ratio (off/on) %.1fx | p99 ratio (off/on) %.1fx\n", res.HighWaterRatio, res.P99Ratio)
-	buf, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_overload.json", append(buf, '\n'), 0o644); err != nil {
+	if err := cluster.WriteBench("BENCH_overload.json", "overload", res); err != nil {
 		return err
 	}
 	fmt.Println("wrote BENCH_overload.json")
@@ -513,5 +510,47 @@ func runOverload(dur time.Duration) error {
 	if res.P99Ratio < 2 {
 		return fmt.Errorf("p99 ratio %.1fx below the 2x acceptance bar (admission made no difference)", res.P99Ratio)
 	}
+	return nil
+}
+
+func runScale(scenario string, _ time.Duration) error {
+	header("Extension — million-client scale harness (open-loop sessions over emulated WAN)",
+		"not in the paper's evaluation: tens of thousands of concurrent open-loop sessions with coordinated-omission-safe latency, seeded WAN link profiles, and scripted partition/heal on one replayable event log; scenarios run at their declared full size regardless of -dur so the schedules stay reproducible")
+	names := []string{"steady", "partition"}
+	if scenario != "" {
+		names = []string{scenario}
+	}
+	bench, err := cluster.RunScaleMatrix(names, scale.Options{Seed: 1})
+	if err != nil {
+		return err
+	}
+	tb := &metrics.Table{Header: []string{"scenario", "dcs", "sessions", "offered/s", "achieved/s", "p50", "p99", "p999", "shed", "converge", "wan evs", "log fp"}}
+	for _, r := range bench.Scenarios {
+		tb.AddRow(r.Scenario,
+			fmt.Sprint(r.DCs),
+			fmt.Sprint(r.Sessions),
+			fmt.Sprintf("%.0f", r.OfferedPerSec),
+			fmt.Sprintf("%.0f", r.AchievedPerSec),
+			fmt.Sprintf("%.1fms", r.P50Ms),
+			fmt.Sprintf("%.1fms", r.P99Ms),
+			fmt.Sprintf("%.1fms", r.P999Ms),
+			fmt.Sprint(r.ShedServer+r.ShedClient),
+			fmt.Sprintf("%.0fms", r.ConvergeMs),
+			fmt.Sprint(r.WANEvents),
+			r.EventLogFingerprint)
+	}
+	fmt.Print(tb.String())
+	for _, r := range bench.Scenarios {
+		if r.Sessions < 10000 {
+			return fmt.Errorf("scenario %s ran %d sessions, below the 10000-session acceptance floor", r.Scenario, r.Sessions)
+		}
+		if r.Completed == 0 {
+			return fmt.Errorf("scenario %s completed no appends", r.Scenario)
+		}
+	}
+	if err := cluster.WriteBench("BENCH_scale.json", "scale", bench); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_scale.json")
 	return nil
 }

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema versions the envelope every BENCH_*.json artifact shares.
+// Bump only when the envelope itself changes shape; the per-bench payload
+// under "data" is versioned by the schema-golden test instead.
+const BenchSchema = "repro/bench/v1"
+
+// BenchDoc is the shared envelope: which bench produced the artifact and
+// its typed payload. Downstream tooling dispatches on Bench without
+// guessing from filenames, and a schema bump is a visible diff in every
+// artifact at once.
+type BenchDoc struct {
+	Schema string `json:"schema"`
+	Bench  string `json:"bench"`
+	Data   any    `json:"data"`
+}
+
+// WriteBench emits one benchmark artifact: the payload wrapped in the
+// BenchDoc envelope, indented, newline-terminated, written atomically-ish
+// (truncate+write) to path. Every experiment that previously hand-rolled
+// its own MarshalIndent+WriteFile goes through here so the artifacts stay
+// structurally identical.
+func WriteBench(path, bench string, data any) error {
+	buf, err := json.MarshalIndent(BenchDoc{Schema: BenchSchema, Bench: bench, Data: data}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s bench: %w", bench, err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cluster: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -12,13 +12,14 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chariots"
 	"repro/internal/core"
 	"repro/internal/flstore"
+	"repro/internal/scale"
 	"repro/internal/workload"
 )
 
@@ -47,13 +48,22 @@ type OverloadArm struct {
 	// CreditHighWater is the most records the pipeline held between
 	// ingress and apply at any point.
 	CreditHighWater int `json:"credit_high_water"`
-	// Probe latencies are the time from an append being admitted at
-	// ingress to its AppendAck (shed rejections retry first and are
-	// counted in ProbeSheds, not in the latency).
+	// Probe latencies are measured from each probe's intended start on a
+	// fixed schedule to its AppendAck — shed rejections retry first and
+	// their pacing sleeps accrue to the same probe's latency
+	// (coordinated-omission-safe; ProbeSheds counts the rejections).
 	ProbeCount int     `json:"probe_count"`
 	ProbeSheds uint64  `json:"probe_sheds"`
 	ProbeP50Ms float64 `json:"probe_p50_ms"`
 	ProbeP99Ms float64 `json:"probe_p99_ms"`
+	// Accept latencies are the open-loop generator's offered-vs-accepted
+	// measurement: intended offer time per the fixed schedule to the
+	// batch's acceptance at ingress. With admission off and the stage
+	// buffers full, ingress queues behind the saturated pipeline and this
+	// grows without bound; with it on, batches are accepted or shed
+	// promptly.
+	AcceptP50Ms float64 `json:"accept_p50_ms"`
+	AcceptP99Ms float64 `json:"accept_p99_ms"`
 	// AppliedPerSec is the log's achieved apply throughput.
 	AppliedPerSec float64 `json:"applied_per_sec"`
 }
@@ -101,14 +111,21 @@ func runOverloadArm(opts OverloadOptions, admission bool) (OverloadArm, error) {
 		RecordSize:   opts.RecordSize,
 		BatchSize:    64,
 	}
+	var acceptHist scale.Hist
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		gen.Run(func(recs []*core.Record) int {
+		gen.RunTimed(func(intended time.Time, recs []*core.Record) int {
 			if err := dc.TryInject(recs); err != nil {
 				return 0 // shed (or, admission off, never: credits unbounded)
 			}
+			// Accepted: offered-vs-accepted latency against the schedule's
+			// intended offer time. With admission off TryInject blocks on
+			// the pipeline's full buffers; that wait — and the wait of
+			// every batch scheduled behind it — is exactly the latency the
+			// re-anchoring generator used to forgive.
+			acceptHist.Record(time.Since(intended))
 			return len(recs)
 		}, opts.Duration+opts.Duration/4)
 	}()
@@ -116,29 +133,36 @@ func runOverloadArm(opts OverloadOptions, admission bool) (OverloadArm, error) {
 	// Let the pipeline reach its saturated steady state before probing.
 	time.Sleep(opts.Duration / 4)
 
-	// Closed-loop probe: one append at a time, retrying shed rejections
-	// (paced by the server hint) until admitted, timing admission→ack.
-	var latencies []time.Duration
-	var probeSheds uint64
-	probeDeadline := time.Now().Add(opts.Duration)
-	for time.Now().Before(probeDeadline) {
-		start := time.Now()
-		_, err := dc.Append([]byte("probe"), nil)
-		if err != nil {
-			if flstore.IsRetryable(err) {
-				probeSheds++
-				d := flstore.RetryAfter(err)
-				if d <= 0 {
-					d = time.Millisecond
-				}
-				time.Sleep(d)
-				continue
+	// Open-loop probe: 50 concurrent sessions offer appends on a fixed
+	// aggregate 200/s schedule, and every probe's latency runs from its
+	// intended start to the AppendAck — shed-retry pacing and queueing
+	// behind a slow earlier probe on the same session both accrue to the
+	// probe they delayed (coordinated-omission-safe). The closed-loop
+	// predecessor restarted its clock on every retry, reporting only the
+	// final admitted attempt.
+	var probeSheds atomic.Uint64
+	probe := scale.NewEngine(scale.Config{
+		Sessions:     50,
+		TargetPerSec: 200,
+		Duration:     opts.Duration,
+		Seed:         1,
+		RetryFor:     30 * time.Second,
+		Op: func(int, time.Time) error {
+			_, err := dc.Append([]byte("probe"), nil)
+			return err
+		},
+		Retry: func(err error) (time.Duration, bool) {
+			if !flstore.IsRetryable(err) {
+				return 0, false
 			}
-			wg.Wait()
-			return arm, err
-		}
-		latencies = append(latencies, time.Since(start))
-		time.Sleep(5 * time.Millisecond)
+			probeSheds.Add(1)
+			return flstore.RetryAfter(err), true
+		},
+	})
+	probeStats := probe.Run()
+	if probeStats.Errors > 0 {
+		wg.Wait()
+		return arm, fmt.Errorf("cluster: %d probe appends failed", probeStats.Errors)
 	}
 	wg.Wait()
 
@@ -147,12 +171,15 @@ func runOverloadArm(opts OverloadOptions, admission bool) (OverloadArm, error) {
 	arm.Accepted = gen.Accepted.Value()
 	arm.Shed = stats.Sheds
 	arm.CreditHighWater = stats.MaxInUse
-	arm.ProbeCount = len(latencies)
-	arm.ProbeSheds = probeSheds
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		arm.ProbeP50Ms = float64(latencies[len(latencies)/2]) / float64(time.Millisecond)
-		arm.ProbeP99Ms = float64(latencies[len(latencies)*99/100]) / float64(time.Millisecond)
+	arm.ProbeCount = int(probeStats.Completed)
+	arm.ProbeSheds = probeSheds.Load()
+	if probeStats.Completed > 0 {
+		arm.ProbeP50Ms = float64(probeStats.Hist.Quantile(0.50)) / float64(time.Millisecond)
+		arm.ProbeP99Ms = float64(probeStats.Hist.Quantile(0.99)) / float64(time.Millisecond)
+	}
+	if acceptHist.Count() > 0 {
+		arm.AcceptP50Ms = float64(acceptHist.Quantile(0.50)) / float64(time.Millisecond)
+		arm.AcceptP99Ms = float64(acceptHist.Quantile(0.99)) / float64(time.Millisecond)
 	}
 	arm.AppliedPerSec = float64(dc.AppliedCount()) / (opts.Duration + opts.Duration/4).Seconds()
 	// Drain what the pipeline still holds so Stop does not race the

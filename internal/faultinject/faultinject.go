@@ -10,6 +10,14 @@
 // network path look identical (the call errors). Scripted events (Sever,
 // Heal) compose with the probabilistic schedule; both feed one shared
 // event log so tests can assert replay equality.
+//
+// Two consumption surfaces share one controller: rpc.Clients wrapped with
+// Wrap (faults applied inline to Call), and non-RPC transports that ask
+// for the decision explicitly with Next and apply it themselves — the WAN
+// emulation in internal/scale wraps the chariots inter-datacenter
+// delivery path this way. Per-link overrides (SetLink) turn the uniform
+// schedule into a per-DC-pair latency/jitter/loss matrix while keeping
+// every decision a pure function of (seed, link, step).
 package faultinject
 
 import (
@@ -55,6 +63,35 @@ type Options struct {
 	Sleep func(time.Duration)
 }
 
+// LinkOptions overrides the controller-wide probabilities for one named
+// link — the per-DC-pair entries of a WAN latency/jitter/loss matrix.
+// A link with options set draws from the same seeded per-link stream as
+// before, so setting options never perturbs other links' schedules.
+type LinkOptions struct {
+	// DropP/DupP/DelayP are per-call probabilities, as in Options.
+	DropP  float64
+	DupP   float64
+	DelayP float64
+	// Delay is the base injected latency for delayed calls.
+	Delay time.Duration
+	// Jitter adds a deterministic uniform [0, Jitter) component on top of
+	// Delay each time a delay fires, drawn from the link's seeded stream —
+	// same seed, same per-link delay sequence.
+	Jitter time.Duration
+}
+
+// Outcome is the resolved fault decision for one call on a link.
+type Outcome struct {
+	// Action is the injected fault; "" means deliver normally. ActionReject
+	// reports a severed link, ActionDrop a lost call; both mean the call
+	// must not be delivered. ActionDelay carries the resolved latency;
+	// ActionDup asks the transport to deliver twice.
+	Action Action
+	// Delay is the resolved injected latency (base + jitter) when Action
+	// is ActionDelay, zero otherwise.
+	Delay time.Duration
+}
+
 // Action identifies one injected event.
 type Action string
 
@@ -81,6 +118,8 @@ type Controller struct {
 	mu      sync.Mutex
 	severed map[string]bool
 	steps   map[string]uint64
+	links   map[string]LinkOptions
+	delays  map[string][]time.Duration
 	events  []Event
 }
 
@@ -93,7 +132,19 @@ func New(opts Options) *Controller {
 		opts:    opts,
 		severed: make(map[string]bool),
 		steps:   make(map[string]uint64),
+		links:   make(map[string]LinkOptions),
+		delays:  make(map[string][]time.Duration),
 	}
+}
+
+// SetLink installs per-link options overriding the controller-wide
+// schedule for the named link. Call before traffic flows on the link; the
+// decision at step N depends only on (seed, link, N) and the options in
+// effect at that step.
+func (c *Controller) SetLink(link string, o LinkOptions) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links[link] = o
 }
 
 // Wrap returns a client that applies the controller's schedule to every
@@ -157,30 +208,65 @@ func (c *Controller) Fingerprint() string {
 	return string(b)
 }
 
+// Next advances the named link's step counter and resolves the fault (if
+// any) for this call — the decision surface for transports that are not
+// rpc.Clients. The caller applies the outcome itself: error out on
+// ActionReject/ActionDrop, hold delivery for Outcome.Delay on ActionDelay,
+// deliver twice on ActionDup.
+func (c *Controller) Next(link string) Outcome {
+	return c.decide(link)
+}
+
+// Delays returns the resolved latencies of the link's delay events so far,
+// in step order — with per-link Jitter this is the per-link delay sequence
+// the replay property is asserted over.
+func (c *Controller) Delays(link string) []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.delays[link]))
+	copy(out, c.delays[link])
+	return out
+}
+
 // decide advances the link's step counter and resolves the fault (if any)
 // for this call from the pure (seed, link, step) function.
-func (c *Controller) decide(link string) (act Action, severed bool) {
+func (c *Controller) decide(link string) Outcome {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	step := c.steps[link]
 	c.steps[link] = step + 1
 	if c.severed[link] {
 		c.events = append(c.events, Event{Link: link, Step: step, Action: ActionReject})
-		return ActionReject, true
+		return Outcome{Action: ActionReject}
 	}
+	o, ok := c.links[link]
+	if !ok {
+		o = LinkOptions{DropP: c.opts.DropP, DupP: c.opts.DupP, DelayP: c.opts.DelayP, Delay: c.opts.Delay}
+	}
+	// The draw order (drop, dup, delay, then jitter) is part of the replay
+	// contract: reordering it would change every seeded schedule.
 	r := rng{state: c.opts.Seed ^ hashLink(link) ^ (step * 0x9E3779B97F4A7C15)}
+	var act Action
 	switch {
-	case c.opts.DropP > 0 && r.float64() < c.opts.DropP:
+	case o.DropP > 0 && r.float64() < o.DropP:
 		act = ActionDrop
-	case c.opts.DupP > 0 && r.float64() < c.opts.DupP:
+	case o.DupP > 0 && r.float64() < o.DupP:
 		act = ActionDup
-	case c.opts.DelayP > 0 && r.float64() < c.opts.DelayP:
+	case o.DelayP > 0 && r.float64() < o.DelayP:
 		act = ActionDelay
 	default:
-		return "", false
+		return Outcome{}
+	}
+	out := Outcome{Action: act}
+	if act == ActionDelay {
+		out.Delay = o.Delay
+		if o.Jitter > 0 {
+			out.Delay += time.Duration(r.float64() * float64(o.Jitter))
+		}
+		c.delays[link] = append(c.delays[link], out.Delay)
 	}
 	c.events = append(c.events, Event{Link: link, Step: step, Action: act})
-	return act, false
+	return out
 }
 
 // client applies the schedule to one link.
@@ -192,12 +278,11 @@ type client struct {
 
 // Call implements rpc.Client.
 func (f *client) Call(msgType uint8, payload []byte) ([]byte, error) {
-	act, severed := f.ctl.decide(f.link)
-	if severed {
+	out := f.ctl.decide(f.link)
+	switch out.Action {
+	case ActionReject:
 		f.annotate(ActionReject, msgType, payload).End(trace.Default(), "reject", 0, 0)
 		return nil, fmt.Errorf("%w: %s", ErrSevered, f.link)
-	}
-	switch act {
 	case ActionDrop:
 		f.annotate(ActionDrop, msgType, payload).End(trace.Default(), "drop", 0, 0)
 		return nil, fmt.Errorf("%w: %s", ErrDropped, f.link)
@@ -205,7 +290,7 @@ func (f *client) Call(msgType uint8, payload []byte) ([]byte, error) {
 		// The span brackets the injected sleep, so the delay shows up as
 		// an explicit fault.delay hop rather than unexplained rpc.call time.
 		sp := f.annotate(ActionDelay, msgType, payload)
-		f.ctl.opts.Sleep(f.ctl.opts.Delay)
+		f.ctl.opts.Sleep(out.Delay)
 		sp.End(trace.Default(), "delay", 0, 0)
 	case ActionDup:
 		// Deliver twice; the first response is discarded (the duplicate a

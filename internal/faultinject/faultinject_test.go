@@ -195,6 +195,87 @@ func TestClosepassesThrough(t *testing.T) {
 	}
 }
 
+func TestPerLinkOptionsOverrideGlobal(t *testing.T) {
+	ctl := New(Options{Seed: 5, DropP: 1})
+	ctl.SetLink("wan", LinkOptions{DelayP: 1, Delay: 3 * time.Millisecond})
+
+	// The overridden link never drops; every call delays by the base.
+	for i := 0; i < 16; i++ {
+		out := ctl.Next("wan")
+		if out.Action != ActionDelay || out.Delay != 3*time.Millisecond {
+			t.Fatalf("wan step %d = %+v, want delay 3ms", i, out)
+		}
+	}
+	// Links without an override still follow the global schedule.
+	if out := ctl.Next("plain"); out.Action != ActionDrop {
+		t.Fatalf("plain link = %+v, want drop under global DropP=1", out)
+	}
+	if got := ctl.Delays("wan"); len(got) != 16 {
+		t.Fatalf("Delays(wan) recorded %d entries, want 16", len(got))
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		ctl := New(Options{Seed: seed})
+		ctl.SetLink("dc0->dc1", LinkOptions{DelayP: 1, Delay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+		for i := 0; i < 64; i++ {
+			out := ctl.Next("dc0->dc1")
+			if out.Delay < 10*time.Millisecond || out.Delay >= 15*time.Millisecond {
+				t.Fatalf("step %d delay %v outside [10ms, 15ms)", i, out.Delay)
+			}
+		}
+		return ctl.Delays("dc0->dc1")
+	}
+	a, b := run(11), run(11)
+	if len(a) != 64 {
+		t.Fatalf("recorded %d delays, want 64", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical jitter sequence")
+	}
+}
+
+func TestNextSeverFeedsSharedEventLog(t *testing.T) {
+	// Scripted events and Next-driven probabilistic events land on one log
+	// with one fingerprint — the replayable record of a WAN scenario.
+	ctl := New(Options{Seed: 2})
+	ctl.SetLink("l", LinkOptions{DelayP: 1, Delay: time.Millisecond})
+	ctl.Next("l")
+	ctl.Sever("l")
+	if out := ctl.Next("l"); out.Action != ActionReject {
+		t.Fatalf("severed Next = %+v, want reject", out)
+	}
+	ctl.Heal("l")
+	ctl.Next("l")
+	want := []Action{ActionDelay, ActionSever, ActionReject, ActionHeal, ActionDelay}
+	evs := ctl.Events()
+	if len(evs) != len(want) {
+		t.Fatalf("events = %v, want %v", evs, want)
+	}
+	for i, e := range evs {
+		if e.Action != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, e.Action, want[i])
+		}
+	}
+	if ctl.Fingerprint() == "" {
+		t.Fatal("empty fingerprint for a populated event log")
+	}
+}
+
 // TestFaultAnnotatesSpans verifies that drops on a traced call leave a
 // fault.* span on the call's trace in the flight recorder, while untraced
 // calls leave nothing.

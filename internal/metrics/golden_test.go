@@ -87,6 +87,9 @@ var goldenFamilies = []string{
 	"rpc_server_call_seconds",
 	"rpc_server_errors_total",
 	"rpc_server_inflight_requests",
+	"scale_offered_total",
+	"scale_sessions_active",
+	"scale_shed_total",
 	"storage_disk_bytes",
 	"storage_fsync_seconds",
 	"storage_records",
@@ -95,7 +98,7 @@ var goldenFamilies = []string{
 
 // familyPat matches a metric family name of one of the repo's prefixed
 // namespaces, as a whole string literal (code) or backticked token (doc).
-var familyPat = regexp.MustCompile(`^(rpc|flstore|replica|storage|chariots)_[a-z][a-z0-9_]*$`)
+var familyPat = regexp.MustCompile(`^(rpc|flstore|replica|storage|chariots|scale)_[a-z][a-z0-9_]*$`)
 
 func diffSets(t *testing.T, what string, got, want map[string]bool) {
 	t.Helper()

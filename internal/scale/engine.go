@@ -1,0 +1,227 @@
+package scale
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config drives one Engine run.
+type Config struct {
+	// Sessions is the number of concurrent client sessions. Each session
+	// is one serial logical client (a connection): its own arrivals are
+	// issued in order, while the population is open-loop — an arrival's
+	// intended start never moves because the system is slow.
+	Sessions int
+	// TargetPerSec is the aggregate offered arrival rate at the shape's
+	// peak, split evenly across sessions.
+	TargetPerSec float64
+	// Duration is the arrival-schedule horizon; the run ends when every
+	// session has worked through its schedule (which can take longer than
+	// Duration when the system is saturated).
+	Duration time.Duration
+	// Seed derives every session's arrival schedule.
+	Seed uint64
+	// Shape modulates the arrival rate over the run (nil = Steady).
+	Shape Shape
+	// Op issues one request for the session — called serially per session,
+	// concurrently across sessions. The engine measures the op against the
+	// arrival's intended start.
+	Op func(session int, intended time.Time) error
+	// Retry classifies an op error: retryable errors return a pacing hint
+	// and true, and the engine retries the same arrival (the retries and
+	// pacing sleeps all accrue to the arrival's latency). nil = never
+	// retry.
+	Retry func(err error) (time.Duration, bool)
+	// RetryFor bounds how long one arrival keeps retrying, measured from
+	// its intended start; past it the arrival lands in the shed ledger
+	// (default 1s).
+	RetryFor time.Duration
+	// MaxLag, when > 0, sheds arrivals whose intended start is already
+	// more than MaxLag in the past when the session reaches them — the
+	// client-side give-up of a collapsing connection. Shed arrivals are
+	// counted, never silently skipped. 0 disables the guard: every arrival
+	// is attempted no matter how late (pure open-loop accounting).
+	MaxLag time.Duration
+}
+
+// Ledger accounts for the fate of every offered arrival:
+// Offered = Completed + ShedServer + ShedClient + Errors.
+type Ledger struct {
+	// Offered arrivals per the schedule (paused time included — the
+	// schedule does not stop when sessions do).
+	Offered uint64 `json:"offered"`
+	// Completed ops, recorded in the latency histogram.
+	Completed uint64 `json:"completed"`
+	// ShedServer counts arrivals rejected with a retryable error past the
+	// retry budget — load the system explicitly refused.
+	ShedServer uint64 `json:"shed_server"`
+	// ShedClient counts arrivals dropped by the MaxLag guard — load the
+	// harness gave up on before issuing.
+	ShedClient uint64 `json:"shed_client"`
+	// Errors counts non-retryable op failures.
+	Errors uint64 `json:"errors"`
+}
+
+// Stats is the outcome of one Engine run.
+type Stats struct {
+	Ledger
+	// Elapsed is issue of the first arrival to completion of the last.
+	Elapsed time.Duration
+	// Hist holds the completed ops' intended-start-based latencies.
+	Hist *Hist
+}
+
+// Engine drives Config.Sessions concurrent sessions through their
+// precomputed arrival schedules, recording coordinated-omission-safe
+// latency: every op is measured from the schedule's intended start, so
+// queueing behind a stalled session, retry pacing, and pause windows all
+// show up in the tail instead of vanishing into a generator that politely
+// waited.
+type Engine struct {
+	cfg  Config
+	hist Hist
+
+	offered    atomic.Uint64
+	completed  atomic.Uint64
+	shedServer atomic.Uint64
+	shedClient atomic.Uint64
+	errs       atomic.Uint64
+	active     atomic.Int64
+
+	gateMu sync.Mutex
+	gateCh chan struct{}
+	paused bool
+}
+
+// NewEngine returns an engine for the given config.
+func NewEngine(cfg Config) *Engine {
+	if cfg.RetryFor <= 0 {
+		cfg.RetryFor = time.Second
+	}
+	if cfg.Shape == nil {
+		cfg.Shape = Steady{}
+	}
+	e := &Engine{cfg: cfg, gateCh: make(chan struct{})}
+	close(e.gateCh) // gate starts open
+	return e
+}
+
+// EnableMetrics registers the engine's session-scale series on reg:
+// scale_sessions_active (sessions with an op in flight),
+// scale_offered_total, and scale_shed_total (client + server sheds).
+func (e *Engine) EnableMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("scale_sessions_active", func() float64 {
+		return float64(e.active.Load())
+	})
+	reg.CounterFunc("scale_offered_total", func() float64 {
+		return float64(e.offered.Load())
+	})
+	reg.CounterFunc("scale_shed_total", func() float64 {
+		return float64(e.shedServer.Load() + e.shedClient.Load())
+	})
+}
+
+// Pause closes the connection gate: sessions finish their in-flight op
+// and then block before issuing the next one. Arrivals keep accruing on
+// the schedule — the backlog is the point.
+func (e *Engine) Pause() {
+	e.gateMu.Lock()
+	defer e.gateMu.Unlock()
+	if !e.paused {
+		e.paused = true
+		e.gateCh = make(chan struct{})
+	}
+}
+
+// Resume reopens the gate, releasing every blocked session at once — the
+// thundering-herd reconnect.
+func (e *Engine) Resume() {
+	e.gateMu.Lock()
+	defer e.gateMu.Unlock()
+	if e.paused {
+		e.paused = false
+		close(e.gateCh)
+	}
+}
+
+func (e *Engine) gateWait() {
+	e.gateMu.Lock()
+	ch := e.gateCh
+	e.gateMu.Unlock()
+	<-ch
+}
+
+// Run executes every session's schedule and blocks until the last op
+// resolves.
+func (e *Engine) Run() Stats {
+	start := time.Now()
+	perSession := e.cfg.TargetPerSec / float64(e.cfg.Sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < e.cfg.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.runSession(s, start, perSession)
+		}(s)
+	}
+	wg.Wait()
+	return Stats{
+		Ledger: Ledger{
+			Offered:    e.offered.Load(),
+			Completed:  e.completed.Load(),
+			ShedServer: e.shedServer.Load(),
+			ShedClient: e.shedClient.Load(),
+			Errors:     e.errs.Load(),
+		},
+		Elapsed: time.Since(start),
+		Hist:    &e.hist,
+	}
+}
+
+func (e *Engine) runSession(s int, start time.Time, rate float64) {
+	sch := Arrivals(e.cfg.Seed, s, rate, e.cfg.Duration, e.cfg.Shape)
+	for _, off := range sch {
+		intended := start.Add(off)
+		if wait := time.Until(intended); wait > 0 {
+			time.Sleep(wait)
+		}
+		e.gateWait()
+		e.offered.Add(1)
+		if e.cfg.MaxLag > 0 && time.Since(intended) > e.cfg.MaxLag {
+			e.shedClient.Add(1)
+			continue
+		}
+		e.active.Add(1)
+		e.runOp(s, intended)
+		e.active.Add(-1)
+	}
+}
+
+func (e *Engine) runOp(s int, intended time.Time) {
+	for {
+		err := e.cfg.Op(s, intended)
+		if err == nil {
+			e.hist.Record(time.Since(intended))
+			e.completed.Add(1)
+			return
+		}
+		if e.cfg.Retry != nil {
+			if hint, ok := e.cfg.Retry(err); ok {
+				if time.Since(intended) < e.cfg.RetryFor {
+					if hint <= 0 {
+						hint = time.Millisecond
+					}
+					time.Sleep(hint)
+					continue
+				}
+				e.shedServer.Add(1)
+				return
+			}
+		}
+		e.errs.Add(1)
+		return
+	}
+}

@@ -1,0 +1,148 @@
+package scale
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestEngineCoordinatedOmissionSafe is the CO contract: one stalled op at
+// the head of a session's schedule must inflate the measured latency of
+// the arrivals queued behind it, because they are measured from their
+// intended starts, not from when the session finally got to them.
+func TestEngineCoordinatedOmissionSafe(t *testing.T) {
+	var calls atomic.Uint64
+	eng := NewEngine(Config{
+		Sessions:     1,
+		TargetPerSec: 200, // 5ms inter-arrival
+		Duration:     300 * time.Millisecond,
+		Seed:         3,
+		Op: func(int, time.Time) error {
+			if calls.Add(1) == 1 {
+				time.Sleep(100 * time.Millisecond) // the stall
+			}
+			return nil
+		},
+	})
+	stats := eng.Run()
+	if stats.Offered == 0 || stats.Completed != stats.Offered {
+		t.Fatalf("ledger: %+v", stats.Ledger)
+	}
+	// ~20 arrivals landed during the stall; the ones nearest its start
+	// waited almost the full 100ms. A closed-loop (or re-anchoring)
+	// generator would report all of them as instant.
+	if max := stats.Hist.Max(); max < 60*time.Millisecond {
+		t.Fatalf("max latency %v; queued arrivals did not accrue the stall", max)
+	}
+}
+
+func TestEngineLedgerAccountsEveryArrival(t *testing.T) {
+	retryable := errors.New("transient")
+	var n atomic.Uint64
+	eng := NewEngine(Config{
+		Sessions:     4,
+		TargetPerSec: 400,
+		Duration:     250 * time.Millisecond,
+		Seed:         11,
+		RetryFor:     20 * time.Millisecond,
+		Op: func(int, time.Time) error {
+			switch n.Add(1) % 3 {
+			case 0:
+				return retryable
+			case 1:
+				return errors.New("permanent")
+			}
+			return nil
+		},
+		Retry: func(err error) (time.Duration, bool) {
+			return time.Millisecond, errors.Is(err, retryable)
+		},
+	})
+	s := eng.Run()
+	if s.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	if got := s.Completed + s.ShedServer + s.ShedClient + s.Errors; got != s.Offered {
+		t.Fatalf("ledger leak: offered %d != completed %d + shedServer %d + shedClient %d + errors %d",
+			s.Offered, s.Completed, s.ShedServer, s.ShedClient, s.Errors)
+	}
+	if s.Errors == 0 {
+		t.Fatal("permanent failures not accounted as errors")
+	}
+	if uint64(s.Hist.Count()) != s.Completed {
+		t.Fatalf("hist count %d != completed %d", s.Hist.Count(), s.Completed)
+	}
+}
+
+func TestEngineMaxLagSheds(t *testing.T) {
+	eng := NewEngine(Config{
+		Sessions:     1,
+		TargetPerSec: 500,
+		Duration:     200 * time.Millisecond,
+		Seed:         5,
+		MaxLag:       10 * time.Millisecond,
+		Op: func(int, time.Time) error {
+			time.Sleep(20 * time.Millisecond) // every op overruns the inter-arrival
+			return nil
+		},
+	})
+	s := eng.Run()
+	if s.ShedClient == 0 {
+		t.Fatalf("no client sheds despite 2ms arrivals vs 20ms ops: %+v", s.Ledger)
+	}
+	if got := s.Completed + s.ShedServer + s.ShedClient + s.Errors; got != s.Offered {
+		t.Fatalf("ledger leak: %+v", s.Ledger)
+	}
+}
+
+// TestEnginePauseResumeHerd: pausing closes every session's connection
+// while arrivals keep accruing; resume releases them all at once and the
+// backlog shows up in the tail.
+func TestEnginePauseResumeHerd(t *testing.T) {
+	eng := NewEngine(Config{
+		Sessions:     8,
+		TargetPerSec: 800,
+		Duration:     300 * time.Millisecond,
+		Seed:         7,
+		Op:           func(int, time.Time) error { return nil },
+	})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		eng.Pause()
+		time.Sleep(120 * time.Millisecond)
+		eng.Resume()
+	}()
+	s := eng.Run()
+	if s.Completed != s.Offered {
+		t.Fatalf("ledger: %+v", s.Ledger)
+	}
+	if max := s.Hist.Max(); max < 80*time.Millisecond {
+		t.Fatalf("max latency %v; pause backlog did not accrue to paused arrivals", max)
+	}
+}
+
+func TestEngineMetricsRegistered(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng := NewEngine(Config{
+		Sessions:     2,
+		TargetPerSec: 200,
+		Duration:     100 * time.Millisecond,
+		Seed:         1,
+		Op:           func(int, time.Time) error { return nil },
+	})
+	eng.EnableMetrics(reg)
+	eng.Run()
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, s := range snap.Series {
+		found[s.Name] = true
+	}
+	for _, name := range []string{"scale_sessions_active", "scale_offered_total", "scale_shed_total"} {
+		if !found[name] {
+			t.Errorf("series %s not registered", name)
+		}
+	}
+}

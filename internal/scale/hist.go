@@ -1,0 +1,139 @@
+// Package scale is the million-client load harness: an open-loop workload
+// engine that drives tens of thousands of concurrent client sessions from
+// a precomputed arrival schedule, records coordinated-omission-safe
+// latency against the schedule's intended-start timestamps, and composes
+// with a seeded WAN emulation (per-DC-pair latency/jitter/loss profiles
+// layered over internal/faultinject) plus a declarative scenario matrix —
+// steady state, diurnal wave, hot-key skew, thundering-herd reconnect,
+// DC partition + heal — each emitting one stable BENCH_scale.json row.
+package scale
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram geometry: values (nanoseconds) below 2^histSubBits land in
+// linear unit buckets; above that, each power-of-two octave is split into
+// histSubCount linear sub-buckets, HdrHistogram-style, giving a relative
+// error of at most 1/histSubCount (≈0.8%) at every magnitude. The bucket
+// count covers the full uint64 range: the top index is
+// (64-histSubBits-1)*histSubCount + (histSubCount*2 - 1).
+const (
+	histSubBits  = 7
+	histSubCount = 1 << histSubBits
+	histBuckets  = (64-histSubBits-1)*histSubCount + 2*histSubCount
+)
+
+// Hist is an HDR-style latency histogram safe for tens of thousands of
+// concurrent recorders: every bucket is an independent atomic counter, so
+// Record takes no lock and never allocates. The zero value is ready to
+// use.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histIndex maps a non-negative nanosecond value to its bucket.
+func histIndex(u uint64) int {
+	if u < histSubCount {
+		return int(u)
+	}
+	k := bits.Len64(u) - histSubBits - 1
+	return k*histSubCount + int(u>>uint(k))
+}
+
+// histValue returns the representative (midpoint) value of a bucket.
+func histValue(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	k := i/histSubCount - 1
+	s := int64(i - k*histSubCount)
+	return s<<uint(k) + int64(1)<<uint(k)/2
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddUint64(&h.counts[histIndex(uint64(v))], 1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// Max returns the largest recorded value exactly (not bucket-rounded).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of all recorded values.
+func (h *Hist) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(uint64(h.sum.Load()) / n)
+}
+
+// Quantile returns the value at or below which a fraction q of the
+// observations fall, to the histogram's bucket precision. q outside (0,1]
+// is clamped; an empty histogram returns 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += atomic.LoadUint64(&h.counts[i])
+		if seen >= rank {
+			v := histValue(i)
+			if m := h.max.Load(); v > m {
+				v = m // the top bucket's midpoint can overshoot the true max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o's observations into h (not linearizable against
+// concurrent writers; merge after recording is done).
+func (h *Hist) Merge(o *Hist) {
+	for i := 0; i < histBuckets; i++ {
+		if n := atomic.LoadUint64(&o.counts[i]); n > 0 {
+			atomic.AddUint64(&h.counts[i], n)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		cur, ov := h.max.Load(), o.max.Load()
+		if ov <= cur || h.max.CompareAndSwap(cur, ov) {
+			return
+		}
+	}
+}

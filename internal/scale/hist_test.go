@@ -1,0 +1,102 @@
+package scale
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h Hist
+	// 1..10000 µs uniformly: the true q-quantile is q*10000 µs.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		rel := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if rel > 0.01 {
+			t.Errorf("Quantile(%v) = %v, want %v ±1%%", tc.q, got, tc.want)
+		}
+	}
+	if h.Max() != 10000*time.Microsecond {
+		t.Errorf("Max = %v, want exact 10ms", h.Max())
+	}
+	wantMean := time.Duration(5000500) * time.Microsecond / 1000
+	if got := h.Mean(); got < wantMean-10*time.Microsecond || got > wantMean+10*time.Microsecond {
+		t.Errorf("Mean = %v, want ≈%v", got, wantMean)
+	}
+}
+
+func TestHistQuantileClampedToMax(t *testing.T) {
+	var h Hist
+	h.Record(time.Second) // one sample: every quantile is the sample
+	if got := h.Quantile(0.999); got != time.Second {
+		t.Fatalf("Quantile(0.999) = %v, want clamped to recorded max 1s", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged Count = %d, want 3", a.Count())
+	}
+	if a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged Max = %v, want 5ms", a.Max())
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const gs, per = 32, 1000
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != gs*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), gs*per)
+	}
+	if h.Max() != time.Duration(gs*per-1)*time.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistIndexValueRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket, and
+	// the bucket error must stay within one part in histSubCount.
+	for _, u := range []uint64{0, 1, 127, 128, 129, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		i := histIndex(u)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", u, i)
+		}
+		v := histValue(i)
+		if v > 0 && u > 0 {
+			rel := math.Abs(float64(v)-float64(u)) / float64(u)
+			if rel > 1.0/histSubCount {
+				t.Errorf("bucket error for %d: repr %d (rel %g)", u, v, rel)
+			}
+		}
+	}
+}

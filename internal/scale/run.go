@@ -1,0 +1,285 @@
+package scale
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/flstore"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Options resizes a scenario for a particular invocation (smoke runs
+// shrink Sessions/TargetPerSec/Duration; zero fields keep the scenario's
+// declared values) and selects the seed.
+type Options struct {
+	Seed         uint64
+	Sessions     int
+	TargetPerSec float64
+	Duration     time.Duration
+	// Registry, when non-nil, receives the engine's scale_* series.
+	Registry *metrics.Registry
+}
+
+// Result is one scenario's BENCH_scale.json row.
+type Result struct {
+	Scenario     string  `json:"scenario"`
+	Note         string  `json:"note"`
+	Seed         uint64  `json:"seed"`
+	DCs          int     `json:"dcs"`
+	Sessions     int     `json:"sessions"`
+	TargetPerSec float64 `json:"target_per_sec"`
+	DurationSec  float64 `json:"duration_sec"`
+
+	Offered    uint64 `json:"offered"`
+	Completed  uint64 `json:"completed"`
+	ShedServer uint64 `json:"shed_server"`
+	ShedClient uint64 `json:"shed_client"`
+	Errors     uint64 `json:"errors"`
+
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+
+	// WANEvents is the number of entries on the faultinject event log
+	// (delays, drops, scripted sever/heal) — 0 for single-DC scenarios.
+	WANEvents int `json:"wan_events"`
+	// EventLog is the executed scripted-event log, one canonical line per
+	// event. Because lines carry scheduled offsets (never wall-clock), the
+	// log is byte-identical across runs of the same seed and scenario.
+	EventLog []string `json:"event_log"`
+	// EventLogFingerprint is the FNV-1a hash of the joined EventLog.
+	EventLogFingerprint string `json:"event_log_fingerprint"`
+
+	// ConvergeMs is how long after load stopped every DC took to apply
+	// every other DC's final record (multi-DC only; includes post-heal
+	// resyncs).
+	ConvergeMs float64 `json:"converge_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// LogFingerprint hashes an event log the way Result does.
+func LogFingerprint(lines []string) string {
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(lines, "\n")))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Run executes one scenario end to end: build the DCs (shed-on-saturation
+// admission at the scenario's credit bound), wire them through the seeded
+// WAN, drive the open-loop engine while the script scheduler fires
+// partition/heal/pause/resume at their scheduled offsets, then measure
+// cross-DC convergence and tear everything down.
+func Run(sc Scenario, opt Options) (Result, error) {
+	sc = sc.With(opt)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	dcs := make([]*chariots.Datacenter, sc.DCs)
+	for i := range dcs {
+		dc, err := chariots.New(chariots.Config{
+			Self:             core.DCID(i),
+			NumDCs:           sc.DCs,
+			PipelineCredits:  sc.Credits,
+			ShedOnSaturation: true,
+			Rates:            chariots.StageRates{Maintainer: sc.MaintainerRate},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		dcs[i] = dc
+	}
+
+	var wan *WAN
+	if sc.DCs > 1 {
+		wan = NewWAN(seed, Topology{DCs: sc.DCs, Default: sc.Link})
+		wan.Connect(dcs)
+	}
+	for _, dc := range dcs {
+		dc.Start()
+	}
+
+	body := workload.NewBody(sc.RecordSize, int64(seed))
+	var keys *workload.ZipfKeys
+	if sc.Keys > 0 {
+		keys = workload.NewZipfKeys(sc.Keys, sc.ZipfSkew, int64(seed))
+	}
+
+	// maxTO tracks the highest acked TOId per origin DC; convergence means
+	// every peer has applied it.
+	maxTO := make([]atomic.Uint64, sc.DCs)
+	eng := NewEngine(Config{
+		Sessions:     sc.Sessions,
+		TargetPerSec: sc.TargetPerSec,
+		Duration:     sc.Duration,
+		Seed:         seed,
+		Shape:        sc.Shape(),
+		Op: func(session int, _ time.Time) error {
+			dc := dcs[session%len(dcs)]
+			var tags []core.Tag
+			if keys != nil {
+				tags = []core.Tag{{Key: "k", Value: keys.Key()}}
+			}
+			ack, err := dc.Append(body, tags)
+			if err != nil {
+				return err
+			}
+			slot := &maxTO[session%len(dcs)]
+			for {
+				cur := slot.Load()
+				if ack.TOId <= cur || slot.CompareAndSwap(cur, ack.TOId) {
+					return nil
+				}
+			}
+		},
+		Retry: func(err error) (time.Duration, bool) {
+			if flstore.IsRetryable(err) {
+				return flstore.RetryAfter(err), true
+			}
+			return 0, false
+		},
+	})
+	if opt.Registry != nil {
+		eng.EnableMetrics(opt.Registry)
+	}
+
+	// The script scheduler executes the precomputed expansion. The logged
+	// lines carry the scheduled offsets, so the executed log is exactly
+	// RenderScript(sc.Expand()) — byte-identical by construction across
+	// runs of the same seed and scenario.
+	script := sc.Expand()
+	executed := make([]string, 0, len(script))
+	scriptDone := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(scriptDone)
+		for _, ev := range script {
+			if wait := time.Until(start.Add(ev.At)); wait > 0 {
+				time.Sleep(wait)
+			}
+			switch ev.Action {
+			case ActPartition:
+				if wan != nil {
+					wan.Partition(ev.From, ev.To)
+				}
+			case ActHeal:
+				if wan != nil {
+					wan.HealPair(ev.From, ev.To)
+					resyncPair(dcs, ev.From, ev.To)
+				}
+			case ActPause:
+				eng.Pause()
+			case ActResume:
+				eng.Resume()
+			}
+			executed = append(executed, ev.String())
+		}
+	}()
+
+	stats := eng.Run()
+	<-scriptDone
+
+	// Convergence: every DC applies every other DC's final acked record.
+	// Loss and partitions stall the awareness table, so the loop nudges
+	// stalled pairs with incremental resyncs until the deadline.
+	var converge time.Duration
+	if sc.DCs > 1 {
+		t0 := time.Now()
+		deadline := t0.Add(30 * time.Second)
+		for i := range dcs {
+			want := maxTO[i].Load()
+			if want == 0 {
+				continue
+			}
+			for j := range dcs {
+				if j == i {
+					continue
+				}
+				for !dcs[j].WaitForTOId(core.DCID(i), want, 250*time.Millisecond) {
+					if time.Now().After(deadline) {
+						return Result{}, fmt.Errorf("scale: %s: dc%d never converged to dc%d toid %d", sc.Name, j, i, want)
+					}
+					// Re-ship from every origin, not just i: records carry
+					// causal deps on third datacenters, so dc j may be
+					// parked on a record dc k lost to link loss.
+					for k := range dcs {
+						if k != j {
+							dcs[k].Resync(core.DCID(j), dcs[k].Senders()[0])
+						}
+					}
+				}
+			}
+		}
+		converge = time.Since(t0)
+	}
+
+	for _, dc := range dcs {
+		dc.Quiesce(50*time.Millisecond, 10*time.Second)
+	}
+	for _, dc := range dcs {
+		dc.Stop()
+	}
+	wanEvents := 0
+	if wan != nil {
+		wanEvents = len(wan.Controller().Events())
+		wan.Close()
+	}
+
+	elapsed := stats.Elapsed.Seconds()
+	if elapsed <= 0 {
+		elapsed = sc.Duration.Seconds()
+	}
+	res := Result{
+		Scenario:     sc.Name,
+		Note:         sc.Note,
+		Seed:         seed,
+		DCs:          sc.DCs,
+		Sessions:     sc.Sessions,
+		TargetPerSec: sc.TargetPerSec,
+		DurationSec:  sc.Duration.Seconds(),
+
+		Offered:    stats.Offered,
+		Completed:  stats.Completed,
+		ShedServer: stats.ShedServer,
+		ShedClient: stats.ShedClient,
+		Errors:     stats.Errors,
+
+		OfferedPerSec:  float64(stats.Offered) / sc.Duration.Seconds(),
+		AchievedPerSec: float64(stats.Completed) / elapsed,
+
+		P50Ms:  ms(stats.Hist.Quantile(0.50)),
+		P99Ms:  ms(stats.Hist.Quantile(0.99)),
+		P999Ms: ms(stats.Hist.Quantile(0.999)),
+		MaxMs:  ms(stats.Hist.Max()),
+		MeanMs: ms(stats.Hist.Mean()),
+
+		WANEvents:           wanEvents,
+		EventLog:            executed,
+		EventLogFingerprint: LogFingerprint(executed),
+		ConvergeMs:          ms(converge),
+	}
+	return res, nil
+}
+
+// resyncPair re-ships unacknowledged records in both directions after a
+// heal: the partition made each side's deliveries fail, so the awareness
+// tables stopped advancing and the live feed alone won't close the gap.
+func resyncPair(dcs []*chariots.Datacenter, a, b int) {
+	if a < len(dcs) && b < len(dcs) {
+		dcs[a].Resync(core.DCID(b), dcs[a].Senders()[0])
+		dcs[b].Resync(core.DCID(a), dcs[b].Senders()[0])
+	}
+}

@@ -1,0 +1,113 @@
+package scale
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func smokeOpt(seed uint64) Options {
+	return Options{
+		Seed:         seed,
+		Sessions:     200,
+		TargetPerSec: 2000,
+		Duration:     600 * time.Millisecond,
+	}
+}
+
+func checkLedger(t *testing.T, r Result) {
+	t.Helper()
+	if r.Offered == 0 || r.Completed == 0 {
+		t.Fatalf("no load driven: %+v", r)
+	}
+	if got := r.Completed + r.ShedServer + r.ShedClient + r.Errors; got != r.Offered {
+		t.Fatalf("ledger leak: offered %d, accounted %d", r.Offered, got)
+	}
+	if r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.P999Ms < r.P99Ms {
+		t.Fatalf("quantiles not ordered: p50 %v p99 %v p999 %v", r.P50Ms, r.P99Ms, r.P999Ms)
+	}
+}
+
+func TestScaleSteadySmoke(t *testing.T) {
+	sc, ok := Lookup("steady")
+	if !ok {
+		t.Fatal("steady scenario missing")
+	}
+	reg := metrics.NewRegistry()
+	opt := smokeOpt(7)
+	opt.Registry = reg
+	r, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, r)
+	if r.DCs != 2 || r.Sessions != 200 {
+		t.Fatalf("sizing not applied: %+v", r)
+	}
+	if r.WANEvents == 0 {
+		t.Fatal("two-DC run recorded no WAN events")
+	}
+	if r.ConvergeMs < 0 {
+		t.Fatalf("converge %v", r.ConvergeMs)
+	}
+	if s := reg.Snapshot().Find("scale_offered_total", nil); s == nil || s.Value != float64(r.Offered) {
+		t.Fatalf("scale_offered_total = %+v, want %d", s, r.Offered)
+	}
+}
+
+func TestScaleDiurnalHotkeyHerdSmoke(t *testing.T) {
+	for _, name := range []string{"diurnal", "hotkey", "herd"} {
+		sc, _ := Lookup(name)
+		r, err := Run(sc, smokeOpt(11))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkLedger(t, r)
+		if name == "herd" && len(r.EventLog) != 2 {
+			t.Fatalf("herd event log = %v, want pause+resume", r.EventLog)
+		}
+	}
+}
+
+// TestScalePartitionHealReplay runs the partition+heal scenario twice with
+// one seed: the executed event logs must be byte-identical, equal to the
+// scenario's precomputed expansion, and carry the same fingerprint — and
+// both runs must converge after the heal.
+func TestScalePartitionHealReplay(t *testing.T) {
+	sc, ok := Lookup("partition")
+	if !ok {
+		t.Fatal("partition scenario missing")
+	}
+	opt := smokeOpt(42)
+	opt.Duration = 1200 * time.Millisecond // scripted events land at 360ms/720ms
+
+	r1, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedger(t, r1)
+	checkLedger(t, r2)
+
+	wantLog := RenderScript(sc.With(opt).Expand())
+	if !reflect.DeepEqual(r1.EventLog, wantLog) {
+		t.Fatalf("executed log %v != expansion %v", r1.EventLog, wantLog)
+	}
+	if !reflect.DeepEqual(r1.EventLog, r2.EventLog) {
+		t.Fatalf("event logs differ across same-seed runs:\n%v\n%v", r1.EventLog, r2.EventLog)
+	}
+	if r1.EventLogFingerprint != r2.EventLogFingerprint || r1.EventLogFingerprint == "" {
+		t.Fatalf("fingerprints: %q vs %q", r1.EventLogFingerprint, r2.EventLogFingerprint)
+	}
+	if r1.ConvergeMs <= 0 || r2.ConvergeMs <= 0 {
+		t.Fatalf("multi-DC runs must measure convergence: %v, %v", r1.ConvergeMs, r2.ConvergeMs)
+	}
+	if r1.WANEvents == 0 {
+		t.Fatal("no WAN events recorded through partition+heal")
+	}
+}

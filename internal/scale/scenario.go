@@ -1,0 +1,247 @@
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ScriptAction is one kind of scripted scenario event.
+type ScriptAction string
+
+const (
+	// ActPartition severs both directions between a DC pair.
+	ActPartition ScriptAction = "partition"
+	// ActHeal restores both directions and resyncs unacknowledged records.
+	ActHeal ScriptAction = "heal"
+	// ActPause closes every session's connection (sessions stop issuing;
+	// arrivals keep accruing on the schedule).
+	ActPause ScriptAction = "pause"
+	// ActResume reconnects every session at once — the thundering herd.
+	ActResume ScriptAction = "resume"
+)
+
+// ScriptEvent is one scripted event at a fixed offset into the run.
+type ScriptEvent struct {
+	At     time.Duration `json:"at"`
+	Action ScriptAction  `json:"action"`
+	// From/To name the DC pair for partition/heal (ignored for
+	// pause/resume).
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// String renders the event's canonical event-log line.
+func (e ScriptEvent) String() string {
+	switch e.Action {
+	case ActPause, ActResume:
+		return fmt.Sprintf("%v %s all-sessions", e.At, e.Action)
+	default:
+		return fmt.Sprintf("%v %s dc%d<->dc%d", e.At, e.Action, e.From, e.To)
+	}
+}
+
+// Flap is a compact scripted flapping link: starting at Start, the pair
+// severs, heals half a Period later, and repeats Count times.
+type Flap struct {
+	From, To int
+	Start    time.Duration
+	Period   time.Duration
+	Count    int
+}
+
+// Scenario is one declarative entry of the scale matrix. Everything that
+// shapes the run — topology, load, keys, script — is data, so a scenario
+// plus a seed fully determines the arrival schedules, the WAN schedule,
+// and the scripted event log.
+type Scenario struct {
+	Name string `json:"name"`
+	Note string `json:"note"`
+
+	// DCs and Link describe the topology: DCs datacenters all-to-all with
+	// Link as every ordered pair's profile.
+	DCs  int         `json:"dcs"`
+	Link LinkProfile `json:"link"`
+
+	// Sessions, TargetPerSec, Duration size the offered load; Diurnal (if
+	// non-nil) shapes it, otherwise the rate is steady.
+	Sessions     int           `json:"sessions"`
+	TargetPerSec float64       `json:"target_per_sec"`
+	Duration     time.Duration `json:"duration"`
+	Diurnal      *Diurnal      `json:"diurnal,omitempty"`
+
+	// Keys/ZipfSkew, when set, tag every record with a key drawn from a
+	// Zipf distribution over Keys keys — the hot-key workload.
+	Keys     int     `json:"keys,omitempty"`
+	ZipfSkew float64 `json:"zipf_skew,omitempty"`
+
+	// RecordSize is the record body size (default workload.DefaultRecordSize).
+	RecordSize int `json:"record_size"`
+
+	// Credits bounds each DC's pipeline in-flight records (admission on,
+	// shed policy — the production posture from DESIGN.md §8).
+	Credits int `json:"credits"`
+	// MaintainerRate caps the bottleneck stage (0 = unlimited).
+	MaintainerRate float64 `json:"maintainer_rate,omitempty"`
+
+	// Script and Flap are the scripted events.
+	Script []ScriptEvent `json:"script,omitempty"`
+	Flap   *Flap         `json:"-"`
+}
+
+// Shape returns the scenario's arrival-rate shape.
+func (sc Scenario) Shape() Shape {
+	if sc.Diurnal != nil {
+		return *sc.Diurnal
+	}
+	return Steady{}
+}
+
+// Expand returns the fully expanded, time-ordered script: Flap unrolled
+// into sever/heal alternation, merged with Script. It is a pure function
+// of the scenario — no clock, no randomness — which is what makes the
+// executed event log byte-identical across runs of the same seed and
+// scenario.
+func (sc Scenario) Expand() []ScriptEvent {
+	evs := append([]ScriptEvent(nil), sc.Script...)
+	if f := sc.Flap; f != nil {
+		for i := 0; i < f.Count; i++ {
+			at := f.Start + time.Duration(i)*f.Period
+			evs = append(evs,
+				ScriptEvent{At: at, Action: ActPartition, From: f.From, To: f.To},
+				ScriptEvent{At: at + f.Period/2, Action: ActHeal, From: f.From, To: f.To})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// RenderScript renders an expanded script as canonical event-log lines.
+func RenderScript(evs []ScriptEvent) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// With returns a copy of the scenario resized by the non-zero fields of
+// opt. When opt.Duration rescales the run, every scripted time (Script,
+// Flap) scales proportionally so a shortened smoke run still exercises
+// the same phases.
+func (sc Scenario) With(opt Options) Scenario {
+	out := sc
+	if opt.Sessions > 0 {
+		out.Sessions = opt.Sessions
+	}
+	if opt.TargetPerSec > 0 {
+		out.TargetPerSec = opt.TargetPerSec
+	}
+	if opt.Duration > 0 && sc.Duration > 0 && opt.Duration != sc.Duration {
+		f := float64(opt.Duration) / float64(sc.Duration)
+		out.Duration = opt.Duration
+		out.Script = make([]ScriptEvent, len(sc.Script))
+		for i, e := range sc.Script {
+			e.At = time.Duration(float64(e.At) * f)
+			out.Script[i] = e
+		}
+		if sc.Flap != nil {
+			fl := *sc.Flap
+			fl.Start = time.Duration(float64(fl.Start) * f)
+			fl.Period = time.Duration(float64(fl.Period) * f)
+			out.Flap = &fl
+		}
+	}
+	return out
+}
+
+// Scenarios returns the matrix at full (acceptance) size. Every scenario
+// drives at least 10k concurrent sessions; smoke tests shrink them with
+// With.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:         "steady",
+			Note:         "two DCs over a lossy 25ms WAN, constant open-loop offered load",
+			DCs:          2,
+			Link:         LinkProfile{OneWay: 25 * time.Millisecond, Jitter: 3 * time.Millisecond, LossP: 0.0005},
+			Sessions:     12000,
+			TargetPerSec: 24000,
+			Duration:     6 * time.Second,
+			RecordSize:   512,
+			Credits:      32768,
+		},
+		{
+			Name:         "diurnal",
+			Note:         "single DC, raised-cosine daily wave (two compressed days, 5x swing)",
+			DCs:          1,
+			Sessions:     10000,
+			TargetPerSec: 30000,
+			Duration:     6 * time.Second,
+			Diurnal:      &Diurnal{Waves: 2, Floor: 0.2},
+			RecordSize:   512,
+			Credits:      32768,
+		},
+		{
+			Name:         "hotkey",
+			Note:         "single DC, Zipf(1.3) keys over 1000 tags — hot-key skew through filter+indexers",
+			DCs:          1,
+			Sessions:     10000,
+			TargetPerSec: 20000,
+			Duration:     6 * time.Second,
+			Keys:         1000,
+			ZipfSkew:     1.3,
+			RecordSize:   512,
+			Credits:      32768,
+		},
+		{
+			Name:         "herd",
+			Note:         "all sessions disconnect for 20% of the run, then reconnect at once into a bounded pipeline",
+			DCs:          1,
+			Sessions:     12000,
+			TargetPerSec: 15000,
+			Duration:     6 * time.Second,
+			RecordSize:   512,
+			Credits:      8192,
+			Script: []ScriptEvent{
+				{At: 2 * time.Second, Action: ActPause},
+				{At: 3200 * time.Millisecond, Action: ActResume},
+			},
+		},
+		{
+			Name:         "partition",
+			Note:         "three DCs over a 30ms WAN; dc0<->dc1 partitions mid-run and heals with resync",
+			DCs:          3,
+			Link:         LinkProfile{OneWay: 30 * time.Millisecond, Jitter: 5 * time.Millisecond, LossP: 0.001},
+			Sessions:     12000,
+			TargetPerSec: 18000,
+			Duration:     6 * time.Second,
+			RecordSize:   512,
+			Credits:      32768,
+			Script: []ScriptEvent{
+				{At: 1800 * time.Millisecond, Action: ActPartition, From: 0, To: 1},
+				{At: 3600 * time.Millisecond, Action: ActHeal, From: 0, To: 1},
+			},
+		},
+	}
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names lists the matrix in declaration order.
+func Names() []string {
+	all := Scenarios()
+	out := make([]string, len(all))
+	for i, sc := range all {
+		out[i] = sc.Name
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package scale
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScenarioMatrix(t *testing.T) {
+	want := []string{"steady", "diurnal", "hotkey", "herd", "partition"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if sc.Sessions < 10000 {
+			t.Errorf("%s: %d sessions at full size, acceptance floor is 10000", name, sc.Sessions)
+		}
+		if sc.TargetPerSec <= 0 || sc.Duration <= 0 || sc.Credits <= 0 {
+			t.Errorf("%s: incomplete sizing %+v", name, sc)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown scenario succeeded")
+	}
+}
+
+func TestExpandIsPure(t *testing.T) {
+	sc := Scenario{
+		Duration: 4 * time.Second,
+		Script:   []ScriptEvent{{At: 3 * time.Second, Action: ActPause}},
+		Flap:     &Flap{From: 0, To: 1, Start: time.Second, Period: time.Second, Count: 2},
+	}
+	a, b := sc.Expand(), sc.Expand()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Expand not deterministic")
+	}
+	want := []ScriptEvent{
+		{At: time.Second, Action: ActPartition, From: 0, To: 1},
+		{At: 1500 * time.Millisecond, Action: ActHeal, From: 0, To: 1},
+		{At: 2 * time.Second, Action: ActPartition, From: 0, To: 1},
+		{At: 2500 * time.Millisecond, Action: ActHeal, From: 0, To: 1},
+		{At: 3 * time.Second, Action: ActPause},
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("Expand = %v, want %v", a, want)
+	}
+	if len(sc.Script) != 1 {
+		t.Fatal("Expand mutated the scenario's script")
+	}
+}
+
+func TestWithScalesScriptTimes(t *testing.T) {
+	sc, _ := Lookup("partition")
+	half := sc.With(Options{Duration: sc.Duration / 2, Sessions: 100, TargetPerSec: 500})
+	if half.Sessions != 100 || half.TargetPerSec != 500 || half.Duration != sc.Duration/2 {
+		t.Fatalf("With sizing: %+v", half)
+	}
+	for i, e := range half.Script {
+		if want := sc.Script[i].At / 2; e.At != want {
+			t.Fatalf("script[%d].At = %v, want %v (scaled)", i, e.At, want)
+		}
+	}
+	// The original is untouched.
+	if sc.Script[0].At != 1800*time.Millisecond {
+		t.Fatal("With mutated the source scenario")
+	}
+}
+
+func TestRenderScriptCanonical(t *testing.T) {
+	evs := []ScriptEvent{
+		{At: 500 * time.Millisecond, Action: ActPartition, From: 0, To: 1},
+		{At: time.Second, Action: ActResume},
+	}
+	want := []string{"500ms partition dc0<->dc1", "1s resume all-sessions"}
+	if got := RenderScript(evs); !reflect.DeepEqual(got, want) {
+		t.Fatalf("RenderScript = %v, want %v", got, want)
+	}
+	if LogFingerprint(want) == LogFingerprint(want[:1]) {
+		t.Fatal("fingerprint insensitive to log content")
+	}
+}

@@ -1,0 +1,105 @@
+package scale
+
+import (
+	"math"
+	"time"
+)
+
+// Shape modulates the offered arrival rate over a run. Mul returns the
+// rate multiplier at frac ∈ [0,1) of the run's duration; Peak is the
+// maximum multiplier, used as the thinning envelope when generating
+// arrivals.
+type Shape interface {
+	Mul(frac float64) float64
+	Peak() float64
+}
+
+// Steady is a constant arrival rate.
+type Steady struct{}
+
+// Mul implements Shape.
+func (Steady) Mul(float64) float64 { return 1 }
+
+// Peak implements Shape.
+func (Steady) Peak() float64 { return 1 }
+
+// Diurnal is a raised-cosine daily wave compressed into the run: the rate
+// swings between Floor×target and target, completing Waves full periods.
+// The target rate is the wave's peak.
+type Diurnal struct {
+	// Waves is the number of full day-cycles in the run (default 1).
+	Waves float64 `json:"waves"`
+	// Floor is the trough as a fraction of the peak (default 0.2).
+	Floor float64 `json:"floor"`
+}
+
+// Mul implements Shape.
+func (s Diurnal) Mul(frac float64) float64 {
+	floor := s.Floor
+	if floor <= 0 || floor > 1 {
+		floor = 0.2
+	}
+	w := s.Waves
+	if w <= 0 {
+		w = 1
+	}
+	return floor + (1-floor)*0.5*(1-math.Cos(2*math.Pi*w*frac))
+}
+
+// Peak implements Shape.
+func (Diurnal) Peak() float64 { return 1 }
+
+// rng is the same splitmix64 stream internal/faultinject uses: tiny,
+// seedable, and stable across Go versions, which schedule replayability
+// depends on (math/rand's stream is not guaranteed).
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Arrivals precomputes one session's intended-start offsets: a seeded
+// Poisson process at rate arrivals/second, thinned by shape — the
+// open-loop arrival schedule. The offsets are strictly increasing, within
+// [0, d), and a pure function of (seed, session, rate, d, shape): the
+// same inputs replay the same schedule on every run and host.
+func Arrivals(seed uint64, session int, rate float64, d time.Duration, shape Shape) []time.Duration {
+	if rate <= 0 || d <= 0 {
+		return nil
+	}
+	if shape == nil {
+		shape = Steady{}
+	}
+	r := rng{state: seed ^ (uint64(session)+1)*0x9E3779B97F4A7C15}
+	peak := shape.Peak()
+	if peak <= 0 {
+		peak = 1
+	}
+	env := rate * peak
+	dd := d.Seconds()
+	out := make([]time.Duration, 0, int(rate*dd)+1)
+	t := 0.0
+	for {
+		u := r.float64()
+		if u <= 0 {
+			u = 1.0 / (1 << 53)
+		}
+		t += -math.Log(u) / env
+		if t >= dd {
+			return out
+		}
+		// Thinning: keep a candidate with probability Mul(t)/Peak, from the
+		// same seeded stream so acceptance replays too.
+		if shape.Mul(t/dd) >= peak*r.float64() {
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package scale
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalsDeterministic(t *testing.T) {
+	a := Arrivals(42, 7, 500, time.Second, Steady{})
+	b := Arrivals(42, 7, 500, time.Second, Steady{})
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Arrivals(43, 7, 500, time.Second, Steady{})
+	d := Arrivals(42, 8, 500, time.Second, Steady{})
+	if equalDurations(a, c) || equalDurations(a, d) {
+		t.Fatal("different seed/session produced identical schedule")
+	}
+}
+
+func equalDurations(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArrivalsRateAndBounds(t *testing.T) {
+	const rate, sessions = 100.0, 50
+	d := 2 * time.Second
+	total := 0
+	for s := 0; s < sessions; s++ {
+		sch := Arrivals(9, s, rate, d, Steady{})
+		total += len(sch)
+		last := time.Duration(-1)
+		for _, off := range sch {
+			if off <= last {
+				t.Fatalf("session %d: offsets not strictly increasing (%v after %v)", s, off, last)
+			}
+			if off < 0 || off >= d {
+				t.Fatalf("session %d: offset %v outside [0, %v)", s, off, d)
+			}
+			last = off
+		}
+	}
+	want := rate * sessions * d.Seconds() // 10000 expected; sd = 100
+	if f := float64(total); f < want*0.9 || f > want*1.1 {
+		t.Fatalf("total arrivals %d, want %v ±10%%", total, want)
+	}
+}
+
+func TestDiurnalShapesArrivals(t *testing.T) {
+	sh := Diurnal{Waves: 1, Floor: 0.2}
+	d := 10 * time.Second
+	var trough, peak int
+	for s := 0; s < 50; s++ {
+		for _, off := range Arrivals(5, s, 100, d, sh) {
+			frac := off.Seconds() / d.Seconds()
+			switch {
+			case frac < 0.1: // start of the wave: rate ≈ floor
+				trough++
+			case frac >= 0.45 && frac < 0.55: // crest: rate ≈ peak
+				peak++
+			}
+		}
+	}
+	// Rate ratio crest:trough is ≈ 1:0.2; demand at least 3x to stay far
+	// from noise.
+	if peak < 3*trough {
+		t.Fatalf("diurnal shape not visible: trough-decile %d vs crest-decile %d arrivals", trough, peak)
+	}
+}
+
+func TestDiurnalMulBounds(t *testing.T) {
+	sh := Diurnal{Waves: 2, Floor: 0.2}
+	for f := 0.0; f < 1.0; f += 0.01 {
+		m := sh.Mul(f)
+		if m < 0.2-1e-9 || m > 1.0+1e-9 {
+			t.Fatalf("Mul(%v) = %v outside [0.2, 1]", f, m)
+		}
+	}
+	if sh.Mul(0) > 0.21 {
+		t.Fatalf("Mul(0) = %v, want ≈ floor", sh.Mul(0))
+	}
+}

@@ -1,0 +1,204 @@
+package scale
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// LinkProfile describes one direction of an emulated WAN path between two
+// datacenters: a base one-way propagation delay, a deterministic uniform
+// jitter component on top of it, and an independent per-delivery loss
+// probability. A lost delivery surfaces to the sender as an error (the
+// TCP-session-died model faultinject uses), so the awareness table never
+// advances past it and a later Resync re-ships the records.
+type LinkProfile struct {
+	OneWay time.Duration `json:"one_way"`
+	Jitter time.Duration `json:"jitter"`
+	LossP  float64       `json:"loss_p"`
+}
+
+// Topology is the per-DC-pair link matrix: Default applies to every
+// ordered pair unless an override is present.
+type Topology struct {
+	DCs       int
+	Default   LinkProfile
+	Overrides map[[2]int]LinkProfile
+}
+
+// Profile returns the link profile for the ordered pair (from, to).
+func (t Topology) Profile(from, to int) LinkProfile {
+	if p, ok := t.Overrides[[2]int{from, to}]; ok {
+		return p
+	}
+	return t.Default
+}
+
+// LinkName is the canonical faultinject link name for the ordered
+// datacenter pair — "dc0->dc1" — shared by the schedule, the event log,
+// and the delay sequences.
+func LinkName(from, to int) string { return fmt.Sprintf("dc%d->dc%d", from, to) }
+
+// WAN layers a topology's LinkProfiles over one faultinject.Controller:
+// every inter-datacenter delivery asks the controller for its seeded
+// outcome (delay+jitter, loss, severed), so the whole emulation — the
+// probabilistic schedule AND the scripted partition/heal events — lands on
+// one replayable event log with one Fingerprint.
+type WAN struct {
+	ctl   *faultinject.Controller
+	topo  Topology
+	links []*wanLink
+}
+
+// NewWAN builds the controller and installs every ordered pair's link
+// options. The same (seed, topology) yields the same per-link delay and
+// loss sequences on every run.
+func NewWAN(seed uint64, topo Topology) *WAN {
+	ctl := faultinject.New(faultinject.Options{Seed: seed})
+	for i := 0; i < topo.DCs; i++ {
+		for j := 0; j < topo.DCs; j++ {
+			if i == j {
+				continue
+			}
+			p := topo.Profile(i, j)
+			lo := faultinject.LinkOptions{DropP: p.LossP}
+			if p.OneWay > 0 || p.Jitter > 0 {
+				lo.DelayP = 1
+				lo.Delay = p.OneWay
+				lo.Jitter = p.Jitter
+			}
+			ctl.SetLink(LinkName(i, j), lo)
+		}
+	}
+	return &WAN{ctl: ctl, topo: topo}
+}
+
+// Controller exposes the underlying faultinject controller (event log,
+// Fingerprint, Delays, scripted Sever/Heal).
+func (w *WAN) Controller() *faultinject.Controller { return w.ctl }
+
+// Connect wires started datacenters all-to-all through emulated links,
+// replacing the direct receiver handles chariots would otherwise use.
+func (w *WAN) Connect(dcs []*chariots.Datacenter) {
+	for i, from := range dcs {
+		for j, to := range dcs {
+			if i == j {
+				continue
+			}
+			rxs := to.Receivers()
+			wrapped := make([]chariots.ReceiverAPI, len(rxs))
+			for k, rx := range rxs {
+				l := newWANLink(w.ctl, LinkName(i, j), rx)
+				w.links = append(w.links, l)
+				wrapped[k] = l
+			}
+			from.ConnectTo(core.DCID(j), wrapped)
+		}
+	}
+}
+
+// Partition severs both directions between a DC pair.
+func (w *WAN) Partition(a, b int) {
+	w.ctl.Sever(LinkName(a, b))
+	w.ctl.Sever(LinkName(b, a))
+}
+
+// HealPair restores both directions between a DC pair.
+func (w *WAN) HealPair(a, b int) {
+	w.ctl.Heal(LinkName(a, b))
+	w.ctl.Heal(LinkName(b, a))
+}
+
+// Close stops every link pump, dropping undelivered snapshots.
+func (w *WAN) Close() {
+	for _, l := range w.links {
+		l.close()
+	}
+}
+
+// wanLink applies one link's schedule to the chariots delivery path. Like
+// a TCP connection, delivery is FIFO: a serial pump holds each snapshot
+// for its resolved delay before handing it to the real receiver, so a
+// short delay behind a long one queues (head-of-line) rather than
+// reordering.
+type wanLink struct {
+	ctl  *faultinject.Controller
+	name string
+	dst  chariots.ReceiverAPI
+	ch   chan delayedSnap
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+type delayedSnap struct {
+	at   time.Time
+	snap chariots.Snapshot
+}
+
+func newWANLink(ctl *faultinject.Controller, name string, dst chariots.ReceiverAPI) *wanLink {
+	l := &wanLink{
+		ctl:  ctl,
+		name: name,
+		dst:  dst,
+		ch:   make(chan delayedSnap, 1<<12),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go l.pump()
+	return l
+}
+
+// Deliver implements chariots.ReceiverAPI.
+func (l *wanLink) Deliver(snap chariots.Snapshot) error {
+	out := l.ctl.Next(l.name)
+	switch out.Action {
+	case faultinject.ActionReject:
+		return fmt.Errorf("%w: %s", faultinject.ErrSevered, l.name)
+	case faultinject.ActionDrop:
+		return fmt.Errorf("%w: %s", faultinject.ErrDropped, l.name)
+	}
+	ds := delayedSnap{at: time.Now().Add(out.Delay), snap: snap}
+	sends := 1
+	if out.Action == faultinject.ActionDup {
+		sends = 2
+	}
+	for i := 0; i < sends; i++ {
+		select {
+		case l.ch <- ds:
+		case <-l.stop:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *wanLink) pump() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stop:
+			return
+		case ds := <-l.ch:
+			if wait := time.Until(ds.at); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-l.stop:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+			l.dst.Deliver(ds.snap)
+		}
+	}
+}
+
+func (l *wanLink) close() {
+	l.once.Do(func() { close(l.stop) })
+	<-l.done
+}

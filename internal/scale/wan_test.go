@@ -1,0 +1,146 @@
+package scale
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chariots"
+	"repro/internal/faultinject"
+)
+
+// wanTrace drives every link of a WAN through a fixed per-link script —
+// fixed call counts with sever/heal at fixed steps — and returns the
+// controller's canonical fingerprint plus every link's resolved delay
+// sequence. Links run concurrently (one goroutine per link, mirroring one
+// TCP connection per DC pair), which is exactly the regime the replay
+// property must hold under: per-link streams are pure functions of
+// (seed, link, step) no matter how the links interleave.
+func wanTrace(t *testing.T, seed uint64, topo Topology, steps int) (string, map[string][]time.Duration) {
+	t.Helper()
+	w := NewWAN(seed, topo)
+	ctl := w.Controller()
+	var wg sync.WaitGroup
+	for i := 0; i < topo.DCs; i++ {
+		for j := 0; j < topo.DCs; j++ {
+			if i == j {
+				continue
+			}
+			name := LinkName(i, j)
+			sever := i == 0 // links out of dc0 flap mid-script
+			wg.Add(1)
+			go func(name string, sever bool) {
+				defer wg.Done()
+				for s := 0; s < steps; s++ {
+					if sever && s == steps/4 {
+						ctl.Sever(name)
+					}
+					if sever && s == steps/2 {
+						ctl.Heal(name)
+					}
+					ctl.Next(name)
+				}
+			}(name, sever)
+		}
+	}
+	wg.Wait()
+	delays := make(map[string][]time.Duration)
+	for i := 0; i < topo.DCs; i++ {
+		for j := 0; j < topo.DCs; j++ {
+			if i != j {
+				name := LinkName(i, j)
+				delays[name] = ctl.Delays(name)
+			}
+		}
+	}
+	return ctl.Fingerprint(), delays
+}
+
+// TestWANDeterministicReplay is the WAN-emulation determinism contract:
+// same seed + same scenario script ⇒ identical faultinject fingerprint and
+// identical per-link delay sequences across two full runs (run under -race
+// in make check: the concurrent link goroutines are the point).
+func TestWANDeterministicReplay(t *testing.T) {
+	topo := Topology{
+		DCs:     3,
+		Default: LinkProfile{OneWay: 2 * time.Millisecond, Jitter: time.Millisecond, LossP: 0.05},
+	}
+	const steps = 400
+	fp1, d1 := wanTrace(t, 99, topo, steps)
+	fp2, d2 := wanTrace(t, 99, topo, steps)
+	if fp1 == "" {
+		t.Fatal("empty fingerprint: no events recorded")
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprints differ across identical runs:\n--- run1 ---\n%s--- run2 ---\n%s", fp1, fp2)
+	}
+	for name, seq1 := range d1 {
+		if len(seq1) == 0 {
+			t.Fatalf("link %s recorded no delays", name)
+		}
+		if !equalDurations(seq1, d2[name]) {
+			t.Fatalf("delay sequence for %s differs across identical runs", name)
+		}
+	}
+	fp3, _ := wanTrace(t, 100, topo, steps)
+	if fp3 == fp1 {
+		t.Fatal("different seed produced identical fingerprint")
+	}
+}
+
+type captureRx struct {
+	mu    sync.Mutex
+	snaps []chariots.Snapshot
+}
+
+func (c *captureRx) Deliver(s chariots.Snapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snaps = append(c.snaps, s)
+	return nil
+}
+
+func TestWANLinkDelaySeverDrop(t *testing.T) {
+	ctl := faultinject.New(faultinject.Options{Seed: 1})
+	const name = "dc0->dc1"
+	ctl.SetLink(name, faultinject.LinkOptions{DelayP: 1, Delay: 5 * time.Millisecond})
+	rx := &captureRx{}
+	l := newWANLink(ctl, name, rx)
+	defer l.close()
+
+	mark := func(i byte) chariots.Snapshot {
+		return chariots.Snapshot{From: 0, ATable: nil, Records: nil, Owned: i%2 == 0}
+	}
+	start := time.Now()
+	if err := l.Deliver(mark(0)); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rx.mu.Lock()
+		n := len(rx.snaps)
+		rx.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if e := time.Since(start); e < 4*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~5ms link delay", e)
+	}
+
+	ctl.Sever(name)
+	if err := l.Deliver(mark(1)); !errors.Is(err, faultinject.ErrSevered) {
+		t.Fatalf("Deliver on severed link: %v, want ErrSevered", err)
+	}
+	ctl.Heal(name)
+
+	ctl.SetLink(name, faultinject.LinkOptions{DropP: 1})
+	if err := l.Deliver(mark(2)); !errors.Is(err, faultinject.ErrDropped) {
+		t.Fatalf("Deliver on lossy link: %v, want ErrDropped", err)
+	}
+}

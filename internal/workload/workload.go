@@ -50,8 +50,32 @@ type OpenLoopGen struct {
 	Accepted metrics.Counter
 }
 
+// TimedSink consumes a batch of offered records along with the batch's
+// intended offer time from the open-loop schedule. Measuring a record's
+// latency from intended — not from when the generator finally got around
+// to calling the sink — is what keeps the measurement safe from
+// coordinated omission: when the sink stalls, the stall shows up in the
+// latency of every arrival scheduled behind it.
+type TimedSink func(intended time.Time, recs []*core.Record) int
+
 // Run offers records to sink for the given duration (blocking).
 func (g *OpenLoopGen) Run(sink Sink, d time.Duration) {
+	g.RunTimed(func(_ time.Time, recs []*core.Record) int { return sink(recs) }, d)
+}
+
+// RunTimed offers records to sink for the given duration, stamping every
+// batch with its intended offer time. The schedule is fixed up front
+// (start + k*interval): a slow sink makes the generator late, never the
+// schedule — late batches are offered immediately, back to back, with
+// their original intended timestamps, so offered-vs-accepted latency
+// measured against them includes the time the batch spent waiting on the
+// stalled generator. The old behaviour of re-anchoring the schedule when
+// more than 100ms behind silently forgave those stalls, under-reporting
+// tail latency in exactly the overloaded runs where the tail matters.
+func (g *OpenLoopGen) RunTimed(sink TimedSink, d time.Duration) {
+	if g.TargetPerSec <= 0 {
+		return
+	}
 	batch := g.BatchSize
 	if batch < 1 {
 		batch = 32
@@ -67,25 +91,20 @@ func (g *OpenLoopGen) Run(sink Sink, d time.Duration) {
 		interval = time.Microsecond
 	}
 	start := time.Now()
-	next := start
-	for time.Since(start) < d {
-		now := time.Now()
-		if now.Before(next) {
-			time.Sleep(next.Sub(now))
+	for k := 0; ; k++ {
+		intended := start.Add(time.Duration(k) * interval)
+		if intended.Sub(start) >= d {
+			return
 		}
-		next = next.Add(interval)
-		// If we fell behind (slow sink in a closed stretch), don't
-		// try to catch up unboundedly: open-loop offered load is
-		// paced by wall clock.
-		if behind := time.Since(start); next.Sub(start) < behind-100*time.Millisecond {
-			next = start.Add(behind)
+		if wait := time.Until(intended); wait > 0 {
+			time.Sleep(wait)
 		}
 		recs := make([]*core.Record, batch)
 		for i := range recs {
 			recs[i] = &core.Record{Host: g.Host, Body: body}
 		}
 		g.Offered.Add(uint64(batch))
-		g.Accepted.Add(uint64(sink(recs)))
+		g.Accepted.Add(uint64(sink(intended, recs)))
 	}
 }
 

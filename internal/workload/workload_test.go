@@ -38,6 +38,57 @@ func TestOpenLoopGenOffersTargetRate(t *testing.T) {
 	}
 }
 
+// TestRunTimedScheduleNeverReAnchors is the coordinated-omission fix: a
+// sink that stalls must see later batches arrive with their original
+// scheduled intended times, so offered-vs-accepted latency measured from
+// intended includes the stall.
+func TestRunTimedScheduleNeverReAnchors(t *testing.T) {
+	g := &OpenLoopGen{TargetPerSec: 10_000, BatchSize: 100, RecordSize: 16}
+	var maxLate time.Duration
+	calls := 0
+	start := time.Now()
+	g.RunTimed(func(intended time.Time, recs []*core.Record) int {
+		calls++
+		if calls == 1 {
+			time.Sleep(150 * time.Millisecond) // the stall
+		}
+		if late := time.Since(intended); late > maxLate {
+			maxLate = late
+		}
+		return len(recs)
+	}, 300*time.Millisecond)
+	// Batches scheduled during the 150ms stall are offered late; with the
+	// fixed schedule their lateness approaches the stall length. The old
+	// re-anchoring behaviour capped it at ~100ms.
+	if maxLate < 110*time.Millisecond {
+		t.Errorf("max lateness %v, want ≥110ms (stall must not be forgiven)", maxLate)
+	}
+	// The schedule still ends on time: intended times span d, not d+stall.
+	if e := time.Since(start); e > 600*time.Millisecond {
+		t.Errorf("run took %v", e)
+	}
+}
+
+func TestRunTimedIntendedSpacing(t *testing.T) {
+	g := &OpenLoopGen{TargetPerSec: 10_000, BatchSize: 100, RecordSize: 16}
+	var prev time.Time
+	g.RunTimed(func(intended time.Time, recs []*core.Record) int {
+		if !prev.IsZero() {
+			if got := intended.Sub(prev); got != 10*time.Millisecond {
+				t.Fatalf("intended spacing %v, want exactly 10ms", got)
+			}
+		}
+		prev = intended
+		return len(recs)
+	}, 100*time.Millisecond)
+	if prev.IsZero() {
+		t.Fatal("sink never called")
+	}
+	// A non-positive target is a no-op, not a divide-by-zero spin.
+	zero := &OpenLoopGen{TargetPerSec: 0}
+	zero.RunTimed(func(time.Time, []*core.Record) int { t.Fatal("offered at zero rate"); return 0 }, 50*time.Millisecond)
+}
+
 func TestOpenLoopGenCountsRejections(t *testing.T) {
 	g := &OpenLoopGen{TargetPerSec: 50_000, BatchSize: 10, RecordSize: 16}
 	g.Run(func(recs []*core.Record) int {

@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read bench-scale trace-smoke api-snapshot api-check
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read bench-scale bench-durability trace-smoke api-snapshot api-check
 
 # The public surface of the client-facing packages, as sorted declaration
 # lines from `go doc -all`. api-check fails when the surface drifts from
@@ -47,7 +47,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test api-check trace-smoke bench-scale
+check: build vet test api-check trace-smoke bench-scale bench-durability
 	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject ./internal/scale
 	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
 
@@ -66,6 +66,16 @@ trace-smoke:
 bench-scale:
 	$(GO) test -run 'TestScaleSteadySmoke|TestScalePartitionHealReplay' -count=1 ./internal/scale
 
+# bench-durability is the durability-tier smoke: a reduced run of both
+# phases — per-batch vs group-commit fsync arms (the group arms must
+# collapse fsyncs/op below 1 at 8+ appenders) and the three quorum-ack
+# cluster arms — asserting the artifact's ledger and shape invariants.
+# The full acceptance ratios (group p99 <= 0.5x per-batch at 64
+# appenders, slow-disk quorum p99 <= 2x healthy) run via
+# `repro -exp durability`.
+bench-durability:
+	$(GO) test -run 'TestDurabilitySmoke' -count=1 ./internal/cluster
+
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.
 fuzz-smoke:
@@ -73,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecodeRecords$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -fuzz='^FuzzRead$$' -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz='^FuzzDecodeRangeResult$$' -fuzztime=$(FUZZTIME) ./internal/flstore
+	$(GO) test -fuzz='^FuzzArchiveVolumeDecode$$' -fuzztime=$(FUZZTIME) ./internal/storage
 
 # bench-smoke runs the allocation-budget benchmarks once; the AllocsPerRun
 # assertions in the regular tests enforce the budgets, this shows the numbers.

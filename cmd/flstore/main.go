@@ -51,6 +51,8 @@ func main() {
 		batch        = flag.Uint64("batch", 1000, "placement round size (LIds per maintainer per round)")
 		listen       = flag.String("listen", "127.0.0.1:7000", "controller listen address; components use consecutive ports")
 		dataDir      = flag.String("data", "", "directory for persistent segment stores (empty = in-memory)")
+		fsyncPolicy  = flag.String("fsync", "group", "segment fsync policy: group (one fsync per commit window), each (per batch), never")
+		tiered       = flag.Bool("tiered", false, "tier sealed segments into a cold archive (requires -data); compaction via storage.TieredStore")
 		gossipEvery  = flag.Duration("gossip", 5*time.Millisecond, "head-of-log gossip interval")
 		metricsAddr  = flag.String("metrics", "", `metrics HTTP listen address ("" = controller port + 100, "off" = disabled)`)
 		replication  = flag.Int("replication", 1, "replicas per LId range (1 = unreplicated)")
@@ -65,12 +67,12 @@ func main() {
 	trace.SetSampling(uint32(*traceSample))
 	trace.SetSlowOpThreshold(*traceSlow)
 	trace.SetNodeName("flstore@" + *listen)
-	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *gossipEvery, *metricsAddr, *replication, *ackPolicy, *admitRate, *admitBurst, *backlog); err != nil {
+	if err := run(*nMaintainers, *nIndexers, *batch, *listen, *dataDir, *fsyncPolicy, *tiered, *gossipEvery, *metricsAddr, *replication, *ackPolicy, *admitRate, *admitBurst, *backlog); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, gossipEvery time.Duration, metricsAddr string, replication int, ackPolicy string, admitRate float64, admitBurst, backlog int) error {
+func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir, fsyncPolicy string, tiered bool, gossipEvery time.Duration, metricsAddr string, replication int, ackPolicy string, admitRate float64, admitBurst, backlog int) error {
 	host, portStr, err := net.SplitHostPort(listen)
 	if err != nil {
 		return fmt.Errorf("bad -listen: %w", err)
@@ -127,16 +129,40 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 	// Maintainers.
 	var maintainerAddrs []string
 	var maintainers []*flstore.Maintainer
+	var syncPolicy storage.SyncPolicy
+	switch fsyncPolicy {
+	case "group":
+		syncPolicy = storage.SyncGroupCommit
+	case "each":
+		syncPolicy = storage.SyncEachBatch
+	case "never":
+		syncPolicy = storage.SyncNever
+	default:
+		return fmt.Errorf("bad -fsync %q (want group, each, or never)", fsyncPolicy)
+	}
+	if tiered && dataDir == "" {
+		return fmt.Errorf("-tiered requires -data")
+	}
 	for i := 0; i < nMaintainers; i++ {
 		var st storage.Store
 		if dataDir != "" {
 			dir := filepath.Join(dataDir, fmt.Sprintf("maintainer-%d", i))
-			seg, serr := storage.OpenSegmentStore(dir, storage.SegmentStoreOptions{Sync: storage.SyncEachBatch})
-			if serr != nil {
-				return fmt.Errorf("maintainer %d store: %w", i, serr)
+			opts := storage.SegmentStoreOptions{Sync: syncPolicy}
+			if tiered {
+				ts, serr := storage.OpenTieredStore(dir, opts)
+				if serr != nil {
+					return fmt.Errorf("maintainer %d store: %w", i, serr)
+				}
+				ts.Hot().EnableMetrics(reg, metrics.L("maintainer", strconv.Itoa(i)))
+				st = ts
+			} else {
+				seg, serr := storage.OpenSegmentStore(dir, opts)
+				if serr != nil {
+					return fmt.Errorf("maintainer %d store: %w", i, serr)
+				}
+				seg.EnableMetrics(reg, metrics.L("maintainer", strconv.Itoa(i)))
+				st = seg
 			}
-			seg.EnableMetrics(reg, metrics.L("maintainer", strconv.Itoa(i)))
-			st = seg
 		}
 		var limiter *ratelimit.Limiter
 		if admitRate > 0 {
@@ -218,6 +244,8 @@ func run(nMaintainers, nIndexers int, batch uint64, listen, dataDir string, goss
 			return maintainers[mi].RangeFrontier(ri)
 		}, func(mi, ri int) (uint64, uint64, error) {
 			return maintainers[mi].ValidityWatermark(ri)
+		}, func(mi, ri int) (uint64, error) {
+			return maintainers[mi].DurableWatermark(ri)
 		}), nil
 	})
 	if _, err := ctrlSrv.Listen(listen); err != nil {

@@ -412,20 +412,26 @@ func cmdReads(conn rpc.Client, args []string) {
 // cmdReplicas renders the controller's replica-group status: one row per
 // group member with its role, reachability, per-range frontier, catch-up
 // lag in log positions, validity watermark (positions below it are served
-// from the member's local store), and invalidation backlog (announced but
-// unresolved positions, where reads block or fail over).
+// from the member's local store), invalidation backlog (announced but
+// unresolved positions, where reads block or fail over), and durable
+// watermark (positions below it are fsynced in the member's local store;
+// "-" when the store is volatile).
 func cmdReplicas(conn rpc.Client) {
 	st, err := flstore.FetchReplicas(conn)
 	if err != nil {
 		log.Fatalf("replicas: %v (is the node set running with -replication?)", err)
 	}
 	fmt.Printf("replication=%d ack=%s\n", st.Replication, st.Ack)
-	tbl := metrics.Table{Header: []string{"range", "member", "role", "health", "frontier", "lag LIds", "valid wm", "inval backlog"}}
+	tbl := metrics.Table{Header: []string{"range", "member", "role", "health", "frontier", "lag LIds", "valid wm", "inval backlog", "durable wm"}}
 	for _, g := range st.Groups {
 		for _, m := range g.Members {
 			health := "ok"
 			if !m.Healthy {
 				health = "unreachable"
+			}
+			durable := "-"
+			if m.DurableWatermark > 0 {
+				durable = strconv.FormatUint(m.DurableWatermark, 10)
 			}
 			tbl.AddRow(
 				strconv.Itoa(g.Range),
@@ -435,7 +441,8 @@ func cmdReplicas(conn rpc.Client) {
 				strconv.FormatUint(m.Frontier, 10),
 				strconv.FormatUint(m.LagLIds, 10),
 				strconv.FormatUint(m.ValidWatermark, 10),
-				strconv.FormatUint(m.InvalBacklog, 10))
+				strconv.FormatUint(m.InvalBacklog, 10),
+				durable)
 		}
 	}
 	fmt.Print(tbl.String())

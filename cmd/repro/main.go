@@ -9,7 +9,7 @@
 // Experiments: fig7, fig8, table2, table3, table4, table5, fig9,
 // ablation-sequencer, ablation-batchsize, ablation-gossip,
 // ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover,
-// readpath, overload, tracelat, scale.
+// readpath, overload, tracelat, scale, durability.
 //
 // The scale experiment runs entries of the internal/scale scenario matrix
 // at full acceptance size (>= 10000 open-loop sessions); select one with
@@ -57,12 +57,13 @@ func main() {
 		"overload":            runOverload,
 		"tracelat":            runTraceLat,
 		"scale":               func(d time.Duration) error { return runScale(*scenario, d) },
+		"durability":          runDurability,
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
-		"failover", "readpath", "overload", "tracelat", "scale",
+		"failover", "readpath", "overload", "tracelat", "scale", "durability",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -552,5 +553,52 @@ func runScale(scenario string, _ time.Duration) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_scale.json")
+	return nil
+}
+
+func runDurability(dur time.Duration) error {
+	header("Extension — durability tier (group-commit fsync windows + quorum durability acks)",
+		"not in the paper's evaluation: open-loop appenders against one segment store under per-batch vs group-commit fsync (disk cost injected via the seeded fault controller), then an R=3 replica group with one follower disk slowed 20x under wait-all vs quorum-return acks; bars: group p99 <= 0.5x per-batch p99 at 64 appenders, quorum p99 with the slow disk <= 2x healthy")
+	res, err := cluster.RunDurability(cluster.DurabilityOptions{Duration: dur})
+	if err != nil {
+		return err
+	}
+	tb := &metrics.Table{Header: []string{"appenders", "policy", "offered/s", "achieved/s", "p50", "p99", "fsyncs", "fsyncs/op"}}
+	for _, a := range res.FsyncArms {
+		tb.AddRow(fmt.Sprint(a.Appenders), a.Policy,
+			fmt.Sprintf("%.0f", a.OfferedPerSec),
+			fmt.Sprintf("%.0f", a.AchievedPerSec),
+			fmt.Sprintf("%.2fms", a.P50Ms),
+			fmt.Sprintf("%.2fms", a.P99Ms),
+			fmt.Sprint(a.Fsyncs),
+			fmt.Sprintf("%.3f", a.FsyncsPerOp))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("group/each p99 at max appenders %.2fx (bar: <= 0.5x)\n", res.GroupP99Ratio64)
+	qb := &metrics.Table{Header: []string{"arm", "ack", "quorum fanout", "slow member", "achieved/s", "p50", "p99", "durable lag"}}
+	for _, a := range res.QuorumArms {
+		slow := "-"
+		if a.SlowMember >= 0 {
+			slow = fmt.Sprintf("m%d (%dx disk)", a.SlowMember, res.SlowFactor)
+		}
+		qb.AddRow(a.Name, a.Ack, fmt.Sprint(a.QuorumFanout), slow,
+			fmt.Sprintf("%.0f", a.AchievedPerSec),
+			fmt.Sprintf("%.2fms", a.P50Ms),
+			fmt.Sprintf("%.2fms", a.P99Ms),
+			fmt.Sprint(a.SlowDurableLag))
+	}
+	fmt.Print(qb.String())
+	fmt.Printf("slow-disk p99 vs healthy: quorum %.2fx (bar: <= 2x) | wait-all %.2fx\n",
+		res.QuorumSlowP99Ratio, res.AllAckSlowP99Ratio)
+	if err := cluster.WriteBench("BENCH_durability.json", "durability", res); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_durability.json")
+	if res.GroupP99Ratio64 > 0.5 {
+		return fmt.Errorf("group-commit p99 %.2fx of per-batch baseline at max appenders, above the 0.5x acceptance bar", res.GroupP99Ratio64)
+	}
+	if res.QuorumSlowP99Ratio > 2 {
+		return fmt.Errorf("quorum p99 with a slow disk %.2fx of healthy, above the 2x acceptance bar", res.QuorumSlowP99Ratio)
+	}
 	return nil
 }

@@ -90,6 +90,21 @@ func TestBenchSchemaGolden(t *testing.T) {
 			"target_per_sec", "wan_events",
 		}},
 		"scale-bench": {ScaleBench{}, []string{"scenarios", "seed"}},
+		"durability": {DurabilityResult{}, []string{
+			"all_ack_slow_p99_ratio", "fsync_arms", "fsync_delay_ms",
+			"group_p99_ratio_64", "quorum_arms", "quorum_slow_p99_ratio",
+			"slow_factor",
+		}},
+		"durability-fsync-arm": {FsyncArm{}, []string{
+			"achieved_per_sec", "appenders", "completed", "errors", "fsyncs",
+			"fsyncs_per_op", "max_ms", "offered", "offered_per_sec",
+			"p50_ms", "p99_ms", "policy",
+		}},
+		"durability-quorum-arm": {QuorumArm{}, []string{
+			"achieved_per_sec", "ack", "completed", "errors", "name",
+			"offered", "p50_ms", "p99_ms", "quorum_fanout",
+			"slow_durable_lag", "slow_member",
+		}},
 	}
 	for name, g := range golden {
 		if got := jsonKeys(t, g.payload); !reflect.DeepEqual(got, g.keys) {

@@ -71,6 +71,19 @@ type ReplicaAPI interface {
 	GossipVec(vec []uint64) ([]uint64, error)
 }
 
+// DurableGossipAPI is the durability-aware gossip surface. It is kept
+// separate from ReplicaAPI so pre-durability fakes and deployments keep
+// compiling: the gossiper type-asserts and falls back to GossipVec, and
+// ServeMaintainer registers the handler only when the implementation
+// provides it.
+type DurableGossipAPI interface {
+	// GossipVecs exchanges the next-unfilled vector together with the
+	// durable-watermark vector (highest LId per range known quorum-fsynced).
+	// Both merge element-wise max; the durable vector is advisory and never
+	// gates appends.
+	GossipVecs(next, dur []uint64) ([]uint64, []uint64, error)
+}
+
 // InvalidationAPI is the Hermes-style invalidation surface of a
 // replication-aware maintainer. Like ReplicaAPI it is kept separate so
 // unreplicated deployments and older fakes keep compiling: callers

@@ -82,18 +82,28 @@ func (g *Gossiper) loop() {
 
 // Round performs one synchronous gossip exchange with every peer. Exposed
 // so tests and deterministic simulations can gossip without timers. Peers
-// exposing GossipVec exchange whole next-unfilled vectors (so replicated
-// progress for a dead owner's range spreads through its followers); others
-// fall back to the scalar §5.4 exchange. A peer whose exchange fails is
-// marked silent until one succeeds again.
+// exposing GossipVecs exchange next-unfilled and durable-watermark vectors
+// together (still fixed-size: 2N LIds); peers exposing only GossipVec
+// exchange the next-unfilled vector (so replicated progress for a dead
+// owner's range spreads through its followers); others fall back to the
+// scalar §5.4 exchange. A peer whose exchange fails is marked silent until
+// one succeeds again.
 func (g *Gossiper) Round() {
 	vec := g.self.NextVec()
+	dur := g.self.DurableVec()
 	next := vec[g.self.Index()]
 	for j, peer := range g.peers {
 		if j == g.self.Index() || peer == nil {
 			continue
 		}
-		if vg, ok := peer.(ReplicaAPI); ok {
+		if dg, ok := peer.(DurableGossipAPI); ok {
+			theirNext, theirDur, err := dg.GossipVecs(vec, dur)
+			if err != nil {
+				g.silent[j].Store(1)
+				continue // unreachable peer; retry next round
+			}
+			g.self.GossipVecs(theirNext, theirDur)
+		} else if vg, ok := peer.(ReplicaAPI); ok {
 			theirs, err := vg.GossipVec(vec)
 			if err != nil {
 				g.silent[j].Store(1)

@@ -90,6 +90,15 @@ type rangeState struct {
 	// pending holds records that arrived ahead of the dense frontier,
 	// keyed by slot.
 	pending map[uint64][]*core.Record
+	// durable is the contiguous count of this range's slots whose records
+	// the local store has confirmed on stable storage (AppendBatch
+	// returned, which for a durable store means fsynced — a group-commit
+	// window resolved, not merely buffered). durable <= filled always:
+	// filled advances at assignment, durable when the disk catches up.
+	durable uint64
+	// durDone holds store batches that completed out of order, ahead of
+	// the contiguous durable frontier: start slot → end slot (exclusive).
+	durDone map[uint64]uint64
 }
 
 // Maintainer is one FLStore log maintainer (§5.2): it owns the deterministic
@@ -112,6 +121,16 @@ type Maintainer struct {
 	// (nextVec[Index] is maintained locally; hosted followers' entries
 	// advance from replica ingestion, the rest from gossip).
 	nextVec []uint64
+	// durVec[j] is the highest known durable watermark of range j
+	// anywhere in the cluster (LId form, exclusive): some member has
+	// fsynced every position of range j below it. Hosted entries fold in
+	// from the local durable frontiers; the rest ride the gossip vector
+	// exchange exactly like nextVec.
+	durVec []uint64
+	// storeDurable caches whether the store reports durability-on-return
+	// (storage.SegmentStore/TieredStore with a sync policy); stores that
+	// don't (MemStore, SyncNever) never advance the durable watermark.
+	storeDurable bool
 	// orderBuf parks AppendAfter batches whose minimum-LId bound is not
 	// yet satisfiable.
 	orderBuf orderHeap
@@ -219,6 +238,10 @@ func (m *Maintainer) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label
 			defer m.mu.Unlock()
 			return float64(m.invalBacklogLocked(r))
 		}, rl...)
+		reg.GaugeFunc("replica_durable_watermark", func() float64 {
+			wm, _ := m.DurableWatermark(r)
+			return float64(wm)
+		}, rl...)
 	}
 }
 
@@ -258,17 +281,25 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 		layout:  layout,
 		hosted:  make(map[int]*rangeState, cfg.Replication),
 		nextVec: make([]uint64, cfg.Placement.NumMaintainers),
+		durVec:  make([]uint64, cfg.Placement.NumMaintainers),
+	}
+	if d, ok := cfg.Store.(interface{ Durable() bool }); ok {
+		m.storeDurable = d.Durable()
 	}
 	if cfg.TailCacheSize > 0 {
 		m.tail = newTailRing(cfg.TailCacheSize)
 	}
 	for _, r := range layout.Hosts(cfg.Index) {
-		m.hosted[r] = &rangeState{pending: make(map[uint64][]*core.Record)}
+		m.hosted[r] = &rangeState{
+			pending: make(map[uint64][]*core.Record),
+			durDone: make(map[uint64]uint64),
+		}
 	}
 	// Initialize every entry to the corresponding maintainer's first
 	// owned LId so Head() is 0 until real gossip arrives.
 	for j := range m.nextVec {
 		m.nextVec[j] = cfg.Placement.LIdOfSlot(j, 0)
+		m.durVec[j] = m.nextVec[j]
 	}
 	// Recover the dense frontiers from a pre-populated store (restart).
 	// The store may hold several hosted ranges' records, so every record
@@ -296,6 +327,15 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 				st.filled++
 			}
 			m.advanceNextLocked(rangeIdx, st)
+			// Whatever the recovery scan read back came off stable
+			// storage, so the durable frontier restarts at the dense
+			// prefix — no re-fsync needed for survivors. A volatile
+			// store's contents are not durable, so its frontier must
+			// not feed the gossiped durability vector.
+			if m.storeDurable {
+				st.durable = st.filled
+				m.advanceDurableLocked(rangeIdx, st)
+			}
 		}
 	}
 	return m, nil
@@ -311,6 +351,88 @@ func (m *Maintainer) advanceNextLocked(rangeIdx int, st *rangeState) {
 		m.nextVec[rangeIdx] = next
 		m.notifyProgressLocked()
 	}
+}
+
+// advanceDurableLocked folds a hosted range's local durable frontier into
+// durVec. Caller holds mu (or is still constructing the maintainer).
+func (m *Maintainer) advanceDurableLocked(rangeIdx int, st *rangeState) {
+	if lid := m.cfg.Placement.LIdOfSlot(rangeIdx, st.durable); lid > m.durVec[rangeIdx] {
+		m.durVec[rangeIdx] = lid
+	}
+}
+
+// markDurable records that the local store confirmed rangeIdx's slots
+// [start, end) on stable storage (its AppendBatch returned) and advances
+// the range's contiguous durable frontier. Store batches for one range
+// are disjoint slot intervals but may *complete* out of order — two
+// appends can reach the store in either order, and group-commit windows
+// resolve when their fsync does — so completions ahead of the frontier
+// park in durDone until the gap closes. Stores without durability-on-
+// return never advance the watermark.
+func (m *Maintainer) markDurable(rangeIdx int, start, end uint64) {
+	if !m.storeDurable || end <= start {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		return
+	}
+	if end <= st.durable {
+		return
+	}
+	if start <= st.durable {
+		st.durable = end
+	} else {
+		st.durDone[start] = end
+	}
+	for {
+		advanced := false
+		for s, e := range st.durDone {
+			if s <= st.durable {
+				if e > st.durable {
+					st.durable = e
+				}
+				delete(st.durDone, s)
+				advanced = true
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	m.advanceDurableLocked(rangeIdx, st)
+}
+
+// DurableWatermark returns a hosted range's local durable watermark: the
+// LId below which every position of the range is on THIS member's stable
+// storage (fsynced, not merely buffered), in next-unfilled form like
+// RangeFrontier. It reports 0 when the member's store is volatile — the
+// watermark would be meaningless. The quorum-durability status view probes
+// it per member; contrast ValidityWatermark, which tracks what is locally
+// readable.
+func (m *Maintainer) DurableWatermark(rangeIdx int) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.hosted[rangeIdx]
+	if !ok {
+		return 0, fmt.Errorf("%w: range %d at maintainer %d", ErrNotReplica, rangeIdx, m.cfg.Index)
+	}
+	if !m.storeDurable {
+		return 0, nil
+	}
+	return m.cfg.Placement.LIdOfSlot(rangeIdx, st.durable), nil
+}
+
+// DurableVec returns a copy of the cluster-durability vector: per range,
+// the highest durable watermark any member is known (via gossip) to have.
+func (m *Maintainer) DurableVec() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, len(m.durVec))
+	copy(out, m.durVec)
+	return out
 }
 
 // admit applies the capacity limiter to n records. The success path is
@@ -393,6 +515,7 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 	}
 	// One range assignment for the whole batch: the range fills its slots
 	// densely, so the batch occupies slots [filled, filled+len).
+	startSlot := st.filled
 	lids := make([]uint64, len(recs))
 	m.cfg.Placement.LIdsOfSlots(rangeIdx, st.filled, lids)
 	for i, r := range recs {
@@ -424,6 +547,7 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 		return nil, err
 	}
 	sw.End(trace.Default(), "", lids[0], len(recs))
+	m.markDurable(rangeIdx, startSlot, startSlot+uint64(len(recs)))
 	m.cacheAppended(recs)
 	m.Appended.Add(uint64(len(recs)))
 	if err := m.postTags(recs); err != nil {
@@ -510,6 +634,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		m.pendingCount++
 	}
 	// Drain the contiguous prefix.
+	drainStart := st.filled
 	var ready []*core.Record
 	for {
 		rs, ok := st.pending[st.filled]
@@ -525,6 +650,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		m.pendingCount--
 		st.filled++
 	}
+	drainEnd := st.filled
 	m.advanceNextLocked(m.cfg.Index, st)
 	m.mu.Unlock()
 
@@ -542,6 +668,7 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		return err
 	}
 	sw.End(trace.Default(), "", recs[0].LId, len(ready))
+	m.markDurable(m.cfg.Index, drainStart, drainEnd)
 	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return m.postTags(ready)
@@ -591,7 +718,9 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 		touched[rangeIdx] = st
 	}
 	var ready []*core.Record
+	drained := make(map[int][2]uint64, len(touched))
 	for rangeIdx, st := range touched {
+		start := st.filled
 		for {
 			rs, ok := st.pending[st.filled]
 			if !ok {
@@ -602,6 +731,7 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 			m.pendingCount--
 			st.filled++
 		}
+		drained[rangeIdx] = [2]uint64{start, st.filled}
 		m.advanceNextLocked(rangeIdx, st)
 	}
 	m.mu.Unlock()
@@ -617,6 +747,9 @@ func (m *Maintainer) ReplicaAppend(recs []*core.Record) error {
 		return err
 	}
 	sw.End(trace.Default(), "", recs[0].LId, len(ready))
+	for rangeIdx, span := range drained {
+		m.markDurable(rangeIdx, span[0], span[1])
+	}
 	m.cacheAppended(ready)
 	m.Appended.Add(uint64(len(ready)))
 	return nil
@@ -949,6 +1082,44 @@ func (m *Maintainer) GossipVec(vec []uint64) ([]uint64, error) {
 	out := make([]uint64, len(m.nextVec))
 	copy(out, m.nextVec)
 	return out, nil
+}
+
+// GossipVecs is GossipVec extended with the durable-watermark vector: a
+// second fixed-size (N LIds) vector whose entry j is the highest LId of
+// range j known fsynced on this member's quorum view. Both vectors merge
+// element-wise max; both replies fold in local hosted progress first. The
+// durable vector is monotone and advisory — it never gates appends, it
+// tells readers and operators how far behind the fsync horizon trails the
+// assignment frontier.
+func (m *Maintainer) GossipVecs(next, dur []uint64) ([]uint64, []uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for j, v := range next {
+		if j < len(m.nextVec) && v > m.nextVec[j] {
+			m.nextVec[j] = v
+			changed = true
+		}
+	}
+	for j, v := range dur {
+		if j < len(m.durVec) && v > m.durVec[j] {
+			m.durVec[j] = v
+		}
+	}
+	for rangeIdx, st := range m.hosted {
+		m.advanceNextLocked(rangeIdx, st)
+		if m.storeDurable {
+			m.advanceDurableLocked(rangeIdx, st)
+		}
+	}
+	if changed {
+		m.notifyProgressLocked()
+	}
+	outNext := make([]uint64, len(m.nextVec))
+	copy(outNext, m.nextVec)
+	outDur := make([]uint64, len(m.durVec))
+	copy(outDur, m.durVec)
+	return outNext, outDur, nil
 }
 
 // NextVec returns a copy of the maintainer's next-unfilled vector.

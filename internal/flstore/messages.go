@@ -42,6 +42,7 @@ const (
 	msgTailWait
 	msgInvalidate
 	msgWatermark
+	msgGossipVecs
 )
 
 // --- encoding helpers ---
@@ -517,6 +518,23 @@ func serveReplicaOps(srv *rpc.Server, r ReplicaAPI) {
 		}
 		return appendLIds(nil, mine), nil
 	})
+	if dg, ok := r.(DurableGossipAPI); ok {
+		srv.Handle(msgGossipVecs, func(p []byte) ([]byte, error) {
+			next, n, err := decodeLIds(p)
+			if err != nil {
+				return nil, err
+			}
+			dur, _, err := decodeLIds(p[n:])
+			if err != nil {
+				return nil, err
+			}
+			myNext, myDur, err := dg.GossipVecs(next, dur)
+			if err != nil {
+				return nil, err
+			}
+			return appendLIds(appendLIds(nil, myNext), myDur), nil
+		})
+	}
 }
 
 // ServeIndexer registers RPC handlers exposing ix on srv.
@@ -927,6 +945,22 @@ func (mc *maintainerClient) GossipVec(vec []uint64) ([]uint64, error) {
 	}
 	vec, _, err = decodeLIds(resp)
 	return vec, err
+}
+
+func (mc *maintainerClient) GossipVecs(next, dur []uint64) ([]uint64, []uint64, error) {
+	resp, err := mc.c.Call(msgGossipVecs, appendLIds(appendLIds(nil, next), dur))
+	if err != nil {
+		return nil, nil, mapRemoteError(err)
+	}
+	myNext, n, err := decodeLIds(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	myDur, _, err := decodeLIds(resp[n:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return myNext, myDur, nil
 }
 
 // indexerClient implements IndexerAPI over an rpc.Client.

@@ -59,6 +59,19 @@ func WithAdaptivePacing() ClientOption {
 	return func(c *Client) { c.pace = &pacer{} }
 }
 
+// WithQuorumFanout lets replicated appends return as soon as the ack
+// policy's quorum of copies is stored (fsynced on durable members),
+// detaching the remaining fan-out — a degraded follower's disk stops
+// sitting on the append p99. No-op on unreplicated clients; see
+// replica.SessionConfig.QuorumFanout for the trade-off.
+func WithQuorumFanout() ClientOption {
+	return func(c *Client) {
+		if c.session != nil {
+			c.session.SetQuorumFanout(true)
+		}
+	}
+}
+
 // WithReadPolicy sets the replica read-placement policy on a replicated
 // client (replica.OwnerFirst, replica.SpreadReads, replica.NearestFirst).
 // Reads still fail over across the group in policy order when the picked

@@ -14,10 +14,12 @@ import (
 // unreachable, whose lag then reads as the whole replicated prefix — the
 // worst case the catch-up protocol would have to transfer. watermark may be
 // nil (pre-invalidation deployments): members then report their frontier as
-// the watermark and an empty backlog.
+// the watermark and an empty backlog. durable may be nil (volatile-store
+// deployments): members then report a zero durable watermark.
 func BuildClusterStatus(p Placement, layout replica.Layout, ack replica.AckPolicy,
 	frontier func(member, rangeIdx int) (uint64, error),
-	watermark func(member, rangeIdx int) (wm, announced uint64, err error)) *replica.ClusterStatus {
+	watermark func(member, rangeIdx int) (wm, announced uint64, err error),
+	durable func(member, rangeIdx int) (uint64, error)) *replica.ClusterStatus {
 	// A frontier is the range's next-unfilled LId, so its slot index is
 	// exactly how many of the range's positions the member holds. The
 	// announced bound is kept in the same frontier form by Invalidate, so
@@ -52,6 +54,11 @@ func BuildClusterStatus(p Placement, layout replica.Layout, ack replica.AckPolic
 					if a, w := slotOf(ann), slotOf(wm); a > w {
 						ms.InvalBacklog = a - w
 					}
+				}
+			}
+			if durable != nil && ms.Healthy {
+				if d, err := durable(mi, ri); err == nil {
+					ms.DurableWatermark = d
 				}
 			}
 			gs.Members = append(gs.Members, ms)

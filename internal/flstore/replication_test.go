@@ -179,6 +179,11 @@ func TestReplicaStatusRPCRoundTrip(t *testing.T) {
 				return 0, 0, errors.New("maintainer 2 unreachable")
 			}
 			return ms[mi].ValidityWatermark(ri)
+		}, func(mi, ri int) (uint64, error) {
+			if mi == 2 {
+				return 0, errors.New("maintainer 2 unreachable")
+			}
+			return ms[mi].DurableWatermark(ri)
 		}), nil
 	})
 	st, err := FetchReplicas(rpc.NewLocalClient(srv))

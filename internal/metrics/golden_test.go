@@ -66,6 +66,7 @@ var goldenFamilies = []string{
 	"replica_append_failovers_total",
 	"replica_appends_total",
 	"replica_catchup_records_total",
+	"replica_durable_watermark",
 	"replica_evictions_total",
 	"replica_fanout_failures_total",
 	"replica_fanout_retries_total",
@@ -90,8 +91,11 @@ var goldenFamilies = []string{
 	"scale_offered_total",
 	"scale_sessions_active",
 	"scale_shed_total",
+	"storage_commit_window_bytes",
+	"storage_commit_window_waiters",
 	"storage_disk_bytes",
 	"storage_fsync_seconds",
+	"storage_fsync_total",
 	"storage_records",
 	"storage_segments",
 }

@@ -1,0 +1,129 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// stallMember delays ReplicaAppend (the follower copy path) until released
+// — a member whose disk is arbitrarily slow, not down.
+type stallMember struct {
+	*fakeMember
+	release chan struct{}
+}
+
+func (s *stallMember) ReplicaAppend(recs []*core.Record) error {
+	<-s.release
+	return s.fakeMember.ReplicaAppend(recs)
+}
+
+func quorumFixture(t *testing.T, quorum bool) (*Session, *stallMember) {
+	t.Helper()
+	l := Layout{N: 3, R: 3}
+	stalled := &stallMember{fakeMember: newFakeMember(2, l), release: make(chan struct{})}
+	members := []Member{newFakeMember(0, l), newFakeMember(1, l), stalled}
+	s, err := NewSession(members, SessionConfig{
+		Layout:       l,
+		Ack:          AckMajority,
+		Owner:        func(lid uint64) int { return int((lid - 1) % uint64(l.N)) },
+		QuorumFanout: quorum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stalled
+}
+
+// TestQuorumFanoutDetachesStraggler: with QuorumFanout, an append is done
+// when a majority stored it — a follower with an arbitrarily slow disk
+// does not sit on the append path. The straggler's copy still lands once
+// its disk catches up.
+func TestQuorumFanoutDetachesStraggler(t *testing.T) {
+	s, stalled := quorumFixture(t, true)
+	done := make(chan error, 1)
+	var lids []uint64
+	go func() {
+		var err error
+		lids, err = s.AppendRange(0, []*core.Record{{TOId: 1, Host: 0, Body: []byte("q")}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("quorum append: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("quorum append still waiting on the stalled member")
+	}
+	if len(lids) != 1 {
+		t.Fatalf("lids = %v", lids)
+	}
+	// The detached straggler finishes once the slow disk completes.
+	close(stalled.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := stalled.fakeMember.Read(lids[0]); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("straggler copy never landed after release")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitAllFanoutBlocksOnStraggler: the default (deterministic) mode
+// waits for every member — the behavior the seeded fault-replay tests
+// depend on — so the same stalled member holds the append.
+func TestWaitAllFanoutBlocksOnStraggler(t *testing.T) {
+	s, stalled := quorumFixture(t, false)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.AppendRange(0, []*core.Record{{TOId: 1, Host: 0, Body: []byte("w")}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("wait-all append returned (%v) while a member was stalled", err)
+	case <-time.After(100 * time.Millisecond):
+		// Still blocked on the straggler: expected.
+	}
+	close(stalled.release)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("append after release: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("append never completed after release")
+	}
+}
+
+// TestAppendRangePinsRange: AppendRange assigns positions only in the
+// named range.
+func TestAppendRangePinsRange(t *testing.T) {
+	l := Layout{N: 3, R: 2}
+	members := []Member{newFakeMember(0, l), newFakeMember(1, l), newFakeMember(2, l)}
+	s, err := NewSession(members, SessionConfig{
+		Layout: l,
+		Ack:    AckAll,
+		Owner:  func(lid uint64) int { return int((lid - 1) % uint64(l.N)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		lids, err := s.AppendRange(1, []*core.Record{{TOId: uint64(i + 1), Host: 0, Body: []byte("p")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int((lids[0] - 1) % uint64(l.N)); got != 1 {
+			t.Fatalf("append %d landed in range %d, want 1 (lid %d)", i, got, lids[0])
+		}
+	}
+	if _, err := s.AppendRange(5, []*core.Record{{TOId: 9}}); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+}

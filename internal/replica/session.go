@@ -68,6 +68,15 @@ type SessionConfig struct {
 	IsRetryable func(error) bool
 	// ReadPolicy orders group members for reads (nil = OwnerFirst).
 	ReadPolicy ReadPolicy
+	// QuorumFanout, when true, lets Append return as soon as the ack
+	// policy is satisfied instead of waiting for every group member's
+	// copy: the remaining fan-out goroutines detach and finish in the
+	// background (still reporting health and counters). This decouples
+	// append latency from the slowest member's disk — a degraded follower
+	// stops sitting on the p99 — at the cost of a possibly-undercounted
+	// ack total and less deterministic failure sequencing, which is why
+	// the seeded fault-replay harnesses leave it off (the default).
+	QuorumFanout bool
 }
 
 // Session is the replication layer clients drive: it routes appends to an
@@ -84,6 +93,7 @@ type Session struct {
 
 	rr        atomic.Uint64 // round-robin range cursor for appends
 	readToken atomic.Uint64 // per-read draw for load-spreading policies
+	quorum    atomic.Bool   // QuorumFanout, toggleable after construction
 
 	// Counters are always maintained; EnableMetrics additionally exports
 	// them (plus the ack-latency histogram) to a registry.
@@ -114,13 +124,24 @@ func NewSession(members []Member, cfg SessionConfig) (*Session, error) {
 	if pol == nil {
 		pol = OwnerFirst()
 	}
-	return &Session{
+	s := &Session{
 		cfg:     cfg,
 		health:  NewHealth(cfg.Layout.N, cfg.EvictAfter),
 		members: ms,
 		policy:  pol,
-	}, nil
+	}
+	s.quorum.Store(cfg.QuorumFanout)
+	return s, nil
 }
+
+// SetQuorumFanout toggles quorum-return fan-out (see
+// SessionConfig.QuorumFanout) after construction — the hook clients use to
+// enable it without plumbing a new constructor. Safe to call concurrently
+// with appends; in-flight fan-outs pick the mode up on their next wait.
+func (s *Session) SetQuorumFanout(v bool) { s.quorum.Store(v) }
+
+// QuorumFanout reports whether quorum-return fan-out is enabled.
+func (s *Session) QuorumFanout() bool { return s.quorum.Load() }
 
 // SetReadPolicy swaps the policy ordering group members for reads.
 // Intended for configuration before the session sees traffic; concurrent
@@ -258,46 +279,92 @@ func (s *Session) Append(recs []*core.Record) ([]uint64, error) {
 	attempts := n * s.cfg.Layout.R
 	rangeIdx := int(s.rr.Add(1)-1) % n
 	for a := 0; a < attempts; a++ {
-		ap, ok := s.ActingPrimary(rangeIdx)
-		if !ok {
-			rangeIdx = (rangeIdx + 1) % n
-			continue
+		lids, err, retarget := s.appendAttempt(rangeIdx, recs, start, tc)
+		if !retarget {
+			return lids, err
 		}
-		lids, err := s.primaryAppend(ap, rangeIdx, recs)
 		if err != nil {
-			if s.fatal(err) {
-				return nil, err
-			}
+			// Primary failed: same range first (the next member in its
+			// group becomes acting primary); once the whole group is
+			// evicted the ActingPrimary miss advances the range.
 			lastErr = err
-			s.health.ReportFailure(ap)
-			s.appendFailovers.Inc()
-			// Same range first (the next member in its group becomes
-			// acting primary); if the whole group is evicted the next
-			// iteration's ActingPrimary miss advances the range.
 			continue
 		}
-		s.health.ReportOK(ap)
-		// The ack span covers the synchronous fan-out wait — the
-		// replication cost a client-visible append pays beyond the
-		// primary's assignment and store.
-		fo := trace.Begin(tc, "replica.ack")
-		acks := 1 + s.fanOut(rangeIdx, ap, lids[len(lids)-1]+1, recs)
-		if acks < s.cfg.Ack.Required(s.cfg.Layout.R) {
-			fo.End(trace.Default(), "acks", lids[0], len(recs))
-			return lids, &AckError{Acked: acks, Required: s.cfg.Ack.Required(s.cfg.Layout.R),
-				Range: rangeIdx, RetryAfter: ackRetryHint}
-		}
-		fo.End(trace.Default(), "", lids[0], len(recs))
-		s.appends.Inc()
-		if h := s.ackLatency; h != nil {
-			h.ObserveSinceEx(start, uint64(tc.T))
-		}
-		return lids, nil
+		rangeIdx = (rangeIdx + 1) % n
 	}
 	if lastErr != nil {
 		return nil, fmt.Errorf("%w: last error: %v", ErrNoUsableGroup, lastErr)
 	}
 	return nil, ErrNoUsableGroup
+}
+
+// AppendRange replicates one batch into a specific range's group, with the
+// same acting-primary failover, fan-out, and ack semantics as Append but
+// no cross-range retargeting. Range-pinned workloads (and the durability
+// experiment, which needs appends that avoid a deliberately degraded
+// primary) use it; most clients want Append.
+func (s *Session) AppendRange(rangeIdx int, recs []*core.Record) ([]uint64, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if rangeIdx < 0 || rangeIdx >= s.cfg.Layout.N {
+		return nil, fmt.Errorf("replica: range %d out of [0,%d)", rangeIdx, s.cfg.Layout.N)
+	}
+	start := time.Now()
+	tc := batchCtx(recs)
+	var lastErr error
+	for a := 0; a < s.cfg.Layout.R; a++ {
+		lids, err, retarget := s.appendAttempt(rangeIdx, recs, start, tc)
+		if !retarget {
+			return lids, err
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		break // no usable acting primary in this group; retargeting is the caller's call
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: last error: %v", ErrNoUsableGroup, lastErr)
+	}
+	return nil, fmt.Errorf("%w: range %d", ErrNoUsableGroup, rangeIdx)
+}
+
+// appendAttempt runs one acting-primary append plus fan-out against
+// rangeIdx. retarget reports that the attempt failed in a way the caller
+// should respond to by retrying (same range on a primary failure — err is
+// set — or another range on an ActingPrimary miss — err is nil).
+func (s *Session) appendAttempt(rangeIdx int, recs []*core.Record, start time.Time, tc trace.Ctx) (lids []uint64, err error, retarget bool) {
+	ap, ok := s.ActingPrimary(rangeIdx)
+	if !ok {
+		return nil, nil, true
+	}
+	lids, err = s.primaryAppend(ap, rangeIdx, recs)
+	if err != nil {
+		if s.fatal(err) {
+			return nil, err, false
+		}
+		s.health.ReportFailure(ap)
+		s.appendFailovers.Inc()
+		return nil, err, true
+	}
+	s.health.ReportOK(ap)
+	// The ack span covers the synchronous fan-out wait — the replication
+	// cost a client-visible append pays beyond the primary's assignment
+	// and store.
+	fo := trace.Begin(tc, "replica.ack")
+	acks := 1 + s.fanOut(rangeIdx, ap, lids[len(lids)-1]+1, recs)
+	if acks < s.cfg.Ack.Required(s.cfg.Layout.R) {
+		fo.End(trace.Default(), "acks", lids[0], len(recs))
+		return lids, &AckError{Acked: acks, Required: s.cfg.Ack.Required(s.cfg.Layout.R),
+			Range: rangeIdx, RetryAfter: ackRetryHint}, false
+	}
+	fo.End(trace.Default(), "", lids[0], len(recs))
+	s.appends.Inc()
+	if h := s.ackLatency; h != nil {
+		h.ObserveSinceEx(start, uint64(tc.T))
+	}
+	return lids, nil, false
 }
 
 // batchCtx returns the first sampled record's trace context (the zero
@@ -323,56 +390,79 @@ func (s *Session) primaryAppend(ap, rangeIdx int, recs []*core.Record) ([]uint64
 }
 
 // fanOut sends copies to every usable group member except the acting
-// primary and returns how many succeeded. Fan-out waits for all members
-// (R is small), which keeps failure sequences deterministic under a seeded
-// fault schedule and reports precise ack counts. Members that implement
-// Invalidator first receive the batch's assignment announcement (upTo is
-// the exclusive LId bound: one past the batch's last assigned position),
-// so a follower knows the positions exist — and stops serving stale
-// no-such-record for them — before the payload lands.
+// primary and returns how many succeeded. By default fan-out waits for all
+// members (R is small), which keeps failure sequences deterministic under
+// a seeded fault schedule and reports precise ack counts; with
+// QuorumFanout it returns as soon as enough copies landed to satisfy the
+// ack policy, leaving stragglers to finish detached — an ack from a member
+// means the copy is *stored* there (fsynced when the member's store is
+// durable), so a quorum return is a durability quorum, not a buffer
+// quorum. Members that implement Invalidator first receive the batch's
+// assignment announcement (upTo is the exclusive LId bound: one past the
+// batch's last assigned position), so a follower knows the positions
+// exist — and stops serving stale no-such-record for them — before the
+// payload lands.
 func (s *Session) fanOut(rangeIdx, actingPrimary int, upTo uint64, recs []*core.Record) int {
 	g := s.cfg.Layout.Group(rangeIdx)
-	var wg sync.WaitGroup
-	var acked atomic.Int64
+	// Buffered to the fan-out width so detached stragglers never block.
+	results := make(chan bool, len(g.Members))
+	launched := 0
 	for _, mi := range g.Members {
 		if mi == actingPrimary || !s.health.Usable(mi) {
 			continue
 		}
 		mi := mi
-		wg.Add(1)
+		launched++
 		go func() {
-			defer wg.Done()
-			m := s.Member(mi)
-			if inv, ok := m.(Invalidator); ok && upTo > 0 {
-				// Best-effort: the copy that follows carries the same
-				// information; a dropped invalidation only delays local
-				// readability, never correctness.
-				if err := inv.Invalidate(rangeIdx, upTo); err == nil {
-					s.invalidations.Inc()
-				}
-			}
-			err := m.ReplicaAppend(recs)
-			if err != nil && s.retryable(err) {
-				// A saturated follower rejected the copy; wait out its
-				// pacing hint (capped) and try once more before giving the
-				// ack up — overload is load, not failure.
-				s.fanoutRetries.Inc()
-				time.Sleep(fanoutRetryDelay(err))
-				err = s.Member(mi).ReplicaAppend(recs)
-			}
-			if err != nil {
-				if !s.fatal(err) && !s.retryable(err) {
-					s.health.ReportFailure(mi)
-				}
-				s.fanoutFailures.Inc()
-				return
-			}
-			s.health.ReportOK(mi)
-			acked.Add(1)
+			results <- s.fanOutOne(mi, rangeIdx, upTo, recs)
 		}()
 	}
-	wg.Wait()
-	return int(acked.Load())
+	// The acting primary's own store counts as the first ack.
+	need := s.cfg.Ack.Required(s.cfg.Layout.R) - 1
+	acked := 0
+	quorum := s.quorum.Load()
+	for done := 0; done < launched; done++ {
+		if quorum && acked >= need {
+			break // quorum reached; stragglers detach
+		}
+		if <-results {
+			acked++
+		}
+	}
+	return acked
+}
+
+// fanOutOne delivers the invalidation announcement and the record copies
+// to member mi, reporting health and counters; it returns whether the
+// member acked (stored) the copy.
+func (s *Session) fanOutOne(mi, rangeIdx int, upTo uint64, recs []*core.Record) bool {
+	m := s.Member(mi)
+	if inv, ok := m.(Invalidator); ok && upTo > 0 {
+		// Best-effort: the copy that follows carries the same
+		// information; a dropped invalidation only delays local
+		// readability, never correctness.
+		if err := inv.Invalidate(rangeIdx, upTo); err == nil {
+			s.invalidations.Inc()
+		}
+	}
+	err := m.ReplicaAppend(recs)
+	if err != nil && s.retryable(err) {
+		// A saturated follower rejected the copy; wait out its
+		// pacing hint (capped) and try once more before giving the
+		// ack up — overload is load, not failure.
+		s.fanoutRetries.Inc()
+		time.Sleep(fanoutRetryDelay(err))
+		err = s.Member(mi).ReplicaAppend(recs)
+	}
+	if err != nil {
+		if !s.fatal(err) && !s.retryable(err) {
+			s.health.ReportFailure(mi)
+		}
+		s.fanoutFailures.Inc()
+		return false
+	}
+	s.health.ReportOK(mi)
+	return true
 }
 
 // Read returns the record at lid, failing over across the owning group:

@@ -27,6 +27,12 @@ type MemberStatus struct {
 	// are assigned (announced by invalidation or gossip) but has not yet
 	// resolved — reads there block or fail over until the payload lands.
 	InvalBacklog uint64 `json:"inval_backlog"`
+	// DurableWatermark is the highest LId of the range the member knows
+	// fsynced to stable storage locally (next-unfilled form, like
+	// Frontier); 0 when the member's store is volatile or the probe is
+	// unsupported. The span between it and Frontier is the group-commit
+	// window in flight.
+	DurableWatermark uint64 `json:"durable_watermark"`
 }
 
 // GroupStatus is one range's replica group.

@@ -37,6 +37,7 @@ type archVolume struct {
 	path  string
 	first uint64
 	last  uint64
+	count int // records in the volume (validated at open / known at Put)
 }
 
 const archiveSuffix = ".arch"
@@ -46,6 +47,14 @@ const archiveSuffix = ".arch"
 var ErrNotArchived = errors.New("storage: position not archived")
 
 // OpenArchive opens (creating if needed) an archive rooted at dir.
+//
+// Open is the archive's recovery point: stale ".tmp" spool files from an
+// interrupted Put are deleted, and every candidate volume is fully decoded
+// and CRC-checked — a torn or corrupt volume is discarded (removed), not
+// served. Discarding is safe because compaction orders Put (durable
+// tmp+rename) strictly before the hot tier's GC: a volume that fails
+// validation never had its records trimmed from the hot segments, so no
+// data is lost by dropping it.
 func OpenArchive(dir string) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating archive dir: %w", err)
@@ -57,7 +66,14 @@ func OpenArchive(dir string) (*Archive, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, archiveSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // interrupted Put spool
+			continue
+		}
+		if !strings.HasSuffix(name, archiveSuffix) {
 			continue
 		}
 		base := strings.TrimSuffix(name, archiveSuffix)
@@ -70,12 +86,55 @@ func OpenArchive(dir string) (*Archive, error) {
 		if err1 != nil || err2 != nil {
 			continue
 		}
-		a.volumes = append(a.volumes, archVolume{
-			path: filepath.Join(dir, name), first: first, last: last,
-		})
+		vol := archVolume{path: filepath.Join(dir, name), first: first, last: last}
+		n, verr := validateVolume(vol)
+		if verr != nil {
+			os.Remove(vol.path)
+			continue
+		}
+		vol.count = n
+		a.volumes = append(a.volumes, vol)
 	}
 	sort.Slice(a.volumes, func(i, j int) bool { return a.volumes[i].first < a.volumes[j].first })
 	return a, nil
+}
+
+// validateVolume decodes vol end to end and checks its invariants: strictly
+// ascending LIds bracketed exactly by the [first, last] the filename
+// claims. Returns the record count, or an error for a volume that must be
+// discarded.
+func validateVolume(vol archVolume) (int, error) {
+	f, err := os.Open(vol.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var invariant error
+	n, prev := 0, uint64(0)
+	err = decodeArchiveVolume(f, func(r *core.Record) bool {
+		if n == 0 && r.LId != vol.first {
+			invariant = fmt.Errorf("storage: archive %s first LId %d != %d", vol.path, r.LId, vol.first)
+		}
+		if r.LId <= prev {
+			invariant = fmt.Errorf("storage: archive %s LIds not ascending at %d", vol.path, r.LId)
+		}
+		prev = r.LId
+		n++
+		return invariant == nil
+	})
+	if err == nil {
+		err = invariant
+	}
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("storage: archive %s empty", vol.path)
+	}
+	if prev != vol.last {
+		return 0, fmt.Errorf("storage: archive %s last LId %d != %d", vol.path, prev, vol.last)
+	}
+	return n, nil
 }
 
 // Put archives a batch of records as one volume. Records must be sorted by
@@ -127,7 +186,7 @@ func (a *Archive) Put(recs []*core.Record) error {
 		return err
 	}
 	a.mu.Lock()
-	a.volumes = append(a.volumes, archVolume{path: path, first: first, last: last})
+	a.volumes = append(a.volumes, archVolume{path: path, first: first, last: last, count: len(recs)})
 	sort.Slice(a.volumes, func(i, j int) bool { return a.volumes[i].first < a.volumes[j].first })
 	a.mu.Unlock()
 	return nil
@@ -212,33 +271,59 @@ func (a *Archive) scanVolume(vol archVolume, fn func(*core.Record) bool) error {
 		return fmt.Errorf("storage: opening archive volume: %w", err)
 	}
 	defer f.Close()
+	if err := decodeArchiveVolume(f, fn); err != nil {
+		return fmt.Errorf("storage: archive %s: %w", vol.path, err)
+	}
+	return nil
+}
+
+// maxArchiveEntry caps a single decoded entry's claimed payload length so a
+// corrupt length prefix cannot force a giant allocation before the CRC
+// check runs. Volumes are written whole from validated records, so a
+// legitimate entry is one encoded record — far under this bound.
+const maxArchiveEntry = 64 << 20
+
+// decodeArchiveVolume streams the checksummed entry framing of one archive
+// volume from r, calling fn for each decoded record until fn returns false
+// or the stream ends. A clean EOF on an entry boundary ends the decode; a
+// partial header or payload (torn write), a CRC mismatch, an oversized
+// length prefix, or an undecodable record is an error — the caller decides
+// whether to discard the volume. This is the single decode path for reads,
+// open-time validation, and the fuzz target.
+func decodeArchiveVolume(r io.Reader, fn func(*core.Record) bool) error {
 	hdr := make([]byte, entryHeaderSize)
 	// The payload scratch grows but is never handed out: DecodeRecord
 	// copies, because fn may retain the record (Get does) after the
 	// scratch is overwritten by the next entry.
 	var payload []byte
 	for {
-		if _, err := io.ReadFull(f, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			if err == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("storage: archive %s torn: %w", vol.path, err)
+			return fmt.Errorf("torn entry header: %w", err)
 		}
 		length := binary.LittleEndian.Uint32(hdr)
 		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxArchiveEntry {
+			return fmt.Errorf("entry length %d exceeds limit", length)
+		}
 		if uint32(cap(payload)) < length {
 			payload = make([]byte, length)
 		}
 		payload = payload[:length]
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return fmt.Errorf("storage: archive %s torn payload: %w", vol.path, err)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("torn entry payload: %w", err)
 		}
 		if crc32.Checksum(payload, castagnoli) != wantCRC {
-			return fmt.Errorf("storage: archive %s CRC mismatch", vol.path)
+			return errors.New("entry CRC mismatch")
 		}
-		rec, _, err := core.DecodeRecord(payload)
+		rec, used, err := core.DecodeRecord(payload)
 		if err != nil {
 			return err
+		}
+		if used != len(payload) {
+			return fmt.Errorf("entry payload has %d trailing bytes", len(payload)-used)
 		}
 		if !fn(rec) {
 			return nil
@@ -251,6 +336,31 @@ func (a *Archive) Volumes() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.volumes)
+}
+
+// Count returns the total number of archived records.
+func (a *Archive) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, v := range a.volumes {
+		n += v.count
+	}
+	return n
+}
+
+// MaxArchived returns the highest archived LId (0 if the archive is
+// empty) — the tiered store's compaction watermark on recovery.
+func (a *Archive) MaxArchived() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var max uint64
+	for _, v := range a.volumes {
+		if v.last > max {
+			max = v.last
+		}
+	}
+	return max
 }
 
 // ArchiveThenGC moves the GC-eligible prefix of a store into the archive

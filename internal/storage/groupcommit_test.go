@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestGroupCommitFsyncBudget is the tier-1 fsync-collapse budget: 64
+// concurrent appenders must complete at least 64 batches with at most 8
+// physical fsyncs total. Per-batch fsync would spend 64; group commit
+// coalesces the burst into 1-2 windows.
+func TestGroupCommitFsyncBudget(t *testing.T) {
+	const appenders = 64
+	s := openSeg(t, t.TempDir(), SegmentStoreOptions{
+		Sync:        SyncGroupCommit,
+		GroupWindow: 20 * time.Millisecond,
+		GroupBytes:  64 << 20, // never cut early on bytes
+	})
+	defer s.Close()
+
+	start := make(chan struct{})
+	var ready, done sync.WaitGroup
+	errs := make([]error, appenders)
+	for i := 0; i < appenders; i++ {
+		i := i
+		ready.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			ready.Done()
+			<-start
+			errs[i] = s.AppendBatch([]*core.Record{rec(uint64(i + 1))})
+		}()
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("appender %d: %v", i, err)
+		}
+	}
+	if got := s.Len(); got != appenders {
+		t.Fatalf("Len = %d, want %d", got, appenders)
+	}
+	if n := s.FsyncCount(); n > 8 {
+		t.Fatalf("%d concurrent appends issued %d fsyncs, budget is 8", appenders, n)
+	}
+	if n := s.FsyncCount(); n == 0 {
+		t.Fatal("group commit completed with zero fsyncs")
+	}
+}
+
+// TestGroupCommitDurableOnReturn: AppendBatch under SyncGroupCommit must
+// not return before its window fsynced, and the data must survive reopen.
+func TestGroupCommitDurableOnReturn(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir, SegmentStoreOptions{Sync: SyncGroupCommit, GroupWindow: time.Millisecond})
+	if err := s.AppendBatch([]*core.Record{rec(1), rec(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.FsyncCount(); n != 1 {
+		t.Fatalf("fsyncs after first returned batch = %d, want 1", n)
+	}
+	if err := s.AppendBatch([]*core.Record{rec(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.FsyncCount(); n != 2 {
+		t.Fatalf("fsyncs after two sequential batches = %d, want 2", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openSeg(t, dir, SegmentStoreOptions{})
+	defer s2.Close()
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("recovered Len = %d, want 3", got)
+	}
+}
+
+// TestSealSkipsRedundantFsync is the rotation double-fsync regression
+// test: under SyncEachBatch every batch syncs inline, so the seal path
+// (rotation and Close) must not fsync the old file again with no
+// intervening data — fsync count stays exactly one per batch.
+func TestSealSkipsRedundantFsync(t *testing.T) {
+	s := openSeg(t, t.TempDir(), SegmentStoreOptions{
+		Sync:            SyncEachBatch,
+		MaxSegmentBytes: 64, // rotate on nearly every batch
+	})
+	const batches = 10
+	for lid := uint64(1); lid <= batches; lid++ {
+		if err := s.Append(rec(lid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := s.DiskStats()
+	if segs < 3 {
+		t.Fatalf("expected several rotations, got %d segments", segs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.FsyncCount(); n != batches {
+		t.Fatalf("fsyncs = %d, want exactly %d (one per batch, none at seal)", n, batches)
+	}
+}
+
+// TestGroupCommitRotationMidStream: rotation under SyncGroupCommit seals
+// the open window on the old file (windows never span segment files) and
+// every record still lands durably and readable.
+func TestGroupCommitRotationMidStream(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir, SegmentStoreOptions{
+		Sync:            SyncGroupCommit,
+		MaxSegmentBytes: 256,
+		GroupWindow:     time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 25
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lid := uint64(g*perG + i + 1)
+				if err := s.Append(rec(lid)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := goroutines * perG
+	if got := s.Len(); got != total {
+		t.Fatalf("Len = %d, want %d", got, total)
+	}
+	segs, _ := s.DiskStats()
+	if segs < 2 {
+		t.Fatalf("expected rotation, got %d segments", segs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openSeg(t, dir, SegmentStoreOptions{})
+	defer s2.Close()
+	if got := s2.Len(); got != total {
+		t.Fatalf("recovered Len = %d, want %d", got, total)
+	}
+	for lid := uint64(1); lid <= uint64(total); lid++ {
+		if _, err := s2.Get(lid); err != nil {
+			t.Fatalf("Get(%d) after recovery: %v", lid, err)
+		}
+	}
+}
+
+// TestGroupCommitCloseWakesParkedWindow: a batch parked on a long window
+// must be woken (durably) by Close instead of hanging until the window
+// timer fires.
+func TestGroupCommitCloseWakesParkedWindow(t *testing.T) {
+	dir := t.TempDir()
+	s := openSeg(t, dir, SegmentStoreOptions{
+		Sync:        SyncGroupCommit,
+		GroupWindow: 10 * time.Second, // would park "forever" without the seal
+	})
+	res := make(chan error, 1)
+	go func() { res <- s.AppendBatch([]*core.Record{rec(1)}) }()
+	// The index is updated under mu before the batch parks on its window,
+	// so Len()==1 means the appender is enqueued (or about to be).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("append never reached the store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("parked append after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append still parked after Close")
+	}
+	if n := s.FsyncCount(); n != 1 {
+		t.Fatalf("fsyncs = %d, want 1 (the seal's)", n)
+	}
+	s2 := openSeg(t, dir, SegmentStoreOptions{})
+	defer s2.Close()
+	if got := s2.Len(); got != 1 {
+		t.Fatalf("recovered Len = %d, want 1", got)
+	}
+}
+
+// TestGroupCommitRejectsAfterClose: appends racing Close either commit
+// durably or fail with ErrClosed — never hang, never a third outcome.
+func TestGroupCommitRejectsAfterClose(t *testing.T) {
+	s := openSeg(t, t.TempDir(), SegmentStoreOptions{Sync: SyncGroupCommit, GroupWindow: time.Millisecond})
+	var wg sync.WaitGroup
+	outcomes := make([]error, 32)
+	for i := range outcomes {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[i] = s.Append(rec(uint64(i + 1)))
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range outcomes {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("append %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestGroupCommitDuplicateRejectedImmediately: validation errors surface
+// without waiting a window and leave the window path consistent.
+func TestGroupCommitDuplicateRejectedImmediately(t *testing.T) {
+	s := openSeg(t, t.TempDir(), SegmentStoreOptions{Sync: SyncGroupCommit, GroupWindow: time.Millisecond})
+	defer s.Close()
+	if err := s.Append(rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Append(rec(7)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate append: %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("duplicate rejection took %v, should not wait for a window", d)
+	}
+}

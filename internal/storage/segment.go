@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,7 +47,26 @@ const (
 	// SyncEachBatch fsyncs once per AppendBatch (the paper's maintainers
 	// persist records before acknowledging).
 	SyncEachBatch
+	// SyncGroupCommit coalesces concurrent AppendBatch calls into commit
+	// windows: callers enqueue on the open window and a single committer
+	// goroutine issues one fsync per window (bounded by GroupWindow and
+	// GroupBytes), waking every waiter. N concurrent appenders pay ~1
+	// fsync instead of N; AppendBatch still returns only after the
+	// caller's records are on stable storage.
+	SyncGroupCommit
 )
+
+// Group-commit window defaults: a window closes when it has either
+// collected defaultGroupBytes of framed entries or aged defaultGroupWindow
+// since its first batch, whichever comes first.
+const (
+	defaultGroupWindow = 2 * time.Millisecond
+	defaultGroupBytes  = 1 << 20
+)
+
+// windowByteBuckets bound the storage_commit_window_bytes histogram:
+// 256 B .. 4 MiB in powers of four.
+var windowByteBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
 
 // SegmentStoreOptions configures a SegmentStore.
 type SegmentStoreOptions struct {
@@ -55,6 +75,17 @@ type SegmentStoreOptions struct {
 	MaxSegmentBytes int64
 	// Sync selects the durability policy.
 	Sync SyncPolicy
+	// GroupWindow is the maximum age of a SyncGroupCommit window: the
+	// longest any enqueued batch waits for its group fsync. 0 uses 2ms.
+	GroupWindow time.Duration
+	// GroupBytes closes a commit window early once it holds this many
+	// framed bytes. 0 uses 1 MiB.
+	GroupBytes int64
+	// FsyncHook, when set, runs immediately before every physical fsync
+	// (still holding the store's sync serialization, so the injected
+	// latency sits exactly where a slow disk's would). The fault-injection
+	// harness uses it to model a degraded disk deterministically.
+	FsyncHook func()
 }
 
 type segment struct {
@@ -79,6 +110,18 @@ type recPlacement struct {
 	length int32
 }
 
+// commitWindow is one SyncGroupCommit fsync group: every AppendBatch that
+// lands while the window is open parks on done and resolves with the
+// window's single fsync outcome.
+type commitWindow struct {
+	done    chan struct{} // closed once the window's fsync resolved
+	full    chan struct{} // closed when bytes reach GroupBytes (early cut)
+	err     error         // fsync outcome; read after done closes
+	bytes   int64         // framed bytes enqueued (guarded by store mu)
+	waiters int           // batches enqueued (guarded by store mu)
+	tc      trace.Ctx     // first sampled batch's context, for the fsync span
+}
+
 // SegmentStore is a disk-backed Store: records are appended to rolling
 // segment files and located through an in-memory LId index rebuilt on open.
 type SegmentStore struct {
@@ -95,16 +138,49 @@ type SegmentStore struct {
 	max      uint64
 	closed   bool
 
+	// dirty marks the active file as holding writes not yet fsynced. The
+	// seal path (rotation and Close) syncs only when dirty, so a file
+	// whose last batch already synced is never fsynced a second time with
+	// no intervening data.
+	dirty bool
+
+	// win is the open group-commit window (nil between windows); winKick
+	// wakes the committer when a window opens. commStop/commDone manage
+	// the committer goroutine's lifetime. syncMu serializes physical
+	// fsyncs against the seal path closing the file under them.
+	win      *commitWindow
+	winKick  chan struct{}
+	commStop chan struct{}
+	commDone chan struct{}
+	syncMu   sync.Mutex
+
+	// fsyncs counts physical fsyncs issued (windows, per-batch syncs, and
+	// seals) — the denominator of the fsyncs-per-op budget.
+	fsyncs atomic.Uint64
+
 	// encScratch/placeScratch are grow-only batch-encode buffers reused
 	// across AppendBatch calls (guarded by mu): the whole batch is framed
 	// into one contiguous buffer and written with a single Write.
 	encScratch   []byte
 	placeScratch []recPlacement
 
-	// fsyncLatency is set by EnableMetrics (nil until then); AppendBatch
-	// observes each Sync when present.
+	// fsyncLatency is set by EnableMetrics (nil until then); every
+	// physical fsync observes it. winBytesH/winWaitersH record each
+	// committed window's size in bytes and batches.
 	fsyncLatency *metrics.BucketHistogram
+	winBytesH    *metrics.BucketHistogram
+	winWaitersH  *metrics.BucketHistogram
 }
+
+// FsyncCount returns how many physical fsyncs the store has issued since
+// open — the fsync-collapse budget tests and the durability experiment
+// read it to compute fsyncs per appended batch.
+func (s *SegmentStore) FsyncCount() uint64 { return s.fsyncs.Load() }
+
+// Durable reports whether AppendBatch implies stable storage on return
+// (any policy but SyncNever). The maintainer's durable watermark only
+// advances over stores that report true.
+func (s *SegmentStore) Durable() bool { return s.opts.Sync != SyncNever }
 
 // DiskStats reports the store's on-disk footprint: live (non-deleted)
 // segment files and the bytes they hold.
@@ -125,7 +201,10 @@ func (s *SegmentStore) DiskStats() (segments int, bytes int64) {
 func (s *SegmentStore) EnableMetrics(reg *metrics.Registry, extra ...metrics.Label) {
 	s.mu.Lock()
 	s.fsyncLatency = reg.Histogram("storage_fsync_seconds", metrics.LatencyBuckets, extra...)
+	s.winBytesH = reg.Histogram("storage_commit_window_bytes", windowByteBuckets, extra...)
+	s.winWaitersH = reg.Histogram("storage_commit_window_waiters", metrics.BatchBuckets, extra...)
 	s.mu.Unlock()
+	reg.CounterFunc("storage_fsync_total", func() float64 { return float64(s.fsyncs.Load()) }, extra...)
 	reg.GaugeFunc("storage_segments", func() float64 {
 		n, _ := s.DiskStats()
 		return float64(n)
@@ -144,6 +223,12 @@ func OpenSegmentStore(dir string, opts SegmentStoreOptions) (*SegmentStore, erro
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = defaultSegmentSize
 	}
+	if opts.GroupWindow <= 0 {
+		opts.GroupWindow = defaultGroupWindow
+	}
+	if opts.GroupBytes <= 0 {
+		opts.GroupBytes = defaultGroupBytes
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating dir: %w", err)
 	}
@@ -155,6 +240,12 @@ func OpenSegmentStore(dir string, opts SegmentStoreOptions) (*SegmentStore, erro
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	if opts.Sync == SyncGroupCommit {
+		s.winKick = make(chan struct{}, 1)
+		s.commStop = make(chan struct{})
+		s.commDone = make(chan struct{})
+		go s.committer()
 	}
 	return s, nil
 }
@@ -267,13 +358,107 @@ func (s *SegmentStore) indexRecord(r *core.Record, seg *segment, off int64, leng
 	}
 }
 
-// rotateLocked opens a fresh active segment. Caller holds mu.
-func (s *SegmentStore) rotateLocked() error {
-	if s.active != nil {
-		if err := s.active.Close(); err != nil {
-			return err
+// fsyncActiveLocked issues one physical fsync on the active file. Caller
+// holds mu; the fsync itself is additionally serialized with syncMu so a
+// committer-side sync of a detached window never races the file's close.
+func (s *SegmentStore) fsyncActiveLocked(tc trace.Ctx) error {
+	return s.doFsync(s.active, tc)
+}
+
+// doFsync performs the physical fsync on f with full accounting: the
+// FsyncHook (fault injection), the fsync counter, and the latency
+// histogram. Callers must guarantee f stays open across the call — either
+// by holding mu (seal path) or by seal taking syncMu before Close.
+func (s *SegmentStore) doFsync(f *os.File, tc trace.Ctx) error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.doFsyncSerialized(f, tc)
+}
+
+// doFsyncSerialized is doFsync's body; caller holds syncMu.
+func (s *SegmentStore) doFsyncSerialized(f *os.File, tc trace.Ctx) error {
+	if s.opts.FsyncHook != nil {
+		s.opts.FsyncHook()
+	}
+	fs := trace.Begin(tc, "store.fsync")
+	start := time.Now()
+	err := f.Sync()
+	fs.End(trace.Default(), "", 0, 0)
+	s.fsyncs.Add(1)
+	if s.fsyncLatency != nil {
+		s.fsyncLatency.ObserveSinceEx(start, uint64(tc.T))
+	}
+	if err != nil {
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	return nil
+}
+
+// sealWindowLocked completes the open commit window against the active
+// file: one fsync if the file is dirty, then every waiter wakes with the
+// outcome. Caller holds mu. Used by the seal path (rotation, Close) so a
+// window never spans segment files.
+func (s *SegmentStore) sealWindowLocked() error {
+	w := s.win
+	if w == nil {
+		return nil
+	}
+	s.win = nil
+	var err error
+	if s.dirty && s.active != nil {
+		err = s.fsyncActiveLocked(w.tc)
+		if err == nil {
+			s.dirty = false
 		}
-		s.active = nil
+	}
+	w.err = err
+	s.observeWindowLocked(w)
+	close(w.done)
+	return err
+}
+
+// observeWindowLocked records a committed window's size. Caller holds mu.
+func (s *SegmentStore) observeWindowLocked(w *commitWindow) {
+	if s.winBytesH != nil {
+		s.winBytesH.Observe(float64(w.bytes))
+	}
+	if s.winWaitersH != nil {
+		s.winWaitersH.Observe(float64(w.waiters))
+	}
+}
+
+// sealActiveLocked makes the active file durable (if it holds unsynced
+// writes), completes any open commit window, and closes the file — leaving
+// the store ready to open the next segment clean, with no redundant fsync
+// left for the window committer or the next AppendBatch to repeat.
+// Caller holds mu.
+func (s *SegmentStore) sealActiveLocked() error {
+	if s.active == nil {
+		return nil
+	}
+	err := s.sealWindowLocked()
+	if err == nil && s.dirty && s.opts.Sync != SyncNever {
+		if err = s.fsyncActiveLocked(trace.Ctx{}); err == nil {
+			s.dirty = false
+		}
+	}
+	// Wait out any committer fsync in flight on this handle before
+	// closing it (doFsync holds syncMu for the duration).
+	s.syncMu.Lock()
+	cerr := s.active.Close()
+	s.syncMu.Unlock()
+	s.active = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// rotateLocked seals the current active segment and opens a fresh one.
+// Caller holds mu.
+func (s *SegmentStore) rotateLocked() error {
+	if err := s.sealActiveLocked(); err != nil {
+		return err
 	}
 	seg := &segment{
 		path:  filepath.Join(s.dir, fmt.Sprintf("%020d%s", s.writeSeq, segmentSuffix)),
@@ -285,8 +470,100 @@ func (s *SegmentStore) rotateLocked() error {
 	}
 	s.active = f
 	s.actSeg = seg
+	s.dirty = false
 	s.segments = append(s.segments, seg)
 	return nil
+}
+
+// committer is the SyncGroupCommit scheduler: it sleeps until a window
+// opens, lets the window collect batches until it is GroupWindow old or
+// GroupBytes full, then detaches it and issues the group's single fsync
+// outside the store lock — window N's fsync overlaps window N+1's writes.
+func (s *SegmentStore) committer() {
+	defer close(s.commDone)
+	for {
+		select {
+		case <-s.commStop:
+			return
+		case <-s.winKick:
+		}
+		s.mu.Lock()
+		w := s.win
+		s.mu.Unlock()
+		if w == nil {
+			continue // sealed by rotation or Close before we woke
+		}
+		timer := time.NewTimer(s.opts.GroupWindow)
+		select {
+		case <-timer.C:
+		case <-w.full:
+			timer.Stop()
+		case <-w.done:
+			timer.Stop() // seal path committed it
+			continue
+		case <-s.commStop:
+			timer.Stop() // commit what's pending before exiting
+		}
+		s.commitWindow(w)
+	}
+}
+
+// commitWindow detaches w (if still open) and fsyncs the active file,
+// waking every batch parked on the window. syncMu is acquired before mu
+// is released so the seal path (which closes the file under syncMu)
+// cannot close the handle between the detach and the fsync; meanwhile
+// batches for the *next* window keep appending under mu — window N's
+// fsync overlaps window N+1's writes.
+func (s *SegmentStore) commitWindow(w *commitWindow) {
+	s.mu.Lock()
+	if s.win != w {
+		s.mu.Unlock()
+		return // already completed by the seal path
+	}
+	s.win = nil
+	f := s.active
+	dirty := s.dirty
+	// Everything written so far is covered by the imminent fsync; batches
+	// landing after this point re-dirty the file and join a new window.
+	s.dirty = false
+	s.observeWindowLocked(w)
+	if dirty && f != nil {
+		s.syncMu.Lock() // mu → syncMu: same order as the seal path
+		s.mu.Unlock()
+		w.err = s.doFsyncSerialized(f, w.tc)
+		s.syncMu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	close(w.done)
+}
+
+// joinWindowLocked enqueues a batch of n framed bytes on the open commit
+// window (opening one if needed) and returns the window to wait on.
+// Caller holds mu.
+func (s *SegmentStore) joinWindowLocked(n int64, tc trace.Ctx) *commitWindow {
+	w := s.win
+	if w == nil {
+		w = &commitWindow{done: make(chan struct{}), full: make(chan struct{})}
+		s.win = w
+		select {
+		case s.winKick <- struct{}{}:
+		default:
+		}
+	}
+	if !w.tc.Sampled() && tc.Sampled() {
+		w.tc = tc
+	}
+	w.bytes += n
+	w.waiters++
+	if w.bytes >= s.opts.GroupBytes {
+		select {
+		case <-w.full:
+		default:
+			close(w.full)
+		}
+	}
+	return w
 }
 
 // Append implements Store.
@@ -294,22 +571,34 @@ func (s *SegmentStore) Append(r *core.Record) error {
 	return s.AppendBatch([]*core.Record{r})
 }
 
-// AppendBatch implements Store.
+// AppendBatch implements Store. Under SyncGroupCommit the records are
+// written and indexed inline but the call returns only after the batch's
+// commit window fsyncs, so durability-on-return holds under every sync
+// policy except SyncNever.
 func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	w, err := s.appendBatchLocked(rs)
+	s.mu.Unlock()
+	if err != nil || w == nil {
+		return err
+	}
+	<-w.done
+	return w.err
+}
+
+func (s *SegmentStore) appendBatchLocked(rs []*core.Record) (*commitWindow, error) {
 	if s.closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	// One trace context covers the whole batch: the first sampled record's
 	// (batches are stored together, so their durability cost is shared).
 	var tc trace.Ctx
 	for _, r := range rs {
 		if r.LId == 0 {
-			return errors.New("storage: record has no LId")
+			return nil, errors.New("storage: record has no LId")
 		}
 		if _, ok := s.index[r.LId]; ok {
-			return fmt.Errorf("%w: %d", ErrDuplicate, r.LId)
+			return nil, fmt.Errorf("%w: %d", ErrDuplicate, r.LId)
 		}
 		if !tc.Sampled() && r.Trace.Sampled() {
 			tc = r.Trace
@@ -317,7 +606,7 @@ func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 	}
 	if s.active == nil || s.actSeg.size >= s.opts.MaxSegmentBytes {
 		if err := s.rotateLocked(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	// Frame the whole batch into one reusable buffer: reserve each entry
@@ -349,26 +638,26 @@ func (s *SegmentStore) AppendBatch(rs []*core.Record) error {
 	s.encScratch, s.placeScratch = buf, placements
 	wr := trace.Begin(tc, "store.write")
 	if _, err := s.active.Write(buf); err != nil {
-		return fmt.Errorf("storage: writing batch: %w", err)
+		return nil, fmt.Errorf("storage: writing batch: %w", err)
 	}
 	wr.End(trace.Default(), "", rs[0].LId, len(rs))
 	if s.opts.Sync == SyncEachBatch {
-		fs := trace.Begin(tc, "store.fsync")
-		start := time.Now()
-		if err := s.active.Sync(); err != nil {
-			return fmt.Errorf("storage: fsync: %w", err)
+		if err := s.fsyncActiveLocked(tc); err != nil {
+			return nil, err
 		}
-		fs.End(trace.Default(), "", rs[0].LId, len(rs))
-		if s.fsyncLatency != nil {
-			s.fsyncLatency.ObserveSinceEx(start, uint64(tc.T))
-		}
+		s.dirty = false
+	} else {
+		s.dirty = true
 	}
 	s.actSeg.size = off
 	for _, p := range placements {
 		s.indexRecord(p.rec, s.actSeg, p.off, p.length)
 	}
 	s.writeSeq += uint64(len(rs))
-	return nil
+	if s.opts.Sync == SyncGroupCommit {
+		return s.joinWindowLocked(int64(len(buf)), tc), nil
+	}
+	return nil, nil
 }
 
 // readAt fetches and decodes one indexed entry.
@@ -488,22 +777,21 @@ func (s *SegmentStore) dropDeletedFromIndex() int {
 	return removed
 }
 
-// Close implements Store.
+// Close implements Store. Any open commit window is completed (durably)
+// before the committer goroutine is stopped, so no AppendBatch caller is
+// left parked on a window that will never fsync.
 func (s *SegmentStore) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	if s.active != nil {
-		if s.opts.Sync != SyncNever {
-			if err := s.active.Sync(); err != nil {
-				s.active.Close()
-				return err
-			}
-		}
-		return s.active.Close()
+	err := s.sealActiveLocked()
+	s.mu.Unlock()
+	if s.commStop != nil {
+		close(s.commStop)
+		<-s.commDone
 	}
-	return nil
+	return err
 }

@@ -26,6 +26,13 @@ func factories() []storeFactory {
 			}
 			return s
 		}},
+		{"TieredStore", func(t *testing.T) Store {
+			s, err := OpenTieredStore(t.TempDir(), SegmentStoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
 	}
 }
 

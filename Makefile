@@ -7,7 +7,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke pass (long campaigns run manually).
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read bench-scale bench-durability trace-smoke api-snapshot api-check
+.PHONY: build test race vet check fuzz-smoke bench-smoke bench-read bench-scale bench-durability bench-elastic trace-smoke api-snapshot api-check
 
 # The public surface of the client-facing packages, as sorted declaration
 # lines from `go doc -all`. api-check fails when the surface drifts from
@@ -47,7 +47,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test api-check trace-smoke bench-scale bench-durability
+check: build vet test api-check trace-smoke bench-scale bench-durability bench-elastic
 	$(GO) test -race ./internal/wire ./internal/core ./internal/storage ./internal/replica ./internal/faultinject ./internal/scale
 	$(GO) test -race -run 'Replicated|ReplicaAppend|SeededKill|GossipHeadResumes|TailSurvives|TailZeroFullScans' ./internal/flstore
 
@@ -75,6 +75,14 @@ bench-scale:
 # `repro -exp durability`.
 bench-durability:
 	$(GO) test -run 'TestDurabilitySmoke' -count=1 ./internal/cluster
+
+# bench-elastic is the live-elasticity smoke: a shortened three-phase run
+# where the offered load doubles past the old member set's capacity, the
+# autoscaler fires an online epoch switchover, and the run must end with
+# an intact log (no lost or duplicated LIds, migration complete) and
+# bounded post-flip append p99. The full-size run is `repro -exp elastic`.
+bench-elastic:
+	$(GO) test -run 'TestElasticSmoke' -count=1 ./internal/cluster
 
 # fuzz-smoke runs each codec fuzz target briefly: enough to catch decoder
 # regressions on corrupt input without a long campaign.

@@ -9,7 +9,12 @@
 //	logctl -controller 127.0.0.1:7000 tail -from 1
 //	logctl -controller 127.0.0.1:7000 stats -interval 1s
 //	logctl -controller 127.0.0.1:7000 replicas
+//	logctl -controller 127.0.0.1:7000 epochs
+//	logctl -controller 127.0.0.1:7000 grow -maintainers 4
 //	logctl trace -nodes 127.0.0.1:7070,127.0.0.1:7071 -mindur 1ms
+//
+// The stats, reads, replicas, epochs, and grow subcommands ride the typed
+// flstore.Admin client; logctl never decodes admin wire messages itself.
 package main
 
 import (
@@ -59,12 +64,33 @@ func main() {
 		log.Fatalf("dialing controller: %v", err)
 	}
 	defer conn.Close()
+	cmd, rest := args[0], args[1:]
+
+	// Admin subcommands need no data-plane session; everything else builds
+	// an flstore.Client on top of the same connection.
+	admin := flstore.NewAdmin(conn)
+	switch cmd {
+	case "stats":
+		cmdStats(admin, rest)
+		return
+	case "reads":
+		cmdReads(admin, rest)
+		return
+	case "replicas":
+		cmdReplicas(admin)
+		return
+	case "epochs":
+		cmdEpochs(admin)
+		return
+	case "grow":
+		cmdGrow(admin, rest)
+		return
+	}
+
 	client, err := flstore.NewClient(flstore.NewControllerClient(conn))
 	if err != nil {
 		log.Fatalf("session init: %v", err)
 	}
-
-	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "append":
 		cmdAppend(client, rest)
@@ -76,12 +102,6 @@ func main() {
 		cmdLookup(client, rest)
 	case "tail":
 		cmdTail(client, rest)
-	case "stats":
-		cmdStats(conn, rest)
-	case "reads":
-		cmdReads(conn, rest)
-	case "replicas":
-		cmdReplicas(conn)
 	default:
 		usage()
 	}
@@ -99,6 +119,11 @@ commands:
   stats [-interval d]             per-maintainer throughput and latency
   reads [-interval d]             per-maintainer read-path counters and cache hit ratio
   replicas                        per-group replica membership, health, lag
+  epochs                          the epoch journal: placements, boundaries, migration progress
+  grow -maintainers n [-first lid] [-batch n] [-addrs a,b,...]
+                                  propose the next epoch (an elastic deployment
+                                  executes the switchover; a journal-only
+                                  controller requires -first and -addrs)
   trace -nodes a,b [-trace id] [-stage s] [-mindur d] [-budget]
                                   join the nodes' flight recorders into span trees`)
 	os.Exit(2)
@@ -285,17 +310,18 @@ func cmdTail(c *flstore.Client, args []string) {
 // and renders one row per maintainer: head of log, append throughput over
 // the window (counter delta), p99 append latency (bucketed histogram), and
 // cumulative overload rejections.
-func cmdStats(conn rpc.Client, args []string) {
+func cmdStats(admin *flstore.Admin, args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	interval := fs.Duration("interval", time.Second, "sampling window for throughput rates")
 	fs.Parse(args)
+	ctx := context.Background()
 
-	before, err := flstore.FetchStats(conn)
+	before, err := admin.Stats(ctx)
 	if err != nil {
 		log.Fatalf("stats: %v", err)
 	}
 	time.Sleep(*interval)
-	after, err := flstore.FetchStats(conn)
+	after, err := admin.Stats(ctx)
 	if err != nil {
 		log.Fatalf("stats: %v", err)
 	}
@@ -342,17 +368,18 @@ func cmdStats(conn rpc.Client, args []string) {
 // tail-wait rates over the sampling window, records per range batch, and
 // the cumulative tail-cache hit ratio with the store-scan counters that
 // show whether tailing readers are touching the store at all.
-func cmdReads(conn rpc.Client, args []string) {
+func cmdReads(admin *flstore.Admin, args []string) {
 	fs := flag.NewFlagSet("reads", flag.ExitOnError)
 	interval := fs.Duration("interval", time.Second, "sampling window for rates")
 	fs.Parse(args)
+	ctx := context.Background()
 
-	before, err := flstore.FetchStats(conn)
+	before, err := admin.Stats(ctx)
 	if err != nil {
 		log.Fatalf("reads: %v", err)
 	}
 	time.Sleep(*interval)
-	after, err := flstore.FetchStats(conn)
+	after, err := admin.Stats(ctx)
 	if err != nil {
 		log.Fatalf("reads: %v", err)
 	}
@@ -416,8 +443,8 @@ func cmdReads(conn rpc.Client, args []string) {
 // unresolved positions, where reads block or fail over), and durable
 // watermark (positions below it are fsynced in the member's local store;
 // "-" when the store is volatile).
-func cmdReplicas(conn rpc.Client) {
-	st, err := flstore.FetchReplicas(conn)
+func cmdReplicas(admin *flstore.Admin) {
+	st, err := admin.Replicas(context.Background())
 	if err != nil {
 		log.Fatalf("replicas: %v (is the node set running with -replication?)", err)
 	}
@@ -446,6 +473,69 @@ func cmdReplicas(conn rpc.Client) {
 		}
 	}
 	fmt.Print(tbl.String())
+}
+
+// cmdEpochs renders the epoch journal: one row per epoch with its
+// boundary, placement, serving addresses, and — for sealed epochs of an
+// elastic deployment — live migration progress.
+func cmdEpochs(admin *flstore.Admin) {
+	eps, err := admin.Epochs(context.Background())
+	if err != nil {
+		log.Fatalf("epochs: %v", err)
+	}
+	tbl := metrics.Table{Header: []string{"epoch", "first LId", "maintainers", "batch", "state", "migration", "addrs"}}
+	for _, e := range eps {
+		state := "serving"
+		if e.Sealed {
+			state = "sealed"
+		}
+		migration := "-"
+		if e.Sealed && e.RangesTotal > 0 {
+			migration = fmt.Sprintf("%d/%d ranges, %d recs", e.RangesStreamed, e.RangesTotal, e.RecordsStreamed)
+			if e.MigrationDone {
+				migration += " (done)"
+			}
+		}
+		tbl.AddRow(
+			strconv.Itoa(e.Epoch),
+			strconv.FormatUint(e.FirstLId, 10),
+			strconv.Itoa(e.NumMaintainers),
+			strconv.FormatUint(e.BatchSize, 10),
+			state,
+			migration,
+			strings.Join(e.MaintainerAddrs, ","))
+	}
+	fmt.Print(tbl.String())
+}
+
+// cmdGrow proposes the next epoch through the admin surface. Against a
+// deployment serving an flstore.Orchestrator the proposal executes a live
+// switchover; against a journal-only controller (cmd/flstore) it records
+// the epoch and requires the boundary and the new addresses explicitly.
+func cmdGrow(admin *flstore.Admin, args []string) {
+	fs := flag.NewFlagSet("grow", flag.ExitOnError)
+	maintainers := fs.Int("maintainers", 0, "maintainer count of the new epoch (required)")
+	first := fs.Uint64("first", 0, "first LId of the new epoch (journal-only controllers; elastic deployments pick it)")
+	batch := fs.Uint64("batch", 0, "placement batch size (0 keeps the current)")
+	addrs := fs.String("addrs", "", "comma-separated maintainer addresses of the new epoch")
+	fs.Parse(args)
+	if *maintainers <= 0 {
+		usage()
+	}
+	prop := flstore.EpochProposal{
+		FirstLId:       *first,
+		NumMaintainers: *maintainers,
+		BatchSize:      *batch,
+	}
+	if *addrs != "" {
+		prop.MaintainerAddrs = strings.Split(*addrs, ",")
+	}
+	st, err := admin.ProposeEpoch(context.Background(), prop)
+	if err != nil {
+		log.Fatalf("grow: %v", err)
+	}
+	fmt.Printf("epoch %d: first LId %d, %d maintainers, batch %d\n",
+		st.Epoch, st.FirstLId, st.NumMaintainers, st.BatchSize)
 }
 
 func printRecord(rec *core.Record) {

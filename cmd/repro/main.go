@@ -9,7 +9,7 @@
 // Experiments: fig7, fig8, table2, table3, table4, table5, fig9,
 // ablation-sequencer, ablation-batchsize, ablation-gossip,
 // ablation-tokencarry, ablation-flush, geo-visibility, hyksos, failover,
-// readpath, overload, tracelat, scale, durability.
+// readpath, overload, tracelat, scale, durability, elastic.
 //
 // The scale experiment runs entries of the internal/scale scenario matrix
 // at full acceptance size (>= 10000 open-loop sessions); select one with
@@ -58,12 +58,14 @@ func main() {
 		"tracelat":            runTraceLat,
 		"scale":               func(d time.Duration) error { return runScale(*scenario, d) },
 		"durability":          runDurability,
+		"elastic":             runElastic,
 	}
 	order := []string{
 		"fig7", "fig8", "table2", "table3", "table4", "table5", "fig9",
 		"ablation-sequencer", "ablation-batchsize", "ablation-gossip",
 		"ablation-tokencarry", "ablation-flush", "geo-visibility", "hyksos",
 		"failover", "readpath", "overload", "tracelat", "scale", "durability",
+		"elastic",
 	}
 	if *exp == "all" {
 		for _, name := range order {
@@ -553,6 +555,29 @@ func runScale(scenario string, _ time.Duration) error {
 		return err
 	}
 	fmt.Println("wrote BENCH_scale.json")
+	return nil
+}
+
+func runElastic(_ time.Duration) error {
+	header("Extension — live elasticity (autoscaled epoch switchover under doubled load)",
+		"§6.3 end-to-end, not in the paper's evaluation: mid-run the offered load doubles past the old member set's capacity, the autoscaler fires an online epoch switchover (seal → drain → pad → flip → background migration), and the run must finish with every acknowledged LId unique and readable, the old epoch dense to the boundary, and post-flip append p99 within max(50ms, 10x the pre-flip p99); phase durations are fixed so the capacity model stays reproducible regardless of -dur")
+	res, err := cluster.RunElastic(cluster.ElasticOptions{})
+	if res.AutoscaleTicks > 0 || err == nil {
+		fmt.Printf("maintainers %d -> %d | boundary LId %d | epochs %d | autoscale ticks %d (grew=%v) | migrated %d records (done=%v) | seal retries %d\n",
+			res.MaintainersBefore, res.MaintainersAfter, res.BoundaryLId, res.Epochs,
+			res.AutoscaleTicks, res.GrowTriggered, res.RecordsMigrated, res.MigrationDone, res.SealRetries)
+		fmt.Printf("appends before/during/after %d/%d/%d | p99 %.1f/%.1f/%.1f ms | unique %d dup %d lost %d | p99 bounded %v\n",
+			res.AppendsBefore, res.AppendsDuring, res.AppendsAfter,
+			res.P99BeforeMs, res.P99DuringMs, res.P99AfterMs,
+			res.UniqueLIds, res.DuplicateLIds, res.LostLIds, res.P99Bounded)
+	}
+	if err != nil {
+		return err
+	}
+	if werr := cluster.WriteBench("BENCH_elastic.json", "elastic", res); werr != nil {
+		return werr
+	}
+	fmt.Println("wrote BENCH_elastic.json")
 	return nil
 }
 

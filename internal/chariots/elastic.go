@@ -120,6 +120,30 @@ func (dc *Datacenter) AddFilter(rate float64) (*Filter, error) {
 	return f, nil
 }
 
+// StageCounts is a datacenter's per-stage machine census.
+type StageCounts struct {
+	Receivers int `json:"receivers"`
+	Batchers  int `json:"batchers"`
+	Filters   int `json:"filters"`
+	Queues    int `json:"queues"`
+	Senders   int `json:"senders"`
+}
+
+// Stages reports how many machines each pipeline stage currently runs —
+// the autoscaler (and operators) read it to confirm grow operations took
+// effect.
+func (dc *Datacenter) Stages() StageCounts {
+	dc.startMu.Lock()
+	defer dc.startMu.Unlock()
+	return StageCounts{
+		Receivers: len(dc.receivers),
+		Batchers:  len(dc.batchers),
+		Filters:   len(dc.filters),
+		Queues:    len(dc.queues),
+		Senders:   len(dc.senders),
+	}
+}
+
 // ReassignFilter announces a future championship reassignment: from
 // fromTOId onward, host's records are split across the named filters by
 // TOId residue (§6.3's "future TOId mark"). The mark must be far enough

@@ -100,6 +100,13 @@ func TestBenchSchemaGolden(t *testing.T) {
 			"fsyncs_per_op", "max_ms", "offered", "offered_per_sec",
 			"p50_ms", "p99_ms", "policy",
 		}},
+		"elastic": {ElasticResult{}, []string{
+			"appends_after", "appends_before", "appends_during", "autoscale_ticks",
+			"boundary_lid", "duplicate_lids", "epochs", "grow_triggered",
+			"lost_lids", "maintainers_after", "maintainers_before",
+			"migration_done", "p99_after_ms", "p99_before_ms", "p99_bounded",
+			"p99_during_ms", "records_migrated", "seal_retries", "unique_lids",
+		}},
 		"durability-quorum-arm": {QuorumArm{}, []string{
 			"achieved_per_sec", "ack", "completed", "errors", "name",
 			"offered", "p50_ms", "p99_ms", "quorum_fanout",

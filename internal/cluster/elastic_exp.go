@@ -1,0 +1,489 @@
+package cluster
+
+// The elasticity experiment (§6.3 end-to-end): a loopback-TCP FLStore
+// deployment serves an open-loop append load; mid-run the offered rate
+// doubles past the old member set's admission capacity, the autoscaler
+// sees sustained rejects and drives an epoch switchover through the
+// Orchestrator (seal → drain → pad → flip → background migration), and
+// the load finishes against the doubled member set. The run verifies the
+// log survived the flip intact — every acknowledged LId unique and
+// readable, the old epoch dense to the boundary, migration complete —
+// and that append p99 after the flip returns to the pre-pressure band.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flstore"
+	"repro/internal/metrics"
+	"repro/internal/ratelimit"
+	"repro/internal/rpc"
+	"repro/internal/scale"
+)
+
+// ElasticOptions configures the elasticity experiment.
+type ElasticOptions struct {
+	// MaintainersBefore/After are the placement widths on either side of
+	// the switchover (2 → 4).
+	MaintainersBefore int
+	MaintainersAfter  int
+	BatchSize         uint64
+	// PerMaintainerRate is each maintainer's admission capacity in
+	// records/sec (the limiter modeling machine capacity).
+	PerMaintainerRate float64
+	// BaseRate is phase A's aggregate offered rate; phases B and C offer
+	// 2×BaseRate. Pick BaseRate < Before×PerMaintainerRate < 2×BaseRate
+	// < After×PerMaintainerRate so only the doubled load saturates the
+	// old set.
+	BaseRate float64
+	// PhaseA/PhaseB/PhaseC are the three phase durations: steady state,
+	// doubled load (the autoscaler fires in here), and post-flip steady
+	// state.
+	PhaseA, PhaseB, PhaseC time.Duration
+	// Sessions is the concurrent client-session count per phase.
+	Sessions int
+	// RecordSize is the append payload size in bytes.
+	RecordSize int
+	// AutoscaleTick/AutoscaleTicks configure the autoscaler loop.
+	AutoscaleTick  time.Duration
+	AutoscaleTicks int
+	Seed           uint64
+}
+
+// ElasticResult is the measured outcome.
+type ElasticResult struct {
+	MaintainersBefore int    `json:"maintainers_before"`
+	MaintainersAfter  int    `json:"maintainers_after"`
+	BoundaryLId       uint64 `json:"boundary_lid"`
+	Epochs            int    `json:"epochs"`
+	GrowTriggered     bool   `json:"grow_triggered"`
+	AutoscaleTicks    int    `json:"autoscale_ticks"`
+	MigrationDone     bool   `json:"migration_done"`
+	RecordsMigrated   uint64 `json:"records_migrated"`
+	// SealRetries counts appends that hit the sealed old epoch and
+	// succeeded after a controller re-poll (§5.1 session refresh).
+	SealRetries uint64 `json:"seal_retries"`
+	// Per-phase completions and CO-safe p99s (intended-start latency).
+	AppendsBefore uint64  `json:"appends_before"`
+	AppendsDuring uint64  `json:"appends_during"`
+	AppendsAfter  uint64  `json:"appends_after"`
+	P99BeforeMs   float64 `json:"p99_before_ms"`
+	P99DuringMs   float64 `json:"p99_during_ms"`
+	P99AfterMs    float64 `json:"p99_after_ms"`
+	// Integrity over every acknowledged append across all phases.
+	UniqueLIds    int `json:"unique_lids"`
+	DuplicateLIds int `json:"duplicate_lids"`
+	LostLIds      int `json:"lost_lids"`
+	// P99Bounded is the acceptance predicate: post-flip p99 within
+	// max(50ms, 10× pre-flip p99).
+	P99Bounded bool `json:"p99_bounded"`
+}
+
+// elasticStack is the running deployment the experiment drives.
+type elasticStack struct {
+	reg      *metrics.Registry
+	ctrl     *flstore.Controller
+	orch     *flstore.Orchestrator
+	ctrlAddr string
+	servers  []*rpc.Server
+	conns    []*rpc.TCPClient
+	gossips  []*flstore.Gossiper
+}
+
+func (st *elasticStack) close() {
+	for _, g := range st.gossips {
+		g.Stop()
+	}
+	for _, c := range st.conns {
+		c.Close()
+	}
+	for _, s := range st.servers {
+		s.Close()
+	}
+}
+
+// startMembers builds, serves, and gossips one epoch's maintainers.
+func (st *elasticStack) startMembers(p flstore.Placement, firstLId uint64, rate float64, epoch string) (flstore.MemberSet, error) {
+	ms := flstore.MemberSet{
+		Maintainers: make([]*flstore.Maintainer, p.NumMaintainers),
+		Addrs:       make([]string, p.NumMaintainers),
+	}
+	for i := 0; i < p.NumMaintainers; i++ {
+		m, err := flstore.NewMaintainer(flstore.MaintainerConfig{
+			Index:     i,
+			Placement: p,
+			FirstLId: firstLId,
+			// A small burst keeps the capacity model crisp: offering more
+			// than the aggregate rate must produce rejects within a fraction
+			// of a second, not after draining a deep token bucket.
+			Limiter: ratelimit.New(rate, 32),
+		})
+		if err != nil {
+			return ms, err
+		}
+		m.EnableMetrics(st.reg, metrics.L("epoch", epoch))
+		srv := rpc.NewServer()
+		flstore.ServeMaintainer(srv, m)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return ms, err
+		}
+		st.servers = append(st.servers, srv)
+		ms.Maintainers[i] = m
+		ms.Addrs[i] = addr.String()
+	}
+	for i, m := range ms.Maintainers {
+		peers := make([]flstore.MaintainerAPI, p.NumMaintainers)
+		for j, pm := range ms.Maintainers {
+			if j != i {
+				peers[j] = pm
+			}
+		}
+		g := flstore.NewGossiper(m, peers, time.Millisecond)
+		g.Start()
+		st.gossips = append(st.gossips, g)
+	}
+	return ms, nil
+}
+
+// newElasticStack stands the deployment up: old members, controller with
+// admin surface, and an orchestrator whose grow factory starts the new
+// member set on demand.
+func newElasticStack(opts ElasticOptions) (*elasticStack, error) {
+	st := &elasticStack{reg: metrics.NewRegistry()}
+	pOld := flstore.Placement{NumMaintainers: opts.MaintainersBefore, BatchSize: opts.BatchSize}
+	old, err := st.startMembers(pOld, 1, opts.PerMaintainerRate, "1")
+	if err != nil {
+		st.close()
+		return nil, err
+	}
+	st.ctrl, err = flstore.NewController(flstore.Config{Placement: pOld, MaintainerAddrs: old.Addrs})
+	if err != nil {
+		st.close()
+		return nil, err
+	}
+	st.orch, err = flstore.NewOrchestrator(flstore.OrchestratorConfig{
+		Controller: st.ctrl,
+		Current:    old,
+		Grow: func(p flstore.Placement, firstLId uint64) (flstore.MemberSet, error) {
+			return st.startMembers(p, firstLId, opts.PerMaintainerRate, "2")
+		},
+	})
+	if err != nil {
+		st.close()
+		return nil, err
+	}
+	ctrlSrv := rpc.NewServer()
+	flstore.ServeController(ctrlSrv, st.ctrl)
+	flstore.ServeStats(ctrlSrv, st.reg)
+	flstore.ServeAdmin(ctrlSrv, st.orch)
+	addr, err := ctrlSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		st.close()
+		return nil, err
+	}
+	st.servers = append(st.servers, ctrlSrv)
+	st.ctrlAddr = addr.String()
+	return st, nil
+}
+
+// dialCtrl opens a fresh controller connection.
+func (st *elasticStack) dialCtrl() (*rpc.TCPClient, error) {
+	c, err := rpc.Dial(st.ctrlAddr)
+	if err != nil {
+		return nil, err
+	}
+	st.conns = append(st.conns, c)
+	return c, nil
+}
+
+// elasticSessions is a bank of per-session clients that re-poll the
+// controller when their epoch is sealed under them — the §5.1 "after
+// problems" session refresh.
+type elasticSessions struct {
+	ctrlAddr string
+	mu       sync.Mutex
+	clients  []*flstore.Client
+	conns    []*rpc.TCPClient
+
+	lidMu       sync.Mutex
+	lids        map[uint64]int
+	dups        int
+	sealRetries uint64
+}
+
+func newElasticSessions(ctrlAddr string, n int) (*elasticSessions, error) {
+	es := &elasticSessions{
+		ctrlAddr: ctrlAddr,
+		clients:  make([]*flstore.Client, n),
+		lids:     make(map[uint64]int),
+	}
+	for i := range es.clients {
+		if err := es.refresh(i); err != nil {
+			es.close()
+			return nil, err
+		}
+	}
+	return es, nil
+}
+
+func (es *elasticSessions) refresh(i int) error {
+	conn, err := rpc.Dial(es.ctrlAddr)
+	if err != nil {
+		return err
+	}
+	c, err := flstore.NewClient(flstore.NewControllerClient(conn))
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	es.mu.Lock()
+	es.clients[i] = c
+	es.conns = append(es.conns, conn)
+	es.mu.Unlock()
+	return nil
+}
+
+func (es *elasticSessions) client(i int) *flstore.Client {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	return es.clients[i]
+}
+
+func (es *elasticSessions) close() {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	for _, c := range es.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// op issues one append for session i, refreshing the session on a sealed
+// epoch before surfacing the (retryable) error to the engine.
+func (es *elasticSessions) op(i int, body []byte) error {
+	lid, err := es.client(i).Append(body, nil)
+	if err != nil {
+		if errors.Is(err, flstore.ErrEpochSealed) {
+			es.lidMu.Lock()
+			es.sealRetries++
+			es.lidMu.Unlock()
+			if rerr := es.refresh(i); rerr != nil {
+				return rerr
+			}
+		}
+		return err
+	}
+	es.lidMu.Lock()
+	es.lids[lid]++
+	if es.lids[lid] > 1 {
+		es.dups++
+	}
+	es.lidMu.Unlock()
+	return nil
+}
+
+// runPhase drives one open-loop phase and returns its stats.
+func runPhase(es *elasticSessions, opts ElasticOptions, rate float64, d time.Duration, seed uint64) scale.Stats {
+	body := make([]byte, opts.RecordSize)
+	eng := scale.NewEngine(scale.Config{
+		Sessions:     opts.Sessions,
+		TargetPerSec: rate,
+		Duration:     d,
+		Seed:         seed,
+		RetryFor:     2 * time.Second,
+		Op: func(session int, intended time.Time) error {
+			return es.op(session, body)
+		},
+		Retry: func(err error) (time.Duration, bool) {
+			if errors.Is(err, flstore.ErrEpochSealed) {
+				// The session was refreshed inside op; go straight back.
+				return time.Millisecond, true
+			}
+			if flstore.IsRetryable(err) {
+				hint := flstore.RetryAfter(err)
+				if hint <= 0 {
+					hint = time.Millisecond
+				}
+				return hint, true
+			}
+			return 0, false
+		},
+	})
+	return eng.Run()
+}
+
+// RunElastic executes the elasticity experiment.
+func RunElastic(opts ElasticOptions) (ElasticResult, error) {
+	if opts.MaintainersBefore <= 0 {
+		opts.MaintainersBefore = 2
+	}
+	if opts.MaintainersAfter <= 0 {
+		opts.MaintainersAfter = 2 * opts.MaintainersBefore
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 4
+	}
+	if opts.PerMaintainerRate <= 0 {
+		opts.PerMaintainerRate = 1200
+	}
+	if opts.BaseRate <= 0 {
+		opts.BaseRate = 1600
+	}
+	if opts.PhaseA <= 0 {
+		opts.PhaseA = 1500 * time.Millisecond
+	}
+	if opts.PhaseB <= 0 {
+		opts.PhaseB = 2500 * time.Millisecond
+	}
+	if opts.PhaseC <= 0 {
+		opts.PhaseC = 1500 * time.Millisecond
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 8
+	}
+	if opts.RecordSize <= 0 {
+		opts.RecordSize = 128
+	}
+	if opts.AutoscaleTick <= 0 {
+		opts.AutoscaleTick = 100 * time.Millisecond
+	}
+	if opts.AutoscaleTicks <= 0 {
+		opts.AutoscaleTicks = 2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	res := ElasticResult{
+		MaintainersBefore: opts.MaintainersBefore,
+		MaintainersAfter:  opts.MaintainersAfter,
+	}
+
+	st, err := newElasticStack(opts)
+	if err != nil {
+		return res, err
+	}
+	defer st.close()
+
+	// The autoscaler watches the registry and fires the switchover once
+	// rejects persist. It runs for the whole experiment; phase A must not
+	// trigger it.
+	pNew := flstore.Placement{NumMaintainers: opts.MaintainersAfter, BatchSize: opts.BatchSize}
+	var decMu sync.Mutex
+	ticks, grew := 0, false
+	as := NewAutoscaler(AutoscaleConfig{
+		Snapshot: st.reg.Snapshot,
+		Ticks:    opts.AutoscaleTicks,
+		GrowLog: func() error {
+			_, gerr := st.orch.Grow(pNew)
+			return gerr
+		},
+	})
+	asCtx, asCancel := context.WithCancel(context.Background())
+	asDone := make(chan struct{})
+	go func() {
+		defer close(asDone)
+		as.Run(asCtx, opts.AutoscaleTick, func(d AutoscaleDecision) {
+			decMu.Lock()
+			ticks++
+			if d.GrewLog {
+				grew = true
+			}
+			decMu.Unlock()
+		})
+	}()
+
+	es, err := newElasticSessions(st.ctrlAddr, opts.Sessions)
+	if err != nil {
+		asCancel()
+		<-asDone
+		return res, err
+	}
+	defer es.close()
+
+	statsA := runPhase(es, opts, opts.BaseRate, opts.PhaseA, opts.Seed)
+	statsB := runPhase(es, opts, 2*opts.BaseRate, opts.PhaseB, opts.Seed+1)
+	statsC := runPhase(es, opts, 2*opts.BaseRate, opts.PhaseC, opts.Seed+2)
+	asCancel()
+	<-asDone
+
+	decMu.Lock()
+	res.AutoscaleTicks, res.GrowTriggered = ticks, grew
+	decMu.Unlock()
+	if !res.GrowTriggered {
+		return res, errors.New("cluster: autoscaler never triggered the epoch flip")
+	}
+	if err := st.orch.WaitMigration(); err != nil {
+		return res, err
+	}
+
+	// Inspect the epoch journal through the typed admin surface — the
+	// same path logctl epochs takes.
+	conn, err := st.dialCtrl()
+	if err != nil {
+		return res, err
+	}
+	admin := flstore.NewAdmin(conn)
+	eps, err := admin.Epochs(context.Background())
+	if err != nil {
+		return res, err
+	}
+	res.Epochs = len(eps)
+	if len(eps) != 2 {
+		return res, fmt.Errorf("cluster: expected 2 epochs after flip, journal has %d", len(eps))
+	}
+	res.BoundaryLId = eps[1].FirstLId
+	res.MigrationDone = eps[0].MigrationDone
+	res.RecordsMigrated = eps[0].RecordsStreamed
+	if !res.MigrationDone {
+		return res, errors.New("cluster: migration not complete after WaitMigration")
+	}
+	if want := res.BoundaryLId - 1; res.RecordsMigrated != want {
+		return res, fmt.Errorf("cluster: migrated %d records, want the whole old epoch (%d)",
+			res.RecordsMigrated, want)
+	}
+
+	// Integrity: every acknowledged LId unique and readable through the
+	// epoch-routed read path (old-epoch positions hit the old members,
+	// new-epoch positions the new).
+	es.lidMu.Lock()
+	res.UniqueLIds = len(es.lids)
+	res.DuplicateLIds = es.dups
+	res.SealRetries = es.sealRetries
+	lids := make([]uint64, 0, len(es.lids))
+	for lid := range es.lids {
+		lids = append(lids, lid)
+	}
+	es.lidMu.Unlock()
+	reader := es.client(0)
+	for _, lid := range lids {
+		if _, rerr := reader.ReadLId(lid); rerr != nil {
+			res.LostLIds++
+		}
+	}
+	if res.DuplicateLIds > 0 || res.LostLIds > 0 {
+		return res, fmt.Errorf("cluster: log integrity broken across flip: %d duplicate, %d lost",
+			res.DuplicateLIds, res.LostLIds)
+	}
+
+	res.AppendsBefore = statsA.Completed
+	res.AppendsDuring = statsB.Completed
+	res.AppendsAfter = statsC.Completed
+	res.P99BeforeMs = float64(statsA.Hist.Quantile(0.99)) / float64(time.Millisecond)
+	res.P99DuringMs = float64(statsB.Hist.Quantile(0.99)) / float64(time.Millisecond)
+	res.P99AfterMs = float64(statsC.Hist.Quantile(0.99)) / float64(time.Millisecond)
+	bound := 10 * res.P99BeforeMs
+	if bound < 50 {
+		bound = 50
+	}
+	res.P99Bounded = res.P99AfterMs <= bound
+	if !res.P99Bounded {
+		return res, fmt.Errorf("cluster: post-flip p99 %.1fms exceeds bound %.1fms (pre-flip %.1fms)",
+			res.P99AfterMs, bound, res.P99BeforeMs)
+	}
+	return res, nil
+}

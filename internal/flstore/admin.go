@@ -1,0 +1,293 @@
+package flstore
+
+// The typed admin/reconfiguration surface. Admin is the context-first
+// client for everything an operator (or the autoscaler's tooling) does to
+// a running deployment — configuration, stats, replica status, the epoch
+// journal, and epoch proposals — replacing the hand-rolled msgStats /
+// msgReplicas dial-and-decode loops that used to live in cmd/logctl.
+// AdminServer is the server half: the static ControllerAdmin adapter
+// serves the journal straight from a Controller, while the Orchestrator
+// (elastic.go) serves it with live drain/migration progress and accepts
+// proposals that actually drive a switchover.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+// EpochStatus is one epoch journal entry as reported by the admin
+// surface, annotated with switchover progress where the server tracks it
+// (an Orchestrator does; a static deployment reports the bare journal).
+type EpochStatus struct {
+	// Epoch is the entry's position in the journal (0-based).
+	Epoch    int    `json:"epoch"`
+	FirstLId uint64 `json:"first_lid"`
+	// NumMaintainers/BatchSize are the epoch's placement.
+	NumMaintainers int    `json:"num_maintainers"`
+	BatchSize      uint64 `json:"batch_size"`
+	// MaintainerAddrs is the epoch-carried topology (empty when the epoch
+	// inherits the deployment's top-level addresses).
+	MaintainerAddrs []string `json:"maintainer_addrs,omitempty"`
+	// Sealed reports that a later epoch supersedes this one: its owners
+	// no longer assign positions.
+	Sealed bool `json:"sealed"`
+	// Migration progress for a sealed epoch's ranges moving to the next
+	// epoch's owners: total ranges, ranges fully streamed, and records
+	// migrated so far. Zero for the live epoch and on servers that do not
+	// drive migration.
+	RangesTotal     int    `json:"ranges_total"`
+	RangesStreamed  int    `json:"ranges_streamed"`
+	RecordsStreamed uint64 `json:"records_streamed"`
+	MigrationDone   bool   `json:"migration_done"`
+}
+
+// RangesRemaining is RangesTotal − RangesStreamed.
+func (s EpochStatus) RangesRemaining() int { return s.RangesTotal - s.RangesStreamed }
+
+// EpochProposal asks the admin server to announce a new epoch.
+type EpochProposal struct {
+	// FirstLId pins the boundary; 0 lets the server pick the first
+	// round-aligned boundary above every live frontier (the normal case —
+	// only the server sees the frontiers race-free).
+	FirstLId uint64 `json:"first_lid,omitempty"`
+	// NumMaintainers is the proposed placement width (required).
+	NumMaintainers int `json:"num_maintainers"`
+	// BatchSize is the proposed placement's batch size; 0 keeps the
+	// current epoch's.
+	BatchSize uint64 `json:"batch_size,omitempty"`
+	// MaintainerAddrs is the new set's topology, index-aligned with the
+	// proposed placement. Servers that construct their own member set
+	// (an Orchestrator with a grow factory) ignore it; journal-only
+	// servers require it — announcing an epoch nobody serves would strand
+	// clients.
+	MaintainerAddrs []string `json:"maintainer_addrs,omitempty"`
+}
+
+// AdminServer is the server half of the admin surface. ServeAdmin
+// registers it; *Orchestrator and *ControllerAdmin implement it.
+type AdminServer interface {
+	// Epochs reports the epoch journal with any switchover progress.
+	Epochs() ([]EpochStatus, error)
+	// ProposeEpoch announces (and, on an elastic server, executes) a new
+	// epoch, returning its resulting status.
+	ProposeEpoch(EpochProposal) (EpochStatus, error)
+}
+
+// Admin is the typed, context-first admin client. All methods take a
+// context honored before the call and between retries (the underlying
+// rpc.Client.Call carries no context, like AppendCtx's transport);
+// retryable failures back off per the configured policy.
+type Admin struct {
+	c       rpc.Client
+	retries int
+	backoff time.Duration
+}
+
+// AdminOption configures an Admin.
+type AdminOption func(*Admin)
+
+// WithAdminRetries sets how many times a retryable admin call is retried
+// (default 2).
+func WithAdminRetries(n int) AdminOption {
+	return func(a *Admin) { a.retries = n }
+}
+
+// WithAdminBackoff sets the pause between admin retries (default 25ms).
+func WithAdminBackoff(d time.Duration) AdminOption {
+	return func(a *Admin) { a.backoff = d }
+}
+
+// NewAdmin wraps an rpc.Client connected to a controller endpoint (one
+// running ServeController/ServeStats/ServeReplicas/ServeAdmin) as the
+// typed admin surface.
+func NewAdmin(c rpc.Client, opts ...AdminOption) *Admin {
+	a := &Admin{c: c, retries: 2, backoff: 25 * time.Millisecond}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// call runs one admin RPC under the retry policy. Errors come back
+// through mapRemoteError so the package's taxonomy (typed sentinels,
+// IsRetryable) applies uniformly to local and remote servers.
+func (a *Admin) call(ctx context.Context, msg uint8, req []byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := a.c.Call(msg, req)
+		if err == nil {
+			return resp, nil
+		}
+		err = mapRemoteError(err)
+		if attempt >= a.retries || !IsRetryable(err) {
+			return nil, err
+		}
+		if serr := sleepCtx(ctx, a.backoff); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// Config returns the deployment configuration (placement, topology,
+// epoch journal, replication policy).
+func (a *Admin) Config(ctx context.Context) (*Config, error) {
+	resp, err := a.call(ctx, msgGetConfig, nil)
+	if err != nil {
+		return nil, err
+	}
+	return decodeConfig(resp)
+}
+
+// Stats returns a snapshot of the server's metrics registry.
+func (a *Admin) Stats(ctx context.Context) (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	resp, err := a.call(ctx, msgStats, nil)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(resp, &snap); err != nil {
+		return snap, fmt.Errorf("flstore: decoding stats: %w", err)
+	}
+	return snap, nil
+}
+
+// Replicas returns the replica-group status view.
+func (a *Admin) Replicas(ctx context.Context) (*replica.ClusterStatus, error) {
+	resp, err := a.call(ctx, msgReplicas, nil)
+	if err != nil {
+		return nil, err
+	}
+	st := &replica.ClusterStatus{}
+	if err := json.Unmarshal(resp, st); err != nil {
+		return nil, fmt.Errorf("flstore: decoding replica status: %w", err)
+	}
+	return st, nil
+}
+
+// Epochs returns the epoch journal with per-epoch switchover progress.
+func (a *Admin) Epochs(ctx context.Context) ([]EpochStatus, error) {
+	resp, err := a.call(ctx, msgAdminEpochs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []EpochStatus
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, fmt.Errorf("flstore: decoding epochs: %w", err)
+	}
+	return out, nil
+}
+
+// ProposeEpoch submits an epoch proposal and returns the new epoch's
+// status. On an elastic server this drives the full switchover (seal,
+// drain, pad, migration kick-off) before returning.
+func (a *Admin) ProposeEpoch(ctx context.Context, prop EpochProposal) (EpochStatus, error) {
+	req, err := json.Marshal(prop)
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	resp, err := a.call(ctx, msgAdminPropose, req)
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	var st EpochStatus
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return st, fmt.Errorf("flstore: decoding epoch status: %w", err)
+	}
+	return st, nil
+}
+
+// ServeAdmin registers the epoch-journal and proposal handlers on srv.
+// Admin payloads are JSON like the stats/replicas views: admin traffic is
+// rare control-plane traffic, and the self-describing encoding keeps the
+// surface evolvable without wire-format bumps.
+func ServeAdmin(srv *rpc.Server, a AdminServer) {
+	srv.Handle(msgAdminEpochs, func(p []byte) ([]byte, error) {
+		eps, err := a.Epochs()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(eps)
+	})
+	srv.Handle(msgAdminPropose, func(p []byte) ([]byte, error) {
+		var prop EpochProposal
+		if err := json.Unmarshal(p, &prop); err != nil {
+			return nil, fmt.Errorf("flstore: decoding epoch proposal: %w", err)
+		}
+		st, err := a.ProposeEpoch(prop)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(st)
+	})
+}
+
+// ControllerAdmin serves the admin surface straight from a Controller for
+// static deployments (no orchestrator): Epochs is the bare journal, and
+// ProposeEpoch only journals operator-supplied topology — the operator
+// must already be running the new maintainers (constructed with the
+// boundary as their FirstLId) at the given addresses.
+type ControllerAdmin struct {
+	Ctrl *Controller
+}
+
+// Epochs implements AdminServer from the controller's journal.
+func (ca *ControllerAdmin) Epochs() ([]EpochStatus, error) {
+	cfg, err := ca.Ctrl.GetConfig()
+	if err != nil {
+		return nil, err
+	}
+	return epochStatuses(cfg), nil
+}
+
+// epochStatuses renders a config's journal as bare statuses (no
+// migration progress).
+func epochStatuses(cfg *Config) []EpochStatus {
+	out := make([]EpochStatus, len(cfg.Epochs))
+	for i, e := range cfg.Epochs {
+		out[i] = EpochStatus{
+			Epoch:           i,
+			FirstLId:        e.FirstLId,
+			NumMaintainers:  e.Placement.NumMaintainers,
+			BatchSize:       e.Placement.BatchSize,
+			MaintainerAddrs: e.MaintainerAddrs,
+			Sealed:          i < len(cfg.Epochs)-1,
+		}
+	}
+	return out
+}
+
+// ProposeEpoch implements AdminServer: journal-only announcement of
+// operator-provided topology.
+func (ca *ControllerAdmin) ProposeEpoch(prop EpochProposal) (EpochStatus, error) {
+	if prop.FirstLId == 0 {
+		return EpochStatus{}, fmt.Errorf("flstore: journal-only server needs an explicit boundary (first_lid)")
+	}
+	if len(prop.MaintainerAddrs) == 0 {
+		return EpochStatus{}, fmt.Errorf("flstore: journal-only server needs the new epoch's maintainer addrs")
+	}
+	cfg, err := ca.Ctrl.GetConfig()
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	p := Placement{NumMaintainers: prop.NumMaintainers, BatchSize: prop.BatchSize}
+	if p.BatchSize == 0 {
+		p.BatchSize = cfg.Placement.BatchSize
+	}
+	if err := ca.Ctrl.AnnounceEpochTopology(prop.FirstLId, p, prop.MaintainerAddrs); err != nil {
+		return EpochStatus{}, err
+	}
+	cfg, err = ca.Ctrl.GetConfig()
+	if err != nil {
+		return EpochStatus{}, err
+	}
+	sts := epochStatuses(cfg)
+	return sts[len(sts)-1], nil
+}

@@ -218,4 +218,10 @@ type Config struct {
 type Epoch struct {
 	FirstLId  uint64
 	Placement Placement
+	// MaintainerAddrs are the epoch's own maintainer endpoints,
+	// index-aligned with its placement — the epoch-carried topology that
+	// replaces the mutable top-level address list for elastic deployments.
+	// Empty means the epoch inherits Config.MaintainerAddrs (static
+	// deployments that never switch epochs).
+	MaintainerAddrs []string
 }

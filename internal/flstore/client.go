@@ -30,6 +30,14 @@ type Client struct {
 	indexers    []IndexerAPI
 	rr          atomic.Uint64 // round-robin append target (session == nil)
 
+	// epochMembers holds per-epoch maintainer handles, index-aligned with
+	// epochs — the routing side of epoch-carried topology (§6.3). The last
+	// entry is the same slice as maintainers (so SetMaintainer keeps both
+	// views coherent); earlier entries serve reads below their epoch's
+	// successor boundary until the old members retire. Nil entries fall
+	// back to the current member set (pre-topology journals).
+	epochMembers [][]MaintainerAPI
+
 	// session is the replication layer; nil when R == 1 and the wired
 	// maintainers don't expose the replica surface (legacy fakes).
 	session *replica.Session
@@ -91,6 +99,7 @@ func isLogicError(err error) bool {
 		errors.Is(err, ErrWrongMaintainer) ||
 		errors.Is(err, ErrNotReplica) ||
 		errors.Is(err, ErrOrderBacklog) ||
+		errors.Is(err, ErrEpochSealed) ||
 		errors.Is(err, storage.ErrDuplicate)
 }
 
@@ -107,13 +116,45 @@ func NewClient(ctrl ControllerAPI) (*Client, error) {
 		ReadRetries:  50,
 		RetryBackoff: 2 * time.Millisecond,
 	}
-	for _, addr := range cfg.MaintainerAddrs {
+	if len(c.epochs) == 0 {
+		// A controller normalizes its journal; tolerate a bare Config.
+		c.epochs = []Epoch{{FirstLId: 1, Placement: cfg.Placement}}
+	}
+	// Dial every epoch's member set, sharing connections by address: a
+	// maintainer that survives a reassignment (or a pre-topology journal
+	// where every epoch inherits the top-level list) is dialed once.
+	dialed := make(map[string]MaintainerAPI)
+	dial := func(addr string) (MaintainerAPI, error) {
+		if m, ok := dialed[addr]; ok {
+			return m, nil
+		}
 		rc, err := rpc.Dial(addr)
 		if err != nil {
 			return nil, fmt.Errorf("flstore: dialing maintainer %s: %w", addr, err)
 		}
-		c.maintainers = append(c.maintainers, NewMaintainerClient(rc))
+		m := NewMaintainerClient(rc)
+		dialed[addr] = m
+		return m, nil
 	}
+	c.epochMembers = make([][]MaintainerAPI, len(c.epochs))
+	for i, e := range c.epochs {
+		addrs := e.MaintainerAddrs
+		if len(addrs) == 0 {
+			addrs = cfg.MaintainerAddrs
+		}
+		if len(addrs) != e.Placement.NumMaintainers {
+			return nil, fmt.Errorf("flstore: epoch %d has %d addrs for placement of %d",
+				i, len(addrs), e.Placement.NumMaintainers)
+		}
+		members := make([]MaintainerAPI, len(addrs))
+		for j, addr := range addrs {
+			if members[j], err = dial(addr); err != nil {
+				return nil, err
+			}
+		}
+		c.epochMembers[i] = members
+	}
+	c.maintainers = c.epochMembers[len(c.epochMembers)-1]
 	for _, addr := range cfg.IndexerAddrs {
 		rc, err := rpc.Dial(addr)
 		if err != nil {
@@ -156,6 +197,7 @@ func NewReplicatedDirectClient(p Placement, maintainers []MaintainerAPI, indexer
 		placement:    p,
 		epochs:       []Epoch{{FirstLId: 1, Placement: p}},
 		maintainers:  maintainers,
+		epochMembers: [][]MaintainerAPI{maintainers},
 		indexers:     indexers,
 		ReadRetries:  50,
 		RetryBackoff: 2 * time.Millisecond,
@@ -389,17 +431,35 @@ func (c *Client) HeadExact() (uint64, error) {
 	return Head(next), nil
 }
 
-// ownerOf routes an LId to its maintainer under the epoch journal.
+// epochIndexOf resolves the epoch journal entry in force at lid.
+func epochIndexOf(epochs []Epoch, lid uint64) (int, error) {
+	if len(epochs) == 0 {
+		return 0, errors.New("flstore: empty epoch journal")
+	}
+	i := sort.Search(len(epochs), func(i int) bool { return epochs[i].FirstLId > lid })
+	if i == 0 {
+		return 0, fmt.Errorf("flstore: LId %d precedes first epoch", lid)
+	}
+	return i - 1, nil
+}
+
+// ownerOf routes an LId to its maintainer under the epoch journal, using
+// the owning epoch's own member set when the journal carries topology.
 func (c *Client) ownerOf(lid uint64) (MaintainerAPI, error) {
-	p, err := PlacementAt(c.epochs, lid)
+	ei, err := epochIndexOf(c.epochs, lid)
 	if err != nil {
 		return nil, err
 	}
+	p := c.epochs[ei].Placement
+	members := c.maintainers
+	if ei < len(c.epochMembers) && c.epochMembers[ei] != nil {
+		members = c.epochMembers[ei]
+	}
 	idx := p.Owner(lid)
-	if idx >= len(c.maintainers) {
+	if idx >= len(members) {
 		return nil, fmt.Errorf("flstore: owner %d of LId %d not in session", idx, lid)
 	}
-	return c.maintainers[idx], nil
+	return members[idx], nil
 }
 
 // ReadLId returns the record at lid, retrying while the position is beyond
@@ -414,13 +474,14 @@ func (c *Client) ReadLId(lid uint64) (*core.Record, error) {
 func (c *Client) ReadLIdCtx(ctx context.Context, lid uint64) (*core.Record, error) {
 	var read func() (*core.Record, error)
 	if c.session != nil {
-		p, err := PlacementAt(c.epochs, lid)
+		ei, err := epochIndexOf(c.epochs, lid)
 		if err != nil {
 			return nil, err
 		}
-		// Failover routing knows only the current placement's groups;
-		// records written under an earlier epoch route directly.
-		if p == c.placement {
+		// Failover routing knows only the latest epoch's groups; records
+		// written under an earlier epoch route directly to that epoch's
+		// members via the journal.
+		if ei == len(c.epochs)-1 {
 			read = func() (*core.Record, error) { return c.session.Read(lid) }
 		}
 	}

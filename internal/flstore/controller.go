@@ -49,29 +49,65 @@ func (c *Controller) GetConfig() (*Config, error) {
 	cfg.MaintainerAddrs = append([]string(nil), c.cfg.MaintainerAddrs...)
 	cfg.IndexerAddrs = append([]string(nil), c.cfg.IndexerAddrs...)
 	cfg.Epochs = append([]Epoch(nil), c.cfg.Epochs...)
+	for i := range cfg.Epochs {
+		cfg.Epochs[i].MaintainerAddrs = append([]string(nil), cfg.Epochs[i].MaintainerAddrs...)
+	}
 	return &cfg, nil
 }
 
-// AnnounceEpoch appends a future-reassignment epoch (§6.3): from firstLId
-// onward the log uses the new placement. firstLId must exceed every
-// existing epoch boundary — the "future mark" that gives batchers, queues
-// and readers time to learn the hand-over before it takes effect.
-func (c *Controller) AnnounceEpoch(firstLId uint64, p Placement) error {
+// AnnounceEpochTopology appends a future-reassignment epoch (§6.3): from
+// firstLId onward the log uses the new placement, served by the given
+// maintainer endpoints (index-aligned with the placement; nil for
+// in-process deployments whose members are wired directly). firstLId must
+// exceed every existing epoch boundary — the "future mark" that gives
+// batchers, queues and readers time to learn the hand-over before it
+// takes effect. When addrs is non-nil the epoch journal becomes the
+// topology of record: the previous epoch is stamped with the addresses it
+// was serving under, so clients joining later can still reach old-epoch
+// records, and the top-level address list moves to the new set.
+func (c *Controller) AnnounceEpochTopology(firstLId uint64, p Placement, addrs []string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if len(addrs) != 0 && len(addrs) != p.NumMaintainers {
+		return fmt.Errorf("flstore: epoch topology has %d addrs for %d maintainers", len(addrs), p.NumMaintainers)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	last := c.cfg.Epochs[len(c.cfg.Epochs)-1]
+	last := &c.cfg.Epochs[len(c.cfg.Epochs)-1]
 	if firstLId <= last.FirstLId {
 		return fmt.Errorf("flstore: epoch boundary %d not after current %d", firstLId, last.FirstLId)
 	}
-	c.cfg.Epochs = append(c.cfg.Epochs, Epoch{FirstLId: firstLId, Placement: p})
+	if len(addrs) != 0 {
+		if len(last.MaintainerAddrs) == 0 {
+			last.MaintainerAddrs = append([]string(nil), c.cfg.MaintainerAddrs...)
+		}
+		c.cfg.MaintainerAddrs = append([]string(nil), addrs...)
+	}
+	c.cfg.Epochs = append(c.cfg.Epochs, Epoch{
+		FirstLId:        firstLId,
+		Placement:       p,
+		MaintainerAddrs: append([]string(nil), addrs...),
+	})
 	c.cfg.Placement = p
 	return nil
 }
 
+// AnnounceEpoch appends a future-reassignment epoch without topology.
+//
+// Deprecated: use AnnounceEpochTopology (or Admin.ProposeEpoch over RPC),
+// which carries the new epoch's maintainer endpoints in the journal so
+// clients can route reads and writes per epoch.
+func (c *Controller) AnnounceEpoch(firstLId uint64, p Placement) error {
+	return c.AnnounceEpochTopology(firstLId, p, nil)
+}
+
 // SetMaintainerAddrs replaces the advertised maintainer endpoints.
+//
+// Deprecated: topology changes should ride the epoch journal — use
+// AnnounceEpochTopology (or Admin.ProposeEpoch over RPC) so old epochs
+// keep their serving addresses. This mutator only makes sense before the
+// deployment serves traffic.
 func (c *Controller) SetMaintainerAddrs(addrs []string) {
 	c.mu.Lock()
 	c.cfg.MaintainerAddrs = append([]string(nil), addrs...)
@@ -79,6 +115,9 @@ func (c *Controller) SetMaintainerAddrs(addrs []string) {
 }
 
 // SetIndexerAddrs replaces the advertised indexer endpoints.
+//
+// Deprecated: like SetMaintainerAddrs this mutates topology out-of-band;
+// prefer wiring indexers at construction. Retained for pre-serving setup.
 func (c *Controller) SetIndexerAddrs(addrs []string) {
 	c.mu.Lock()
 	c.cfg.IndexerAddrs = append([]string(nil), addrs...)

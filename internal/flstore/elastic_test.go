@@ -1,0 +1,514 @@
+package flstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/rpc"
+)
+
+func TestSealAtValidation(t *testing.T) {
+	m := newTestMaintainer(t, 0, 2, 4) // round length 8
+	if err := m.SealAt(10); err == nil {
+		t.Error("non-round-aligned boundary accepted")
+	}
+	if err := m.SealAt(1); err == nil {
+		t.Error("boundary 1 accepted")
+	}
+	// Fill past the first round so a low boundary is below the frontier.
+	for i := 0; i < 6; i++ {
+		if _, err := m.Append([]*core.Record{bodyRec(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SealAt(9); err == nil {
+		t.Error("boundary below the fill frontier accepted")
+	}
+	if err := m.SealAt(17); err != nil {
+		t.Fatalf("valid seal: %v", err)
+	}
+	if err := m.SealAt(17); err != nil {
+		t.Fatalf("idempotent reseal at same boundary: %v", err)
+	}
+	if err := m.SealAt(25); err == nil {
+		t.Error("reseal at a different boundary accepted")
+	}
+	if got := m.SealedAt(); got != 17 {
+		t.Fatalf("SealedAt = %d, want 17", got)
+	}
+}
+
+func TestSealRejectsCrossingAppends(t *testing.T) {
+	m := newTestMaintainer(t, 0, 2, 4)
+	if err := m.SealAt(9); err != nil { // caps own range at 4 slots
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Append([]*core.Record{bodyRec(fmt.Sprint(i))}); err != nil {
+			t.Fatalf("append %d below the cap: %v", i, err)
+		}
+	}
+	_, err := m.Append([]*core.Record{bodyRec("over")})
+	if err == nil {
+		t.Fatal("append across the seal cap accepted")
+	}
+	if !errors.Is(err, ErrEpochSealed) {
+		t.Fatalf("crossing append error = %v, want ErrEpochSealed", err)
+	}
+	var se *EpochSealedError
+	if !errors.As(err, &se) || se.FirstLId != 9 {
+		t.Fatalf("error %v does not carry the boundary 9", err)
+	}
+	if IsRetryable(err) {
+		t.Error("EpochSealedError must not be retryable (clients re-poll the controller instead)")
+	}
+}
+
+func TestPadClosesRangeDense(t *testing.T) {
+	m := newTestMaintainer(t, 1, 2, 4) // owns 5-8, 13-16, ...
+	if _, err := m.Append([]*core.Record{bodyRec("a"), bodyRec("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Pad(); err == nil {
+		t.Error("Pad before SealAt accepted")
+	}
+	if err := m.SealAt(9); err != nil {
+		t.Fatal(err)
+	}
+	pads, err := m.Pad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pads) != 2 {
+		t.Fatalf("padded %d records, want 2", len(pads))
+	}
+	for _, r := range pads {
+		if r.TOId != r.LId {
+			t.Errorf("pad record %d has TOId %d, want its LId", r.LId, r.TOId)
+		}
+		if len(r.Tags) != 1 || r.Tags[0].Key != SealTagKey {
+			t.Errorf("pad record %d not tagged %q: %v", r.LId, SealTagKey, r.Tags)
+		}
+	}
+	if n, _ := m.NextUnfilled(); n != 13 {
+		t.Fatalf("NextUnfilled after pad = %d, want 13 (next round past the boundary)", n)
+	}
+	// The range is dense below the boundary: every owned LId readable.
+	for _, lid := range []uint64{5, 6, 7, 8} {
+		if _, err := m.Read(lid); err != nil {
+			t.Fatalf("read LId %d after pad: %v", lid, err)
+		}
+	}
+	// Second pad is a no-op.
+	if pads, err := m.Pad(); err != nil || pads != nil {
+		t.Fatalf("re-pad = (%v, %v), want (nil, nil)", pads, err)
+	}
+}
+
+func TestPadKeepsBufferedAssigned(t *testing.T) {
+	m := newTestMaintainer(t, 0, 2, 4) // owns 1-4, 9-12, ...
+	if _, err := m.Append([]*core.Record{bodyRec("a"), bodyRec("b")}); err != nil {
+		t.Fatal(err)
+	}
+	// An upstream-assigned record for slot 3 (LId 4) races the seal: it
+	// sits in the out-of-order buffer when the pad runs.
+	race := &core.Record{LId: 4, TOId: 4, Body: []byte("raced")}
+	if err := m.AppendAssigned([]*core.Record{race}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SealAt(9); err != nil {
+		t.Fatal(err)
+	}
+	pads, err := m.Pad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pads) != 2 { // slot 2 filler + the raced record
+		t.Fatalf("padded %d records, want 2", len(pads))
+	}
+	rec, err := m.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Body) != "raced" {
+		t.Fatalf("LId 4 body = %q, want the raced record, not a filler", rec.Body)
+	}
+	if rec3, err := m.Read(3); err != nil || len(rec3.Tags) != 1 || rec3.Tags[0].Key != SealTagKey {
+		t.Fatalf("LId 3 should be a seal filler, got (%v, %v)", rec3, err)
+	}
+}
+
+// TestPlacementAtConcurrentFlip is the epoch-boundary property test:
+// while a flip is being announced, every configuration snapshot a client
+// can observe maps every LId to exactly one placement — the old one below
+// the boundary, the new one at and above it, never neither or both.
+func TestPlacementAtConcurrentFlip(t *testing.T) {
+	pOld := Placement{NumMaintainers: 2, BatchSize: 4}
+	pNew := Placement{NumMaintainers: 4, BatchSize: 4}
+	const boundary = 17
+	ctrl, err := NewController(Config{Placement: pOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for iter := 0; iter < 200; iter++ {
+				cfg, err := ctrl.GetConfig()
+				if err != nil {
+					errc <- err
+					return
+				}
+				flipped := len(cfg.Epochs) == 2
+				for lid := uint64(1); lid <= 40; lid++ {
+					p, err := PlacementAt(cfg.Epochs, lid)
+					if err != nil {
+						errc <- fmt.Errorf("LId %d unroutable: %w", lid, err)
+						return
+					}
+					want := pOld
+					if flipped && lid >= boundary {
+						want = pNew
+					}
+					if p != want {
+						errc <- fmt.Errorf("LId %d routed to %+v, want %+v (flipped=%v)", lid, p, want, flipped)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := ctrl.AnnounceEpochTopology(boundary, pNew, nil); err != nil {
+			errc <- err
+		}
+	}()
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Post-flip the boundary itself is the first LId of the new epoch.
+	cfg, _ := ctrl.GetConfig()
+	if p, _ := PlacementAt(cfg.Epochs, boundary-1); p != pOld {
+		t.Fatalf("LId %d = %+v, want old placement", boundary-1, p)
+	}
+	if p, _ := PlacementAt(cfg.Epochs, boundary); p != pNew {
+		t.Fatalf("LId %d = %+v, want new placement", boundary, p)
+	}
+}
+
+// growSet builds an in-process member set factory for orchestrator tests.
+func growSet(t *testing.T) (func(p Placement, firstLId uint64) (MemberSet, error), *[]*Maintainer) {
+	t.Helper()
+	var made []*Maintainer
+	holder := &made
+	return func(p Placement, firstLId uint64) (MemberSet, error) {
+		ms := MemberSet{Maintainers: make([]*Maintainer, p.NumMaintainers)}
+		for i := 0; i < p.NumMaintainers; i++ {
+			m, err := NewMaintainer(MaintainerConfig{Index: i, Placement: p, FirstLId: firstLId})
+			if err != nil {
+				return ms, err
+			}
+			ms.Maintainers[i] = m
+		}
+		*holder = ms.Maintainers
+		return ms, nil
+	}, holder
+}
+
+func TestOrchestratorGrowEndToEnd(t *testing.T) {
+	pOld := Placement{NumMaintainers: 2, BatchSize: 4}
+	old := MemberSet{Maintainers: []*Maintainer{
+		newTestMaintainer(t, 0, 2, 4),
+		newTestMaintainer(t, 1, 2, 4),
+	}}
+	ctrl, err := NewController(Config{Placement: pOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow, next := growSet(t)
+	orch, err := NewOrchestrator(OrchestratorConfig{
+		Controller: ctrl,
+		Current:    old,
+		Grow:       grow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live traffic on the old set before the flip.
+	var bodies []uint64
+	for i := 0; i < 5; i++ {
+		lids, err := old.Maintainers[i%2].Append([]*core.Record{bodyRec(fmt.Sprint(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, lids...)
+	}
+
+	st, err := orch.Grow(Placement{NumMaintainers: 4, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstLId == 0 || st.NumMaintainers != 4 {
+		t.Fatalf("grow returned %+v", st)
+	}
+	if err := orch.WaitMigration(); err != nil {
+		t.Fatal(err)
+	}
+	eps, err := orch.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 || !eps[0].Sealed || eps[1].Sealed {
+		t.Fatalf("epoch journal %+v", eps)
+	}
+	boundary := eps[1].FirstLId
+	if !eps[0].MigrationDone || eps[0].RecordsStreamed != boundary-1 {
+		t.Fatalf("migration state %+v, want done with %d records", eps[0], boundary-1)
+	}
+
+	// The old epoch is dense to the boundary on the old members...
+	for lid := uint64(1); lid < boundary; lid++ {
+		if _, err := old.Maintainers[pOld.Owner(lid)].Read(lid); err != nil {
+			t.Fatalf("old member read LId %d: %v", lid, err)
+		}
+	}
+	// ...and fully migrated onto the new targets (old range j -> new j).
+	for lid := uint64(1); lid < boundary; lid++ {
+		target := (*next)[pOld.Owner(lid)]
+		rec, err := target.Read(lid)
+		if err != nil {
+			t.Fatalf("migrated read LId %d: %v", lid, err)
+		}
+		if rec.LId != lid {
+			t.Fatalf("migrated LId %d returned record %d", lid, rec.LId)
+		}
+	}
+	// Appended bodies survived the migration verbatim.
+	for i, lid := range bodies {
+		rec, err := (*next)[pOld.Owner(lid)].Read(lid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rec.Body) != fmt.Sprint(i) {
+			t.Fatalf("LId %d body = %q, want %q", lid, rec.Body, fmt.Sprint(i))
+		}
+	}
+	// The new set serves the new epoch: an append lands at the boundary.
+	lids, err := (*next)[0].Append([]*core.Record{bodyRec("new epoch")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lids[0] != boundary {
+		t.Fatalf("first new-epoch append got LId %d, want the boundary %d", lids[0], boundary)
+	}
+}
+
+// severAfter serves `after` pulls, then severs the injector link so the
+// next pull fails like a killed maintainer — a deterministic mid-stream
+// crash point on the seeded schedule.
+type severAfter struct {
+	inner RangePuller
+	fi    *faultinject.Controller
+	link  string
+	after int
+	calls int
+}
+
+func (s *severAfter) PullRange(rangeIdx int, fromLId uint64, limit int) ([]*core.Record, error) {
+	s.calls++
+	if s.calls > s.after {
+		s.fi.Sever(s.link)
+	}
+	return s.inner.PullRange(rangeIdx, fromLId, limit)
+}
+
+// TestMigrationSourceFailover kills the migration's primary source
+// mid-stream (the seeded fault injector severs its link after two
+// successful pulls): the orchestrator must fail over to the next source
+// and still converge to a complete, dense copy (the ingest path is
+// idempotent, so the overlap re-pulled after the switch is harmless).
+func TestMigrationSourceFailover(t *testing.T) {
+	pOld := Placement{NumMaintainers: 2, BatchSize: 4}
+	old := MemberSet{Maintainers: []*Maintainer{
+		newTestMaintainer(t, 0, 2, 4),
+		newTestMaintainer(t, 1, 2, 4),
+	}}
+	for i := 0; i < 6; i++ {
+		if _, err := old.Maintainers[i%2].Append([]*core.Record{bodyRec(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Old maintainer 0 behind real RPC, wrapped in a seeded lossy link:
+	// its pulls start failing at a schedule-determined step.
+	srv := rpc.NewServer()
+	ServeMaintainer(srv, old.Maintainers[0])
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := rpc.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fi := faultinject.New(faultinject.Options{Seed: 11})
+	flaky := &severAfter{
+		inner: NewMaintainerClient(fi.Wrap("mig0", conn)).(RangePuller),
+		fi:    fi, link: "mig0", after: 2,
+	}
+
+	ctrl, err := NewController(Config{Placement: pOld})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow, next := growSet(t)
+	orch, err := NewOrchestrator(OrchestratorConfig{
+		Controller:   ctrl,
+		Current:      old,
+		Grow:         grow,
+		MigrateBatch: 4, // several pulls per range, so the kill lands mid-stream
+		PullSources: func(oldRange int) []RangePuller {
+			if oldRange == 0 {
+				return []RangePuller{flaky, old.Maintainers[0]}
+			}
+			return []RangePuller{old.Maintainers[1]}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orch.Grow(Placement{NumMaintainers: 4, BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := orch.WaitMigration(); err != nil {
+		t.Fatalf("migration did not converge through the source failure: %v", err)
+	}
+	if len(fi.Events()) == 0 {
+		t.Fatal("fault injector never fired; the test exercised nothing")
+	}
+	eps, err := orch.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eps[0].MigrationDone {
+		t.Fatalf("migration incomplete: %+v", eps[0])
+	}
+	boundary := eps[1].FirstLId
+	for lid := uint64(1); lid < boundary; lid++ {
+		if _, err := (*next)[pOld.Owner(lid)].Read(lid); err != nil {
+			t.Fatalf("migrated read LId %d after failover: %v", lid, err)
+		}
+	}
+}
+
+func TestAdminRoundTrip(t *testing.T) {
+	p := Placement{NumMaintainers: 2, BatchSize: 4}
+	ctrl, err := NewController(Config{
+		Placement:       p,
+		MaintainerAddrs: []string{"old-a:1", "old-b:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rpc.NewServer()
+	ServeController(srv, ctrl)
+	ServeAdmin(srv, &ControllerAdmin{Ctrl: ctrl})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := rpc.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	admin := NewAdmin(conn)
+	ctx := context.Background()
+
+	eps, err := admin.Epochs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || eps[0].FirstLId != 1 || eps[0].Sealed {
+		t.Fatalf("initial journal %+v", eps)
+	}
+
+	// A journal-only proposal must be explicit about boundary and topology.
+	if _, err := admin.ProposeEpoch(ctx, EpochProposal{NumMaintainers: 4}); err == nil {
+		t.Fatal("proposal without first_lid/addrs accepted by the journal-only admin")
+	}
+	st, err := admin.ProposeEpoch(ctx, EpochProposal{
+		FirstLId:        17,
+		NumMaintainers:  4,
+		MaintainerAddrs: []string{"new-a:1", "new-b:1", "new-c:1", "new-d:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstLId != 17 || st.NumMaintainers != 4 || st.BatchSize != 4 {
+		t.Fatalf("proposed epoch status %+v", st)
+	}
+	eps, err = admin.Epochs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 || !eps[0].Sealed || eps[1].Sealed {
+		t.Fatalf("journal after proposal %+v", eps)
+	}
+	if len(eps[0].MaintainerAddrs) != 2 || eps[0].MaintainerAddrs[0] != "old-a:1" {
+		t.Fatalf("sealed epoch lost its serving addresses: %+v", eps[0])
+	}
+
+	// The typed config view picks up the flip.
+	cfg, err := admin.Config(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Placement.NumMaintainers != 4 || len(cfg.Epochs) != 2 {
+		t.Fatalf("config after flip %+v", cfg)
+	}
+	if len(cfg.MaintainerAddrs) != 4 || cfg.MaintainerAddrs[0] != "new-a:1" {
+		t.Fatalf("top-level addrs after flip %v", cfg.MaintainerAddrs)
+	}
+
+	// A dead context short-circuits before the wire.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := admin.Epochs(canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx error = %v", err)
+	}
+
+	// A second proposal behind the boundary is rejected remotely and the
+	// error is typed, not a string blob.
+	_, err = admin.ProposeEpoch(ctx, EpochProposal{
+		FirstLId:        9,
+		NumMaintainers:  2,
+		MaintainerAddrs: []string{"x:1", "y:1"},
+	})
+	if err == nil {
+		t.Fatal("stale boundary accepted")
+	}
+	if IsRetryable(err) {
+		t.Fatalf("stale-boundary rejection should not be retryable: %v", err)
+	}
+}

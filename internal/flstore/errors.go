@@ -36,6 +36,17 @@ var ErrNotReplica = errors.New("flstore: range not hosted by this maintainer")
 // exceed its configured bound.
 var ErrOrderBacklog = errors.New("flstore: explicit-order buffer full")
 
+// ErrEpochSealed is returned when an append reaches a maintainer whose
+// epoch has been sealed at a boundary the batch would cross: a new epoch
+// (grown or shrunk placement) owns every position from the boundary up,
+// so the old owner must not assign there. The condition is permanent for
+// this session — NOT retryable against the same member — and the typed
+// form carries the new epoch's first LId so clients can refresh their
+// configuration from the controller and resume against the new owners
+// (the §5.1 session model: clients re-poll the controller after
+// problems).
+var ErrEpochSealed = errors.New("flstore: epoch sealed")
+
 // ErrReadBlocked is returned when a read names a position this member
 // knows is assigned (an invalidation or gossip announced it) but whose
 // payload has not yet resolved locally — the position is invalid here,
@@ -67,6 +78,25 @@ func (e *ReadBlockedError) Retryable() bool { return true }
 
 // RetryAfterHint exposes the pacing hint for RetryAfter / the rpc layer.
 func (e *ReadBlockedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// EpochSealedError is the typed form of ErrEpochSealed. It unwraps to the
+// sentinel for errors.Is and names the first LId of the epoch that
+// supersedes this maintainer's assignment authority; the LId rides the
+// error string across the wire (see mapRemoteError) so remote clients
+// recover the boundary without a second round trip. It deliberately does
+// NOT implement Retryable: retrying the same member cannot succeed — the
+// fix is a configuration refresh, not a backoff.
+type EpochSealedError struct {
+	// FirstLId is the new epoch's first log position: every LId >= FirstLId
+	// is assigned by the new placement's owners.
+	FirstLId uint64
+}
+
+func (e *EpochSealedError) Error() string {
+	return fmt.Sprintf("%s: new epoch starts at LId %d", ErrEpochSealed.Error(), e.FirstLId)
+}
+
+func (e *EpochSealedError) Unwrap() error { return ErrEpochSealed }
 
 // OverloadError is the typed form of ErrOverloaded: a rejection that also
 // tells the client when retrying is likely to succeed. It unwraps to

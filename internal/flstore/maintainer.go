@@ -27,6 +27,17 @@ type MaintainerConfig struct {
 	Index     int
 	Placement Placement
 
+	// FirstLId is the first log position this maintainer's epoch covers
+	// (§6.3 elasticity): a maintainer constructed for a newly announced
+	// placement starts assigning at the epoch boundary instead of at LId 1.
+	// Positions below it belong to earlier epochs and reach this maintainer
+	// only through migration (SetLegacy/IngestLegacy). 0 and 1 both mean
+	// the epoch starts at the beginning of the log. FirstLId−1 must be a
+	// whole number of placement rounds (divisible by NumMaintainers ×
+	// BatchSize) so every range's first owned slot sits exactly at the
+	// boundary.
+	FirstLId uint64
+
 	// Replication is the replica-group size R: besides its own LId range,
 	// the maintainer stores follower copies of the R−1 preceding ranges
 	// (mod N) and can act as their primary during failover. 0 and 1 both
@@ -138,6 +149,16 @@ type Maintainer struct {
 	// dense frontiers (Σ over hosted ranges of buffered slots) so the
 	// admission check reads the backlog in O(1) under mu.
 	pendingCount int
+	// sealLId, when non-zero, is the first LId of the epoch that
+	// supersedes this maintainer: appends that would assign at or past it
+	// are rejected whole with an EpochSealedError. sealCaps caps each
+	// hosted range's fill at its slot count below the boundary.
+	sealLId  uint64
+	sealCaps map[int]uint64
+	// legacy, when non-nil, tracks old-epoch ranges migrated onto this
+	// maintainer: records below cfg.FirstLId ingested under the previous
+	// placement's geometry.
+	legacy *legacyState
 
 	// tail caches recently appended records for the batched read path;
 	// nil when disabled.
@@ -253,6 +274,12 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	if cfg.Index < 0 || cfg.Index >= cfg.Placement.NumMaintainers {
 		return nil, fmt.Errorf("flstore: maintainer index %d out of range [0,%d)", cfg.Index, cfg.Placement.NumMaintainers)
 	}
+	if cfg.FirstLId == 0 {
+		cfg.FirstLId = 1
+	}
+	if rl := uint64(cfg.Placement.NumMaintainers) * cfg.Placement.BatchSize; (cfg.FirstLId-1)%rl != 0 {
+		return nil, fmt.Errorf("flstore: epoch FirstLId %d is not round-aligned (round length %d)", cfg.FirstLId, rl)
+	}
 	if cfg.Replication < 1 {
 		cfg.Replication = 1
 	}
@@ -289,16 +316,26 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	if cfg.TailCacheSize > 0 {
 		m.tail = newTailRing(cfg.TailCacheSize)
 	}
+	// Hosted ranges start their dense frontiers at the epoch's base slot:
+	// slot 0 for an epoch beginning the log, the boundary's slot count for
+	// a grown placement's maintainer (everything below the boundary is the
+	// previous epoch's, reachable here only via migration). Because the
+	// boundary is round-aligned the base is a whole number of rounds.
 	for _, r := range layout.Hosts(cfg.Index) {
+		base := slotsBelowP(cfg.Placement, r, cfg.FirstLId)
 		m.hosted[r] = &rangeState{
+			filled:  base,
+			durable: base,
 			pending: make(map[uint64][]*core.Record),
 			durDone: make(map[uint64]uint64),
 		}
 	}
-	// Initialize every entry to the corresponding maintainer's first
-	// owned LId so Head() is 0 until real gossip arrives.
+	// Initialize every entry to the corresponding maintainer's first owned
+	// LId of this epoch, so the new member set's Head() starts exactly at
+	// FirstLId−1 (head continuity across a switchover) and at 0 for an
+	// epoch-0 set, until real gossip arrives.
 	for j := range m.nextVec {
-		m.nextVec[j] = cfg.Placement.LIdOfSlot(j, 0)
+		m.nextVec[j] = cfg.Placement.LIdOfSlot(j, slotsBelowP(cfg.Placement, j, cfg.FirstLId))
 		m.durVec[j] = m.nextVec[j]
 	}
 	// Recover the dense frontiers from a pre-populated store (restart).
@@ -309,6 +346,12 @@ func NewMaintainer(cfg MaintainerConfig) (*Maintainer, error) {
 	if max := cfg.Store.MaxLId(); max > 0 {
 		seen := make(map[int]map[uint64]bool)
 		err := cfg.Store.Scan(1, max, func(r *core.Record) bool {
+			if r.LId < cfg.FirstLId {
+				// Previous-epoch records (a restart mid-migration): they
+				// belong to the legacy geometry, not this epoch's frontiers.
+				// SetLegacy re-derives their dense prefix from the store.
+				return true
+			}
 			rangeIdx := cfg.Placement.Owner(r.LId)
 			if _, ok := m.hosted[rangeIdx]; ok {
 				if seen[rangeIdx] == nil {
@@ -513,6 +556,19 @@ func (m *Maintainer) AppendFor(rangeIdx int, recs []*core.Record) ([]uint64, err
 			return nil, fmt.Errorf("flstore: Append record %d already has LId %d", i, r.LId)
 		}
 	}
+	// A sealed epoch caps every hosted range at its slot count below the
+	// announced boundary. Batches that would cross the cap are rejected
+	// whole — splitting one would hand part of an atomic batch to each
+	// epoch — with the typed error carrying the boundary so the client
+	// refreshes its configuration and resumes against the new owners.
+	if m.sealLId != 0 {
+		if cap := m.sealCaps[rangeIdx]; st.filled+uint64(len(recs)) > cap {
+			boundary := m.sealLId
+			m.mu.Unlock()
+			tc.Hop(trace.Default(), "maint.assign", 0, "sealed", 0, len(recs))
+			return nil, &EpochSealedError{FirstLId: boundary}
+		}
+	}
 	// One range assignment for the whole batch: the range fills its slots
 	// densely, so the batch occupies slots [filled, filled+len).
 	startSlot := st.filled
@@ -624,6 +680,11 @@ func (m *Maintainer) AppendAssigned(recs []*core.Record) error {
 		if m.cfg.Placement.Owner(r.LId) != m.cfg.Index {
 			m.mu.Unlock()
 			return fmt.Errorf("%w: %d", ErrWrongMaintainer, r.LId)
+		}
+		if m.sealLId != 0 && r.LId >= m.sealLId {
+			boundary := m.sealLId
+			m.mu.Unlock()
+			return &EpochSealedError{FirstLId: boundary}
 		}
 		slot := m.cfg.Placement.SlotOf(r.LId)
 		if slot < st.filled {
@@ -860,10 +921,18 @@ func (m *Maintainer) Invalidate(rangeIdx int, upTo uint64) error {
 // slotsBelow counts how many of rangeIdx's positions lie strictly below
 // bound — the slot-space form of an announced LId bound.
 func (m *Maintainer) slotsBelow(rangeIdx int, bound uint64) uint64 {
+	return slotsBelowP(m.cfg.Placement, rangeIdx, bound)
+}
+
+// slotsBelowP counts how many of rangeIdx's positions lie strictly below
+// bound under placement p. Besides normalizing invalidation bounds, this
+// is the switchover arithmetic: an epoch boundary F caps each old range at
+// slotsBelowP(oldP, r, F) slots, and a new maintainer's ranges base at
+// slotsBelowP(newP, r, F).
+func slotsBelowP(p Placement, rangeIdx int, bound uint64) uint64 {
 	if bound <= 1 {
 		return 0
 	}
-	p := m.cfg.Placement
 	lid := bound - 1 // last position the bound covers
 	chunk := (lid - 1) / p.BatchSize
 	round := chunk / uint64(p.NumMaintainers)
@@ -924,6 +993,12 @@ func (m *Maintainer) Read(lid uint64) (*core.Record, error) {
 	}
 	if lid == 0 {
 		return nil, core.ErrNoSuchRecord
+	}
+	// Positions below the epoch boundary belong to a previous placement's
+	// geometry: they are served from the migrated legacy copy, not routed
+	// by this epoch's layout.
+	if lid < m.cfg.FirstLId {
+		return m.legacyRead(lid)
 	}
 	if !m.layout.Replicas(m.cfg.Index, m.cfg.Placement.Owner(lid)) {
 		return nil, fmt.Errorf("%w: %d", ErrWrongMaintainer, lid)

@@ -1,6 +1,7 @@
 package flstore
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -43,6 +44,8 @@ const (
 	msgInvalidate
 	msgWatermark
 	msgGossipVecs
+	msgAdminEpochs
+	msgAdminPropose
 )
 
 // --- encoding helpers ---
@@ -210,6 +213,10 @@ func appendConfig(dst []byte, cfg *Config) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, e.FirstLId)
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Placement.NumMaintainers))
 		dst = binary.LittleEndian.AppendUint64(dst, e.Placement.BatchSize)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.MaintainerAddrs)))
+		for _, a := range e.MaintainerAddrs {
+			dst = wire.AppendString(dst, a)
+		}
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(cfg.Replication))
 	dst = wire.AppendString(dst, cfg.AckPolicy)
@@ -257,14 +264,28 @@ func decodeConfig(buf []byte) (*Config, error) {
 		if len(buf) < off+20 {
 			return nil, errors.New("flstore: short config epoch")
 		}
-		cfg.Epochs = append(cfg.Epochs, Epoch{
+		e := Epoch{
 			FirstLId: binary.LittleEndian.Uint64(buf[off:]),
 			Placement: Placement{
 				NumMaintainers: int(binary.LittleEndian.Uint32(buf[off+8:])),
 				BatchSize:      binary.LittleEndian.Uint64(buf[off+12:]),
 			},
-		})
+		}
 		off += 20
+		if len(buf) < off+4 {
+			return nil, errors.New("flstore: short config epoch addrs")
+		}
+		na := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		for j := 0; j < na; j++ {
+			s, used, err := wire.DecodeString(buf[off:])
+			if err != nil {
+				return nil, err
+			}
+			e.MaintainerAddrs = append(e.MaintainerAddrs, s)
+			off += used
+		}
+		cfg.Epochs = append(cfg.Epochs, e)
 	}
 	if len(buf) < off+4 {
 		return nil, errors.New("flstore: short config replication")
@@ -596,30 +617,20 @@ func ServeReplicas(srv *rpc.Server, fn func() (*replica.ClusterStatus, error)) {
 
 // FetchReplicas retrieves the replica-group status from a server running
 // ServeReplicas.
+//
+// Deprecated: use NewAdmin(c).Replicas(ctx) — the typed admin client adds
+// cancellation, retries, and the rest of the admin surface.
 func FetchReplicas(c rpc.Client) (*replica.ClusterStatus, error) {
-	resp, err := c.Call(msgReplicas, nil)
-	if err != nil {
-		return nil, mapRemoteError(err)
-	}
-	st := &replica.ClusterStatus{}
-	if err := json.Unmarshal(resp, st); err != nil {
-		return nil, fmt.Errorf("flstore: decoding replica status: %w", err)
-	}
-	return st, nil
+	return NewAdmin(c).Replicas(context.Background())
 }
 
 // FetchStats retrieves a registry snapshot from a server running
 // ServeStats.
+//
+// Deprecated: use NewAdmin(c).Stats(ctx) — the typed admin client adds
+// cancellation, retries, and the rest of the admin surface.
 func FetchStats(c rpc.Client) (metrics.Snapshot, error) {
-	var snap metrics.Snapshot
-	resp, err := c.Call(msgStats, nil)
-	if err != nil {
-		return snap, mapRemoteError(err)
-	}
-	if err := json.Unmarshal(resp, &snap); err != nil {
-		return snap, fmt.Errorf("flstore: decoding stats: %w", err)
-	}
-	return snap, nil
+	return NewAdmin(c).Stats(context.Background())
 }
 
 func appendLookup(dst []byte, q LookupQuery) []byte {
@@ -689,6 +700,15 @@ func mapRemoteError(err error) error {
 		return fmt.Errorf("%w: %s", ErrNotReplica, msg)
 	case strings.Contains(msg, ErrOrderBacklog.Error()):
 		return fmt.Errorf("%w (remote)", ErrOrderBacklog)
+	case strings.Contains(msg, ErrEpochSealed.Error()):
+		// The boundary rides the error string ("new epoch starts at LId
+		// %d") so the remote client recovers it without a round trip; an
+		// unparsable message still maps to the sentinel.
+		var first uint64
+		if i := strings.Index(msg, "new epoch starts at LId "); i >= 0 {
+			fmt.Sscanf(msg[i:], "new epoch starts at LId %d", &first)
+		}
+		return &EpochSealedError{FirstLId: first}
 	case strings.Contains(msg, ErrReadBlocked.Error()):
 		hint := RetryAfter(err)
 		if hint <= 0 {
